@@ -1,0 +1,6 @@
+package solarml
+
+import "math/rand"
+
+// randFor returns a seeded RNG for benchmark candidate generation.
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

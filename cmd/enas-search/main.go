@@ -1,0 +1,134 @@
+// Command enas-search runs a single NAS search — eNAS, μNAS, or HarvNet —
+// and prints the best candidate with its accuracy/energy breakdown.
+//
+// Usage:
+//
+//	enas-search [-algo enas|munas|harvnet] [-task gesture|kws]
+//	            [-lambda 0.5] [-pop 50] [-sample 20] [-cycles 150]
+//	            [-grid-every 20] [-seed 1] [-eval surrogate|train]
+//
+// With -eval train, every candidate is really trained on the synthetic
+// datasets (slow but end-to-end); with -eval surrogate the calibrated
+// analytic accuracy model is used (the Fig 10 configuration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"solarml/internal/dataset"
+	"solarml/internal/enas"
+	"solarml/internal/harvnet"
+	"solarml/internal/munas"
+	"solarml/internal/nas"
+)
+
+func main() {
+	algo := flag.String("algo", "enas", "search algorithm: enas, munas, harvnet")
+	taskName := flag.String("task", "gesture", "task: gesture or kws")
+	lambda := flag.Float64("lambda", 0.5, "eNAS accuracy/energy trade-off λ ∈ [0,1]")
+	pop := flag.Int("pop", 50, "population size")
+	sample := flag.Int("sample", 20, "tournament sample size")
+	cycles := flag.Int("cycles", 150, "evolution cycles")
+	gridEvery := flag.Int("grid-every", 20, "sensing grid-mutation period R")
+	seed := flag.Int64("seed", 1, "random seed")
+	evalName := flag.String("eval", "surrogate", "evaluator: surrogate or train")
+	trainN := flag.Int("train-n", 200, "dataset size for -eval train")
+	workers := flag.Int("workers", 1, "parallel candidate evaluations (eNAS phase 1 + grid)")
+	warm := flag.Bool("warm", false, "with -eval train: children inherit parent weights (fewer epochs)")
+	flag.Parse()
+
+	task := nas.TaskGesture
+	space := nas.GestureSpace()
+	if *taskName == "kws" {
+		task = nas.TaskKWS
+		space = nas.KWSSpace()
+	}
+
+	eval, err := buildEvaluator(*evalName, task, space, *seed, *trainN, *warm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	switch *algo {
+	case "enas":
+		cfg := enas.Config{
+			Lambda: *lambda, Population: *pop, SampleSize: *sample,
+			Cycles: *cycles, SensingEvery: *gridEvery, Seed: *seed,
+			Constraints: nas.DefaultConstraints(task),
+			Workers:     *workers,
+		}
+		out, err := enas.Search(space, eval, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("eNAS (λ=%.2f) finished: %d evaluations in %v\n", *lambda, out.Evaluations, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  energy bounds: E_min %.0f µJ, E_max %.0f µJ\n", out.EMin*1e6, out.EMax*1e6)
+		printBest(out.Best.Cand, out.Best.Res)
+	case "munas":
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(*seed)))
+		cfg := munas.Config{Population: *pop, SampleSize: *sample, Cycles: *cycles,
+			Seed: *seed, Constraints: nas.DefaultConstraints(task)}
+		out, err := munas.Search(space, sensing, eval, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("µNAS finished: %d evaluations in %v (fixed sensing: %s)\n",
+			out.Evaluations, time.Since(start).Round(time.Millisecond), sensing.SensingString())
+		printBest(out.BestAccuracy.Cand, out.BestAccuracy.Res)
+	case "harvnet":
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(*seed)))
+		cfg := harvnet.Config{Population: *pop, SampleSize: *sample, Cycles: *cycles,
+			Seed: *seed, Constraints: nas.DefaultConstraints(task)}
+		out, err := harvnet.Search(space, sensing, eval, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("HarvNet finished: %d evaluations in %v (fixed sensing: %s)\n",
+			out.Evaluations, time.Since(start).Round(time.Millisecond), sensing.SensingString())
+		printBest(out.Best.Cand, out.Best.Res)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+}
+
+func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, trainN int, warm bool) (nas.Evaluator, error) {
+	switch name {
+	case "surrogate":
+		fitted, err := nas.CalibrateEnergy(space, 300, true, true, seed)
+		if err != nil {
+			return nil, err
+		}
+		return nas.NewSurrogateEvaluator(fitted), nil
+	case "train":
+		ev := &nas.TrainEvaluator{Energy: nas.NewTruthEnergy(), Epochs: 4, LR: 0.05, Seed: seed, WarmStart: warm}
+		if task == nas.TaskGesture {
+			full := dataset.BuildGestureSet(trainN, 500, seed)
+			ev.GestureTrain, ev.GestureTest = full.Split(4)
+		} else {
+			full := dataset.BuildKWSSet(trainN, seed)
+			ev.KWSTrain, ev.KWSTest = full.Split(4)
+		}
+		return ev, nil
+	}
+	return nil, fmt.Errorf("unknown evaluator %q", name)
+}
+
+func printBest(c *nas.Candidate, r nas.Result) {
+	fmt.Println("best candidate:")
+	fmt.Printf("  sensing:   %s\n", c.SensingString())
+	fmt.Printf("  arch:      %s\n", c.Arch)
+	fmt.Printf("  accuracy:  %.3f\n", r.Accuracy)
+	fmt.Printf("  energy:    %.0f µJ  (sensing %.0f + inference %.0f)\n",
+		r.EnergyJ*1e6, r.SensingJ*1e6, r.InferJ*1e6)
+	fmt.Printf("  MACs:      %d\n", r.TotalMACs)
+}

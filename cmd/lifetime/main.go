@@ -1,0 +1,77 @@
+// Command lifetime runs a long-horizon deployment simulation: the platform
+// harvests under a lighting profile while user interactions arrive at
+// random, and the firmware's §III-B energy policy decides which complete,
+// which are rejected at the V_θ check, and which brown out.
+//
+// Usage:
+//
+//	lifetime [-hours 12] [-profile office|constant] [-lux 500]
+//	         [-gap 600] [-vtheta 2.0] [-v0 2.2] [-seed 1] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"solarml/internal/firmware"
+	"solarml/internal/nn"
+)
+
+func main() {
+	hours := flag.Float64("hours", 12, "simulated duration in hours")
+	profile := flag.String("profile", "office", "lighting: office or constant")
+	lux := flag.Float64("lux", 500, "plateau (office) or constant illuminance")
+	gap := flag.Float64("gap", 600, "mean seconds between user interactions")
+	vtheta := flag.Float64("vtheta", 2.0, "firmware inference threshold V_θ")
+	v0 := flag.Float64("v0", 2.2, "initial supercap voltage")
+	seed := flag.Int64("seed", 1, "random seed")
+	trace := flag.Bool("trace", false, "print every interaction")
+	ladder := flag.Bool("ladder", false, "use a 3-rung multi-exit model ladder (HarvNet-style degradation)")
+	flag.Parse()
+
+	cfg := firmware.DefaultConfig()
+	cfg.VTheta = *vtheta
+	cfg.InitialV = *v0
+	if *ladder {
+		cfg.ExitMACs = []map[nn.LayerKind]int64{
+			{nn.KindConv: 40_000, nn.KindDense: 5_000},
+			{nn.KindConv: 200_000, nn.KindDense: 20_000},
+			{nn.KindConv: 900_000, nn.KindDense: 60_000},
+		}
+	}
+	if *profile == "office" {
+		cfg.Lux = firmware.OfficeDay(*lux)
+	} else {
+		cfg.Lux = firmware.ConstantLux(*lux)
+	}
+	sim, err := firmware.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	duration := *hours * 3600
+	rng := rand.New(rand.NewSource(*seed))
+	events := firmware.PoissonArrivals(rng, duration, *gap)
+	stats, err := sim.Run(duration, events)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println(stats.Summary())
+	fmt.Printf("completion rate: %.1f%%\n", stats.Rate(firmware.Completed)*100)
+	if *ladder && len(stats.ExitCounts) > 0 {
+		fmt.Print("exit usage:")
+		for k := 0; k < len(cfg.ExitMACs); k++ {
+			fmt.Printf("  exit %d ×%d", k, stats.ExitCounts[k])
+		}
+		fmt.Println()
+	}
+	if *trace {
+		for _, e := range stats.Events {
+			fmt.Printf("  t=%7.0fs  V=%.3f  %-20s %6.0f µJ\n",
+				e.T, e.V, e.Outcome, e.EnergyJ*1e6)
+		}
+	}
+}

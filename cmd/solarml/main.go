@@ -1,0 +1,497 @@
+// Command solarml runs the paper's evaluation campaign: one subcommand per
+// table and figure, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	solarml <experiment> [-seed N] [-scale quick|paper] [-task gesture|kws]
+//
+// Experiments: fig1, fig2, fig6, fig7, table1, table3, fig9, fig10,
+// endtoend, ablation, all.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"solarml/internal/experiments"
+	"solarml/internal/nas"
+	"solarml/internal/nn"
+	"solarml/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment seed")
+	scaleName := fs.String("scale", "quick", "search scale: quick or paper")
+	taskName := fs.String("task", "gesture", "task for fig10/ablation: gesture or kws")
+	csvDirFlag := fs.String("csv", "", "directory to write figure series as CSV (fig9, fig10)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	csvDir = *csvDirFlag
+	scale := experiments.ScaleQuick
+	if *scaleName == "paper" {
+		scale = experiments.ScalePaper
+	}
+	task := nas.TaskGesture
+	if *taskName == "kws" {
+		task = nas.TaskKWS
+	}
+
+	run := func(name string) error {
+		switch name {
+		case "fig1":
+			return runFig1()
+		case "fig2":
+			return runFig2()
+		case "fig6":
+			return runFig6()
+		case "fig7":
+			runFig7()
+			return nil
+		case "table1":
+			runTable1(*seed)
+			return nil
+		case "table3":
+			runTable3()
+			return nil
+		case "fig9":
+			runFig9(*seed)
+			return nil
+		case "fig10":
+			return runFig10(task, scale, *seed)
+		case "endtoend":
+			return runEndToEnd(scale, *seed)
+		case "ablation":
+			return runAblation(task, scale, *seed)
+		case "multiexit":
+			return runMultiExit(*seed)
+		case "objectives":
+			return runObjectives(task, scale, *seed)
+		case "baseline":
+			return runBaseline(*seed)
+		case "sweep":
+			return runSweeps(task, scale, *seed)
+		case "lux":
+			return runLux(*seed)
+		case "stability":
+			return runStability(task, scale, *seed)
+		case "report":
+			text, err := experiments.GenerateReport(scale, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Print(text)
+			return nil
+		default:
+			usage()
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+	}
+
+	if cmd == "all" {
+		for _, name := range []string{"fig1", "fig2", "fig6", "fig7", "table1", "table3", "fig9", "fig10", "endtoend", "ablation", "multiexit", "objectives", "baseline"} {
+			fmt.Printf("\n════════ %s ════════\n", name)
+			if err := run(name); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: solarml <experiment> [flags]
+
+experiments:
+  fig1      energy-cost distribution across six end-to-end systems
+  fig2      gesture/KWS energy traces after one minute of deep sleep
+  fig6      sleep-mechanism simulation (off → detect → infer → standby)
+  fig7      per-layer energy at equal MAC counts
+  table1    R² of energy-estimation methods
+  table3    event-detector comparison
+  fig9      energy-model validation (errors and CDFs)
+  fig10     eNAS vs µNAS accuracy/energy fronts (-task, -scale)
+  endtoend  §V-D end-to-end energy and harvesting times (-scale)
+  ablation  eNAS design-choice ablations (-task, -scale)
+  multiexit HarvNet-style multi-exit accuracy-vs-budget curve (real training)
+  objectives §IV-B objective comparison (λ vs random scalarization vs A/E)
+  baseline  DTW template matching vs trained CNN (model-free baseline)
+  sweep     λ and R hyperparameter sensitivity sweeps (-task, -scale)
+  lux       gesture accuracy vs ambient light (real training per point)
+  stability Fig 10 headline ratio across independent seeds (-task, -scale)
+  report    run the campaign and emit a markdown paper-vs-measured report
+  all       run everything
+
+flags: -seed N   -scale quick|paper   -task gesture|kws`)
+}
+
+func runFig1() error {
+	reps, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 1: energy cost distribution for end-to-end inference (3 s wait)")
+	for _, r := range reps {
+		fmt.Println(" ", r)
+	}
+	bars := make([]viz.Bar, 0, len(reps))
+	for _, r := range reps {
+		ee, es, em := r.Shares()
+		bars = append(bars, viz.Bar{Label: r.Name, Parts: []float64{ee, es, em}})
+	}
+	fmt.Print(viz.StackedBars("\nenergy share per system:", 50,
+		[]string{"E_E", "E_S", "E_M"}, []byte{'E', 'S', 'M'}, bars))
+	return nil
+}
+
+func runFig2() error {
+	reps, err := experiments.Fig2()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 2: energy traces (1 min deep sleep, then one inference)")
+	for _, r := range reps {
+		fmt.Println(" ", r)
+		fmt.Println(r.Trace.ASCII(100, 10))
+	}
+	return nil
+}
+
+func runFig6() error {
+	single, resumed, err := experiments.Fig6(500)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig 6: sleep mechanism at 500 lux")
+	fmt.Println("-- single inference --")
+	for _, e := range single.Events {
+		fmt.Println("  ", e)
+	}
+	fmt.Println(single.Trace.ASCII(100, 8))
+	fmt.Println("-- with standby resume --")
+	for _, e := range resumed.Events {
+		fmt.Println("  ", e)
+	}
+	fmt.Println(resumed.Trace.ASCII(100, 8))
+	return nil
+}
+
+func runFig7() {
+	fmt.Println("Fig 7: per-layer energy at equal MAC counts")
+	pts := experiments.Fig7()
+	fmt.Printf("  %-8s", "MACs")
+	for _, k := range nn.ComputeKinds() {
+		fmt.Printf(" %10s", k)
+	}
+	fmt.Println(" (µJ)")
+	for _, macs := range []int64{25_000, 75_000, 150_000} {
+		fmt.Printf("  %-8d", macs)
+		for _, k := range nn.ComputeKinds() {
+			for _, p := range pts {
+				if p.MACs == macs && p.Kind == k {
+					fmt.Printf(" %10.1f", p.EnergyJ*1e6)
+				}
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func runTable1(seed int64) {
+	fmt.Println("Table I: comparison of energy estimation methods (held-out R²)")
+	for _, r := range experiments.Table1(seed) {
+		fmt.Println(" ", r)
+	}
+}
+
+func runTable3() {
+	fmt.Println("Table III: event detection comparison")
+	fmt.Print(experiments.FormatTable3(experiments.Table3()))
+}
+
+// csvDir, when set, receives figure series as CSV files.
+var csvDir string
+
+// writeCSV writes rows (first row is the header) to csvDir/name.
+func writeCSV(name string, rows [][]string) error {
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, name))
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("  wrote %s\n", filepath.Join(csvDir, name))
+	return f.Close()
+}
+
+func runFig9(seed int64) {
+	res := experiments.Fig9(seed)
+	fmt.Println("Fig 9: energy model validation (60 held-out measurements each)")
+	fmt.Printf("  sensing model:    mean error %5.1f%%  (paper ≈3.1%%),  p90 %5.1f%%\n",
+		res.SensingMean*100, experiments.Percentile(res.SensingErrs, 0.9)*100)
+	fmt.Printf("  inference (ours): mean error %5.1f%%  (paper ≈12.8%%), ≤30%% covers %4.1f%%\n",
+		res.OursMean*100, experiments.ErrCDF(res.OursErrs, 0.3)*100)
+	fmt.Printf("  inference (µNAS): mean error %5.1f%%  (paper ≈76.9%%)\n", res.MuNASMean*100)
+	fmt.Print(viz.CDF("\nFig 9c: estimation error CDF", "relative error", 60, 12,
+		viz.Series{Name: "eNAS layer-wise model", Marker: 'o', X: res.OursErrs},
+		viz.Series{Name: "µNAS total-MACs model", Marker: 'x', X: res.MuNASErrs},
+	))
+	rows := [][]string{{"series", "relative_error"}}
+	for _, e := range res.OursErrs {
+		rows = append(rows, []string{"enas", fmt.Sprintf("%.6f", e)})
+	}
+	for _, e := range res.MuNASErrs {
+		rows = append(rows, []string{"munas", fmt.Sprintf("%.6f", e)})
+	}
+	for _, e := range res.SensingErrs {
+		rows = append(rows, []string{"sensing", fmt.Sprintf("%.6f", e)})
+	}
+	if err := writeCSV("fig9_errors.csv", rows); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+	}
+}
+
+func runFig10(task nas.Task, scale experiments.Scale, seed int64) error {
+	res, err := experiments.Fig10(task, scale, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Fig 10 (%s): accuracy vs energy, ground-truth rescored\n", task)
+	for i, p := range res.ENASBest {
+		fmt.Printf("  eNAS λ=%.1f:  acc %.3f  energy %8.0f µJ  [%s]\n",
+			res.ENASLambdas[i], p.Acc, p.Energy*1e6, res.ENASEntries[i].Cand.SensingString())
+	}
+	fmt.Println("  eNAS Pareto front:")
+	for _, p := range res.ENASFront {
+		fmt.Printf("    acc %.3f  energy %8.0f µJ\n", p.Acc, p.Energy*1e6)
+	}
+	fmt.Printf("  µNAS best-accuracy points over %d random sensing configs:\n", len(res.MuNASBest))
+	for i, p := range res.MuNASBest {
+		fmt.Printf("    acc %.3f  energy %8.0f µJ  [%s]\n",
+			p.Acc, p.Energy*1e6, res.MuNASEntries[i].Cand.SensingString())
+	}
+	fmt.Println("  µNAS Pareto front:")
+	for _, p := range res.MuNASFront {
+		fmt.Printf("    acc %.3f  energy %8.0f µJ\n", p.Acc, p.Energy*1e6)
+	}
+	var eX, eY, mX, mY, bX, bY []float64
+	for _, p := range res.ENASFront {
+		eX = append(eX, p.Energy*1e6)
+		eY = append(eY, p.Acc)
+	}
+	for _, p := range res.MuNASBest {
+		mX = append(mX, p.Energy*1e6)
+		mY = append(mY, p.Acc)
+	}
+	for _, p := range res.ENASBest {
+		bX = append(bX, p.Energy*1e6)
+		bY = append(bY, p.Acc)
+	}
+	fmt.Print(viz.Scatter(fmt.Sprintf("\nFig 10 (%s): accuracy vs energy", task), "energy µJ", "accuracy", 70, 16,
+		viz.Series{Name: "eNAS front", Marker: 'e', X: eX, Y: eY},
+		viz.Series{Name: "eNAS λ winners", Marker: 'L', X: bX, Y: bY},
+		viz.Series{Name: "µNAS searched models", Marker: 'm', X: mX, Y: mY},
+	))
+	rows := [][]string{{"series", "energy_uj", "accuracy"}}
+	add := func(name string, xs, ys []float64) {
+		for i := range xs {
+			rows = append(rows, []string{name, fmt.Sprintf("%.1f", xs[i]), fmt.Sprintf("%.4f", ys[i])})
+		}
+	}
+	add("enas_front", eX, eY)
+	add("enas_lambda", bX, bY)
+	add("munas_best", mX, mY)
+	if err := writeCSV(fmt.Sprintf("fig10_%s.csv", task), rows); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+	}
+	for _, floor := range []float64{0.80, 0.82, 0.85, 0.88, 0.90} {
+		if enasE, munasE, ratio, ok := res.EnergyRatioAt(floor, 0.03); ok {
+			fmt.Printf("  @acc %.2f: eNAS %7.0f µJ, µNAS avg %7.0f µJ  → µNAS/eNAS = %.2f×\n",
+				floor, enasE*1e6, munasE*1e6, ratio)
+		}
+	}
+	if task == nas.TaskKWS {
+		if ea, ma, ok := res.AccuracyAtBudget(10e-3); ok {
+			fmt.Printf("  @10 mJ budget: eNAS %.3f vs µNAS %.3f (paper 0.88 vs 0.86)\n", ea, ma)
+		}
+	}
+	return nil
+}
+
+func runEndToEnd(scale experiments.Scale, seed int64) error {
+	res, err := experiments.EndToEnd(scale, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("§V-D end-to-end energy and harvesting time")
+	show := []struct {
+		name  string
+		sml   float64
+		base  float64
+		sav   float64
+		times map[float64]float64
+	}{
+		{"digits", res.Digits.SolarML.Total, res.Digits.Baseline.Total, res.Digits.Savings, res.Digits.HarvestTimeS},
+		{"KWS", res.KWS.SolarML.Total, res.KWS.Baseline.Total, res.KWS.Savings, res.KWS.HarvestTimeS},
+	}
+	for _, s := range show {
+		fmt.Printf("  %-7s SolarML %7.0f µJ  vs  PS+µNAS %7.0f µJ  → saving %4.1f%%\n",
+			s.name, s.sml*1e6, s.base*1e6, s.sav*100)
+		fmt.Printf("          harvest: %4.0f s @250 lux, %4.0f s @500 lux, %4.0f s @1000 lux\n",
+			s.times[250], s.times[500], s.times[1000])
+	}
+	fmt.Println("  (paper: digits 6660 vs 8468 µJ, 27% saving, 31 s @500 lux;")
+	fmt.Println("          KWS 12746 vs 18842 µJ, 48% saving, 57 s @500 lux)")
+	return nil
+}
+
+func runAblation(task nas.Task, scale experiments.Scale, seed int64) error {
+	res, err := experiments.Ablation(task, scale, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Ablation (%s, λ=1, 3-seed average, ground-truth rescored):\n", task)
+	rows := []struct {
+		name string
+		acc  float64
+		e    float64
+	}{
+		{"eNAS (full)", res.Full.Acc, res.Full.Energy},
+		{"eNAS w/ total-MACs model", res.TotalMACs.Acc, res.TotalMACs.Energy},
+		{"eNAS w/o sensing search", res.NoSensing.Acc, res.NoSensing.Energy},
+		{"HarvNet (max A/E)", res.HarvNetBest.Acc, res.HarvNetBest.Energy},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-26s acc %.3f  energy %8.0f µJ\n", r.name, r.acc, r.e*1e6)
+	}
+	return nil
+}
+
+func runMultiExit(seed int64) error {
+	res, err := experiments.MultiExit(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatMultiExit(res))
+	return nil
+}
+
+func runSweeps(task nas.Task, scale experiments.Scale, seed int64) error {
+	lambdas := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	lp, err := experiments.LambdaSweep(task, scale, seed, lambdas)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("λ sweep (%s): the objective's trade-off knob\n", task)
+	var lx, ly []float64
+	for _, p := range lp {
+		fmt.Printf("  λ=%.1f: acc %.3f, energy %7.0f µJ\n", p.Lambda, p.Point.Acc, p.Point.Energy*1e6)
+		lx = append(lx, p.Point.Energy*1e6)
+		ly = append(ly, p.Point.Acc)
+	}
+	fmt.Print(viz.Scatter("\nλ sweep: accuracy vs energy", "energy µJ", "accuracy", 60, 12,
+		viz.Series{Name: "λ grid winners", Marker: 'L', X: lx, Y: ly}))
+
+	rp, err := experiments.RSweep(task, scale, seed, []int{5, 10, 20, 50, 0})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nR sweep (sensing grid-mutation period; paper sets R=20):\n")
+	for _, p := range rp {
+		label := fmt.Sprintf("R=%d", p.R)
+		if p.R <= 0 {
+			label = "R=∞ (frozen)"
+		}
+		fmt.Printf("  %-14s acc %.3f, energy %7.0f µJ, %.0f evaluations\n",
+			label, p.Acc, p.E*1e6, p.Evals)
+	}
+	return nil
+}
+
+func runStability(task nas.Task, scale experiments.Scale, seed int64) error {
+	target := 0.82
+	res, err := experiments.Fig10Stability(task, scale, target, 5, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("µNAS/eNAS energy ratio at accuracy %.2f across %d seeds (%s):\n",
+		target, len(res.Ratios), task)
+	for i, r := range res.Ratios {
+		fmt.Printf("  seed %d: %.2f×\n", i, r)
+	}
+	fmt.Printf("  mean %.2f×, min %.2f×, max %.2f×\n", res.Mean, res.Min, res.Max)
+	return nil
+}
+
+func runLux(seed int64) error {
+	levels := []float64{20, 50, 100, 250, 500, 1000}
+	pts, err := experiments.LuxRobustness(seed, levels)
+	if err != nil {
+		return err
+	}
+	fmt.Println("gesture accuracy vs ambient light (1.5 mV front-end noise floor)")
+	var xs, ys []float64
+	for _, p := range pts {
+		fmt.Printf("  %5.0f lux: accuracy %.3f\n", p.Lux, p.Accuracy)
+		xs = append(xs, p.Lux)
+		ys = append(ys, p.Accuracy)
+	}
+	fmt.Print(viz.Scatter("\naccuracy vs illuminance", "lux", "accuracy", 60, 10,
+		viz.Series{Name: "trained CNN", Marker: 'a', X: xs, Y: ys}))
+	return nil
+}
+
+func runBaseline(seed int64) error {
+	res, err := experiments.DTWBaseline(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("model-free DTW (SolarGest-style) vs trained CNN, same sensing config")
+	fmt.Printf("  shared sensing energy E_S: %.0f µJ per gesture\n", res.SensingJ*1e6)
+	fmt.Printf("  DTW 1-NN (%d templates): accuracy %.3f, %8d ops → E_M %7.0f µJ\n",
+		res.DTWTemplates, res.DTWAccuracy, res.DTWMACs, res.DTWInferJ*1e6)
+	fmt.Printf("  trained CNN:             accuracy %.3f, %8d MACs → E_M %7.0f µJ\n",
+		res.CNNAccuracy, res.CNNMACs, res.CNNInferJ*1e6)
+	fmt.Printf("  compute-energy ratio DTW/CNN: %.1f×\n", res.DTWInferJ/res.CNNInferJ)
+	return nil
+}
+
+func runObjectives(task nas.Task, scale experiments.Scale, seed int64) error {
+	res, err := experiments.ObjectiveComparison(task, scale, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Objective comparison (%s): Pareto hypervolume, eNAS λ-sweep = 1\n", task)
+	fmt.Printf("  eNAS λ objective:       %.2f\n", res.ENASHyper)
+	fmt.Printf("  random scalarization:   %.2f\n", res.RandomHyper)
+	fmt.Printf("  HarvNet A/E ratio:      %.2f\n", res.HarvNetHyper)
+	return nil
+}

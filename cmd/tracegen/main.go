@@ -1,0 +1,75 @@
+// Command tracegen simulates end-to-end inference sessions and renders
+// their power traces — the software counterpart of capturing Fig 2 with the
+// OTII analyzer.
+//
+// Usage:
+//
+//	tracegen [-scenario gesture|kws|fig6|fig6-resume] [-sleep 60]
+//	         [-width 100] [-height 12] [-rate 0] [-lux 500]
+//
+// With -rate > 0 the discretized sample stream is printed as CSV
+// (time,power) instead of ASCII art.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"solarml/internal/core"
+	"solarml/internal/powertrace"
+)
+
+func main() {
+	scenario := flag.String("scenario", "gesture", "gesture, kws, fig6, or fig6-resume")
+	sleep := flag.Float64("sleep", 60, "deep-sleep seconds before the inference (gesture/kws)")
+	width := flag.Int("width", 100, "ASCII chart width")
+	height := flag.Int("height", 12, "ASCII chart height")
+	rate := flag.Float64("rate", 0, "if > 0, emit CSV samples at this rate (Hz) instead of a chart")
+	lux := flag.Float64("lux", 500, "illuminance for the fig6 scenarios")
+	flag.Parse()
+
+	p := core.NewPlatform()
+	var trace *powertrace.Recorder
+	switch *scenario {
+	case "gesture", "kws":
+		cfgs := core.Fig2Scenarios()
+		cfg := cfgs[0]
+		if *scenario == "kws" {
+			cfg = cfgs[1]
+		}
+		cfg.IdleS = *sleep
+		rep, err := p.RunSession(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(rep)
+		trace = rep.Trace
+	case "fig6", "fig6-resume":
+		rep, err := p.SimulateSleepMechanism(*lux, *scenario == "fig6-resume")
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range rep.Events {
+			fmt.Println("#", e)
+		}
+		trace = rep.Trace
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+
+	if *rate > 0 {
+		fmt.Println("t_s,power_w")
+		for i, pw := range trace.Samples(*rate) {
+			fmt.Printf("%.6f,%.9f\n", float64(i)/(*rate), pw)
+		}
+		return
+	}
+	fmt.Print(trace.ASCII(*width, *height))
+	fmt.Print(trace.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package solarml is a from-scratch Go reproduction of "SolarML: Optimizing
+// Sensing and Inference for Solar-Powered TinyML Platforms" (DATE 2025).
+//
+// The implementation lives under internal/: the hardware simulation
+// substrate (solar, circuit, harvest, mcu, powertrace, detect), the tinyML
+// substrate (tensor, nn, quant, dsp, dataset), the paper's contributions
+// (energymodel, nas, enas) with the μNAS and HarvNet baselines, the
+// platform facade (core), and the evaluation campaign (experiments).
+// Executables are under cmd/, runnable examples under examples/, and the
+// per-table/figure benchmark harness in bench_test.go at the module root.
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results.
+package solarml

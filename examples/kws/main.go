@@ -1,0 +1,83 @@
+// KWS example: sweep the audio front-end parameters (window stripe s,
+// duration d, feature count f — the Table II sensing space) on the
+// synthetic keyword corpus, training a fixed small CNN for each
+// configuration, and report how accuracy trades against sensing energy.
+// This is the coupling eNAS exploits on the audio task.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"solarml/internal/dataset"
+	"solarml/internal/dsp"
+	"solarml/internal/energymodel"
+	"solarml/internal/mcu"
+	"solarml/internal/nn"
+)
+
+func main() {
+	full := dataset.BuildKWSSet(250, 7)
+	train, test := full.Split(5)
+	fmt.Printf("dataset: %d train / %d test clips, %d keywords\n\n",
+		len(train.Audio), len(test.Audio), dataset.NumKWSClasses)
+
+	profile := mcu.NRF52840()
+	configs := []dsp.FrontEndConfig{
+		{SampleRate: dataset.AudioRateHz, StripeMS: 30, DurationMS: 18, NumFeatures: 10},
+		{SampleRate: dataset.AudioRateHz, StripeMS: 25, DurationMS: 22, NumFeatures: 13},
+		{SampleRate: dataset.AudioRateHz, StripeMS: 20, DurationMS: 25, NumFeatures: 20},
+		{SampleRate: dataset.AudioRateHz, StripeMS: 10, DurationMS: 30, NumFeatures: 40},
+	}
+	fmt.Printf("%-22s %9s %10s %10s\n", "front-end (s/d/f)", "accuracy", "E_S (µJ)", "frames")
+	for _, cfg := range configs {
+		acc, err := trainAndScore(train, test, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		es := energymodel.AudioSensingTrue(profile, cfg)
+		frames := cfg.NumFrames(int(dataset.AudioRateHz * dataset.AudioDurationS))
+		fmt.Printf("s=%2dms d=%2dms f=%-6d %9.3f %10.0f %10d\n",
+			cfg.StripeMS, cfg.DurationMS, cfg.NumFeatures, acc, es*1e6, frames)
+	}
+	fmt.Println("\ncoarse front-ends lose accuracy; over-rich ones cost ≈2× the sensing")
+	fmt.Println("energy without helping (the model cannot exploit the extra detail at")
+	fmt.Println("this training budget). eNAS finds the sweet spot jointly with the")
+	fmt.Println("architecture instead of fixing the front-end by hand.")
+}
+
+// trainAndScore trains a fixed small CNN on features extracted with cfg and
+// returns its test accuracy.
+func trainAndScore(train, test *dataset.KWSSet, cfg dsp.FrontEndConfig) (float64, error) {
+	trX, trY, err := train.Materialize(cfg)
+	if err != nil {
+		return 0, err
+	}
+	teX, teY, err := test.Materialize(cfg)
+	if err != nil {
+		return 0, err
+	}
+	frames := cfg.NumFrames(int(dataset.AudioRateHz * dataset.AudioDurationS))
+	arch := &nn.Arch{
+		Input: []int{1, frames, cfg.NumFeatures},
+		Body: []nn.LayerSpec{
+			{Kind: nn.KindConv, Out: 6, K: 3, Stride: 1, Pad: 1},
+			{Kind: nn.KindReLU},
+			{Kind: nn.KindMaxPool, K: 2},
+			{Kind: nn.KindConv, Out: 8, K: 3, Stride: 1, Pad: 1},
+			{Kind: nn.KindReLU},
+			{Kind: nn.KindMaxPool, K: 2},
+			{Kind: nn.KindDense, Out: 32},
+			{Kind: nn.KindReLU},
+		},
+		Classes: dataset.NumKWSClasses,
+	}
+	net, err := arch.Build()
+	if err != nil {
+		return 0, err
+	}
+	net.Init(rand.New(rand.NewSource(7)))
+	net.Fit(trX, trY, nn.TrainConfig{Epochs: 12, BatchSize: 8, LR: 0.01, Momentum: 0.9, Seed: 7})
+	return net.Accuracy(teX, teY), nil
+}

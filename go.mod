@@ -1,0 +1,3 @@
+module solarml
+
+go 1.22

@@ -1,0 +1,310 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSupercapEnergy(t *testing.T) {
+	s := &Supercap{Farads: 1, V: 2, VMax: 3.8}
+	if got := s.Energy(); got != 2 {
+		t.Fatalf("Energy = %v, want 2 J", got)
+	}
+}
+
+func TestSupercapAddDrainRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSupercap()
+		s.V = 1 + rng.Float64()*2
+		e0 := s.Energy()
+		j := rng.Float64() * 0.5
+		s.AddEnergy(j)
+		if !s.Drain(j) {
+			return false
+		}
+		return math.Abs(s.Energy()-e0) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSupercapDrainInsufficient(t *testing.T) {
+	s := &Supercap{Farads: 1, V: 1, VMax: 3.8}
+	v0 := s.V
+	if s.Drain(10) {
+		t.Fatal("drain beyond stored energy must fail")
+	}
+	if s.V != v0 {
+		t.Fatal("failed drain must not change voltage")
+	}
+}
+
+func TestSupercapClampsAtVMax(t *testing.T) {
+	s := NewSupercap()
+	s.V = 3.7
+	s.AddEnergy(100)
+	if s.V != s.VMax {
+		t.Fatalf("V = %v, want clamp at %v", s.V, s.VMax)
+	}
+}
+
+func TestSupercapEnergyAbove(t *testing.T) {
+	s := &Supercap{Farads: 1, V: 3, VMax: 3.8}
+	want := 0.5 * (9 - 4) // above 2 V
+	if got := s.EnergyAbove(2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("EnergyAbove = %v, want %v", got, want)
+	}
+	if s.EnergyAbove(3.5) != 0 {
+		t.Fatal("below cutoff must report 0")
+	}
+}
+
+func TestSupercapLeakMonotone(t *testing.T) {
+	s := NewSupercap()
+	s.V = 3
+	e0 := s.Energy()
+	s.Leak(3600)
+	if s.Energy() >= e0 {
+		t.Fatal("leak must lose energy")
+	}
+	if s.Energy() < e0-0.01 {
+		t.Fatalf("leak too aggressive: lost %v J in an hour", e0-s.Energy())
+	}
+}
+
+func TestSupercapNegativePanics(t *testing.T) {
+	s := NewSupercap()
+	for _, fn := range []func(){func() { s.AddEnergy(-1) }, func() { s.Drain(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on negative energy")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// --- Event-detection circuit (Fig 5 semantics) ---
+
+const (
+	brightV2  = 0.5  // detector divider voltage in normal light, no hover
+	hoveredV2 = 0.02 // collapsed by a hand
+	brightRef = 0.55 // reference-cell Voc in normal office light
+	dimRef    = 0.10 // weak light
+	fullCap   = 3.0
+)
+
+func TestEventCircuitStaysOffUntilHover(t *testing.T) {
+	c := NewEventCircuit()
+	for i := 0; i < 10; i++ {
+		if c.Step(brightV2, brightRef, fullCap) {
+			t.Fatal("MCU must stay off with no hover")
+		}
+	}
+}
+
+func TestEventCircuitTriggersOnHover(t *testing.T) {
+	c := NewEventCircuit()
+	if !c.Step(hoveredV2, brightRef, fullCap) {
+		t.Fatal("hover must power the MCU")
+	}
+}
+
+func TestEventCircuitLatchHoldsAfterHandLeaves(t *testing.T) {
+	c := NewEventCircuit()
+	c.Step(hoveredV2, brightRef, fullCap)
+	c.SetHold(true) // firmware raises V₄ immediately after boot
+	if !c.Step(brightV2, brightRef, fullCap) {
+		t.Fatal("latch must keep the MCU powered after the hand leaves")
+	}
+}
+
+func TestEventCircuitWithoutLatchPowersDown(t *testing.T) {
+	c := NewEventCircuit()
+	c.Step(hoveredV2, brightRef, fullCap)
+	// Firmware too slow: no hold. Hand leaves → power lost.
+	if c.Step(brightV2, brightRef, fullCap) {
+		t.Fatal("without the latch the MCU must lose power")
+	}
+}
+
+func TestEventCircuitReleaseHoldPowersDown(t *testing.T) {
+	c := NewEventCircuit()
+	c.Step(hoveredV2, brightRef, fullCap)
+	c.SetHold(true)
+	c.Step(brightV2, brightRef, fullCap)
+	c.SetHold(false) // firmware done → release
+	if c.Step(brightV2, brightRef, fullCap) {
+		t.Fatal("releasing the hold must power down")
+	}
+	if c.Hold() {
+		t.Fatal("hold must be clear after power-down")
+	}
+}
+
+func TestEventCircuitWeakLightGuard(t *testing.T) {
+	c := NewEventCircuit()
+	// Hover in dim light: N₂ must block the boot (§III-B2 iv).
+	if c.Step(hoveredV2, dimRef, fullCap) {
+		t.Fatal("weak light must prevent power-up")
+	}
+}
+
+func TestEventCircuitLowSupercapGuard(t *testing.T) {
+	c := NewEventCircuit()
+	if c.Step(hoveredV2, brightRef, 1.0) {
+		t.Fatal("depleted supercap must prevent power-up")
+	}
+}
+
+func TestEventCircuitSetHoldIgnoredWhileOff(t *testing.T) {
+	c := NewEventCircuit()
+	c.SetHold(true)
+	if c.Hold() {
+		t.Fatal("hold pin is meaningless while the MCU is unpowered")
+	}
+}
+
+func TestEventCircuitV5TracksRawSignal(t *testing.T) {
+	c := NewEventCircuit()
+	c.Step(hoveredV2, brightRef, fullCap)
+	c.SetHold(true)
+	c.Step(brightV2, brightRef, fullCap)
+	// Even latched (V₂ pinned low), V₅ must still show the raw hover state.
+	if c.SenseV5(brightV2) != brightV2 {
+		t.Fatal("V5 must track the raw detector voltage")
+	}
+	if c.SenseV5(hoveredV2) != hoveredV2 {
+		t.Fatal("V5 must collapse on the second hover")
+	}
+}
+
+func TestEventCircuitFullGestureSession(t *testing.T) {
+	// Off → hover (boot) → latch → sample → second hover ends gesture →
+	// firmware releases → off. The canonical Fig 6 sequence.
+	c := NewEventCircuit()
+	if c.Powered() {
+		t.Fatal("must start off")
+	}
+	// 1. First hover.
+	if !c.Step(hoveredV2, brightRef, fullCap) {
+		t.Fatal("boot failed")
+	}
+	c.SetHold(true)
+	// 2. Gesture in progress, hand away from the detector cells.
+	for i := 0; i < 5; i++ {
+		if !c.Step(brightV2, brightRef, fullCap) {
+			t.Fatal("power lost mid-gesture")
+		}
+		if c.SenseV5(brightV2) < c.VTrigger {
+			t.Fatal("V5 must stay high mid-gesture")
+		}
+	}
+	// 3. Second hover: firmware sees V₅ collapse and finishes up.
+	if c.SenseV5(hoveredV2) >= c.VTrigger {
+		t.Fatal("V5 must collapse on the ending hover")
+	}
+	// 4. Firmware processes, then releases the latch.
+	c.SetHold(false)
+	if c.Step(brightV2, brightRef, fullCap) {
+		t.Fatal("must power down after release")
+	}
+}
+
+func TestEventCircuitPowerFigures(t *testing.T) {
+	c := NewEventCircuit()
+	if p := c.StandbyPower() * 1e6; math.Abs(p-2) > 0.5 {
+		t.Fatalf("standby power %.1f µW, Table III says ≈2", p)
+	}
+	if p := c.ActivePower() * 1e6; p < 7.5 || p > 28 {
+		t.Fatalf("active power %.1f µW outside Table III's 7.5–28", p)
+	}
+}
+
+// --- Safety properties (testing/quick over arbitrary input sequences) ---
+
+// Property: the MCU is never powered while the reference cell is below the
+// weak-light threshold, no matter what sequence of inputs the circuit sees.
+func TestWeakLightSafetyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewEventCircuit()
+		for step := 0; step < 200; step++ {
+			v2 := rng.Float64() * 0.6
+			ref := rng.Float64() * 0.6
+			capV := rng.Float64() * 4
+			powered := c.Step(v2, ref, capV)
+			if rng.Intn(3) == 0 {
+				c.SetHold(rng.Intn(2) == 0)
+			}
+			if powered && ref < c.VWeakLight {
+				return false
+			}
+			if powered && capV < c.VMinSupercap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the latch can never hold power on its own after the supply
+// disappears — losing power always clears the hold.
+func TestLatchClearsOnPowerLossProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewEventCircuit()
+		for step := 0; step < 200; step++ {
+			v2 := rng.Float64() * 0.6
+			ref := 0.52 + rng.Float64()*0.1
+			capV := rng.Float64() * 4
+			powered := c.Step(v2, ref, capV)
+			if powered {
+				c.SetHold(true)
+			}
+			if !powered && c.Hold() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the supercap voltage is always in [0, VMax] whatever sequence
+// of charge/drain/leak operations runs.
+func TestSupercapBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSupercap()
+		s.V = rng.Float64() * s.VMax
+		for step := 0; step < 300; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				s.AddEnergy(rng.Float64() * 2)
+			case 1:
+				s.Drain(rng.Float64() * 2)
+			default:
+				s.Leak(rng.Float64() * 1000)
+			}
+			if s.V < 0 || s.V > s.VMax || math.IsNaN(s.V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package circuit
+
+// EventCircuit is the passive event-detection circuit of Fig 5. Two solar
+// cells, a P-MOSFET (P₁) between supercap and MCU, an N-MOSFET latch (N₁)
+// driven by an MCU pin (V₄), sense resistors exposing the hover signal (V₅),
+// and a weak-light guard (N₂ plus a reference cell).
+//
+// Behaviour reproduced from §III-B2:
+//
+//  1. Hovering over the detector cells collapses V₂; P₁ then connects the
+//     supercap to the MCU (event detection, zero standby overhead).
+//  2. Once running, the MCU raises V₄, turning N₁ on, which pins V₂ to
+//     ground so P₁ stays conducting after the hand moves away.
+//  3. The sense divider voltage V₅ tracks the raw cell signal even while
+//     N₁ holds V₂ low; a second hover collapses V₅, telling the firmware
+//     the gesture ended.
+//  4. In weak light the reference cell cannot turn N₂ on and the MCU stays
+//     disconnected, preventing brown-out boot loops.
+type EventCircuit struct {
+	// VTrigger is the V₂ threshold below which P₁ conducts.
+	VTrigger float64
+	// VWeakLight is the minimum reference-cell voltage for N₂ to conduct.
+	VWeakLight float64
+	// VMinSupercap is the minimum supercap voltage to boot the MCU.
+	VMinSupercap float64
+
+	hold    bool // N₁ latch commanded by the MCU pin V₄
+	powered bool
+}
+
+// NewEventCircuit returns the prototype's thresholds: a hover collapses the
+// detect divider well below 0.2 V in any usable light; the reference cell
+// reaches 0.515 V (N₂'s gate threshold) only above ≈40 lux, which both
+// guards against brown-out boots and masks the dim-light band where the
+// un-hovered divider voltage would approach the trigger level.
+func NewEventCircuit() *EventCircuit {
+	return &EventCircuit{VTrigger: 0.20, VWeakLight: 0.515, VMinSupercap: 1.8}
+}
+
+// SetHold drives the MCU pin V₄ that keeps N₁ (and hence P₁) conducting.
+// Calling it has no effect while the MCU is unpowered.
+func (c *EventCircuit) SetHold(h bool) {
+	if c.powered {
+		c.hold = h
+	}
+}
+
+// Hold reports the N₁ latch state.
+func (c *EventCircuit) Hold() bool { return c.hold }
+
+// Powered reports whether P₁ currently connects the supercap to the MCU.
+func (c *EventCircuit) Powered() bool { return c.powered }
+
+// Step advances the circuit by one instant. v2Raw is the detector-cell
+// divider voltage before the latch (collapses when hovered), refVoc is the
+// reference cell's open-circuit voltage (weak-light guard), supercapV is the
+// store voltage. It returns whether the MCU is powered after the step.
+func (c *EventCircuit) Step(v2Raw, refVoc, supercapV float64) bool {
+	v2 := v2Raw
+	if c.hold && c.powered {
+		v2 = 0 // N₁ pins V₂ to ground
+	}
+	n2 := refVoc >= c.VWeakLight
+	p1 := v2 < c.VTrigger
+	wasPowered := c.powered
+	c.powered = p1 && n2 && supercapV >= c.VMinSupercap
+	if !c.powered && wasPowered {
+		c.hold = false // losing power drops the latch
+	}
+	return c.powered
+}
+
+// SenseV5 returns the ongoing-activity signal sampled through the sense
+// resistors: it follows the raw detector voltage regardless of the latch,
+// so firmware can see the second hover that ends a gesture.
+func (c *EventCircuit) SenseV5(v2Raw float64) float64 { return v2Raw }
+
+// StandbyPower returns the circuit's drain while waiting for an event.
+// The detection path is passive — only divider leakage through the sense
+// resistors — which is the ≈2 µW standby figure of Table III.
+func (c *EventCircuit) StandbyPower() float64 { return 2e-6 }
+
+// ActivePower returns the drain while the latch holds the MCU connected:
+// N₁ sinks the divider current continuously (7.5–28 µW depending on light;
+// we report the mid-range for energy accounting).
+func (c *EventCircuit) ActivePower() float64 { return 18e-6 }

@@ -1,0 +1,84 @@
+// Package circuit models the analog components of the SolarML platform: the
+// supercapacitor energy store, the blocking diodes and analog switches of
+// the harvesting/sensing path (Fig 4), and the passive MOSFET
+// event-detection circuit (Fig 5) as a discrete-time state machine.
+package circuit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Supercap is the platform's energy buffer (1 F on the prototype).
+type Supercap struct {
+	// Farads is the capacitance.
+	Farads float64
+	// V is the current terminal voltage.
+	V float64
+	// VMax is the harvester's overvoltage clamp.
+	VMax float64
+	// LeakW is the self-discharge power at full voltage.
+	LeakW float64
+}
+
+// NewSupercap returns the prototype's 1 F supercap with a 3.8 V clamp.
+func NewSupercap() *Supercap {
+	return &Supercap{Farads: 1.0, VMax: 3.8, LeakW: 0.5e-6}
+}
+
+// Energy returns the stored energy ½CV² in joules.
+func (s *Supercap) Energy() float64 { return 0.5 * s.Farads * s.V * s.V }
+
+// EnergyAbove returns the energy available above a cutoff voltage, the
+// usable budget before the DC-DC converter drops out.
+func (s *Supercap) EnergyAbove(vCut float64) float64 {
+	if s.V <= vCut {
+		return 0
+	}
+	return 0.5 * s.Farads * (s.V*s.V - vCut*vCut)
+}
+
+// AddEnergy deposits j joules (clamped at VMax).
+func (s *Supercap) AddEnergy(j float64) {
+	if j < 0 {
+		panic("circuit: negative energy deposit")
+	}
+	e := s.Energy() + j
+	s.V = math.Sqrt(2 * e / s.Farads)
+	if s.V > s.VMax {
+		s.V = s.VMax
+	}
+}
+
+// Drain removes j joules if available and reports whether it succeeded.
+// On failure the voltage is unchanged.
+func (s *Supercap) Drain(j float64) bool {
+	if j < 0 {
+		panic("circuit: negative energy drain")
+	}
+	e := s.Energy() - j
+	if e < 0 {
+		return false
+	}
+	s.V = math.Sqrt(2 * e / s.Farads)
+	return true
+}
+
+// Leak applies self-discharge over dt seconds, scaled with V²/VMax² as for a
+// resistive leakage path.
+func (s *Supercap) Leak(dt float64) {
+	if s.V <= 0 {
+		return
+	}
+	frac := (s.V / s.VMax) * (s.V / s.VMax)
+	e := s.Energy() - s.LeakW*frac*dt
+	if e < 0 {
+		e = 0
+	}
+	s.V = math.Sqrt(2 * e / s.Farads)
+}
+
+// String renders the state for debugging.
+func (s *Supercap) String() string {
+	return fmt.Sprintf("Supercap(%.2fF %.3fV %.1fmJ)", s.Farads, s.V, s.Energy()*1e3)
+}

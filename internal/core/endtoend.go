@@ -1,0 +1,64 @@
+package core
+
+import (
+	"solarml/internal/dataset"
+	"solarml/internal/detect"
+	"solarml/internal/dsp"
+	"solarml/internal/nas"
+	"solarml/internal/nn"
+)
+
+// SolarMLConfig builds the platform's own end-to-end session: fully off
+// while idle, woken by the passive solar-cell detector (§V-D).
+func SolarMLConfig(name string, task nas.Task, gesture dataset.GestureConfig,
+	audio dsp.FrontEndConfig, macs map[nn.LayerKind]int64, waitS float64) SessionConfig {
+	return SessionConfig{
+		Name: name, Detector: detect.NewSolarML(), Idle: IdleOff, IdleS: waitS,
+		Task: task, Gesture: gesture, Audio: audio, InferMACs: macs,
+	}
+}
+
+// PSBaselineConfig builds the SOTA baseline session of §V-D: deep sleep
+// with a proximity-sensor wake-up (the PROS configuration) running a
+// sensing-unaware model.
+func PSBaselineConfig(name string, task nas.Task, gesture dataset.GestureConfig,
+	audio dsp.FrontEndConfig, macs map[nn.LayerKind]int64, waitS float64) SessionConfig {
+	return SessionConfig{
+		Name: name, Detector: detect.ProximitySensor{}, Idle: IdleDeepSleep, IdleS: waitS,
+		Task: task, Gesture: gesture, Audio: audio, InferMACs: macs,
+	}
+}
+
+// EndToEndComparison is the §V-D summary for one task.
+type EndToEndComparison struct {
+	SolarML  *SessionReport
+	Baseline *SessionReport
+	// Savings is 1 − SolarML.Total/Baseline.Total.
+	Savings float64
+	// HarvestTimeS maps illuminance (lux) to the charging time that funds
+	// one SolarML session.
+	HarvestTimeS map[float64]float64
+}
+
+// CompareEndToEnd simulates both sessions and the harvesting times at the
+// paper's three illuminance levels (250, 500, 1000 lux).
+func (p *Platform) CompareEndToEnd(solarml, baseline SessionConfig) (*EndToEndComparison, error) {
+	sml, err := p.RunSession(solarml)
+	if err != nil {
+		return nil, err
+	}
+	base, err := p.RunSession(baseline)
+	if err != nil {
+		return nil, err
+	}
+	cmp := &EndToEndComparison{
+		SolarML:      sml,
+		Baseline:     base,
+		Savings:      1 - sml.Total/base.Total,
+		HarvestTimeS: make(map[float64]float64),
+	}
+	for _, lux := range []float64{250, 500, 1000} {
+		cmp.HarvestTimeS[lux] = p.HarvestTime(sml.Total, lux)
+	}
+	return cmp, nil
+}

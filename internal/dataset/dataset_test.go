@@ -1,0 +1,327 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"solarml/internal/dsp"
+	"solarml/internal/quant"
+)
+
+func defaultGestureConfig() GestureConfig {
+	return GestureConfig{Channels: 9, RateHz: 100, Quant: quant.Config{Res: quant.Float, Bits: 32}}
+}
+
+func TestBuildGestureSetBalanced(t *testing.T) {
+	s := BuildGestureSet(50, 500, 1)
+	counts := make(map[int]int)
+	for _, raw := range s.Samples {
+		counts[raw.Label]++
+	}
+	for c := 0; c < NumGestureClasses; c++ {
+		if counts[c] != 5 {
+			t.Fatalf("class %d has %d samples, want 5", c, counts[c])
+		}
+	}
+}
+
+func TestGestureShadesWellFormed(t *testing.T) {
+	s := BuildGestureSet(10, 500, 2)
+	for i, raw := range s.Samples {
+		if len(raw.Shades) != 9 {
+			t.Fatalf("sample %d has %d channels", i, len(raw.Shades))
+		}
+		for c, trace := range raw.Shades {
+			if len(trace) != gestureSteps {
+				t.Fatalf("sample %d channel %d has %d steps", i, c, len(trace))
+			}
+			for _, v := range trace {
+				if v < 0 || v > 1 {
+					t.Fatalf("shade %v out of [0,1]", v)
+				}
+			}
+		}
+	}
+}
+
+func TestGestureDeterministicSeed(t *testing.T) {
+	a := BuildGestureSet(5, 500, 7)
+	b := BuildGestureSet(5, 500, 7)
+	for i := range a.Samples {
+		for c := range a.Samples[i].Shades {
+			for j := range a.Samples[i].Shades[c] {
+				if a.Samples[i].Shades[c][j] != b.Samples[i].Shades[c][j] {
+					t.Fatal("same seed must reproduce the same set")
+				}
+			}
+		}
+	}
+}
+
+func TestGestureMaterializeShape(t *testing.T) {
+	s := BuildGestureSet(20, 500, 3)
+	cfg := GestureConfig{Channels: 4, RateHz: 50, Quant: quant.Config{Res: quant.Int, Bits: 8}}
+	x, y, err := s.Materialize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantT := int(50 * GestureDurationS)
+	if x.Shape[0] != 20 || x.Shape[1] != 1 || x.Shape[2] != 4 || x.Shape[3] != wantT {
+		t.Fatalf("shape %v", x.Shape)
+	}
+	if len(y) != 20 {
+		t.Fatalf("%d labels", len(y))
+	}
+	for _, v := range x.Data {
+		if v < -1 || v > 1 {
+			t.Fatalf("input %v outside [-1,1]", v)
+		}
+	}
+}
+
+func TestGestureMaterializeRejectsBadConfig(t *testing.T) {
+	s := BuildGestureSet(5, 500, 4)
+	bad := []GestureConfig{
+		{Channels: 0, RateHz: 100, Quant: quant.Config{Res: quant.Int, Bits: 8}},
+		{Channels: 10, RateHz: 100, Quant: quant.Config{Res: quant.Int, Bits: 8}},
+		{Channels: 4, RateHz: 5, Quant: quant.Config{Res: quant.Int, Bits: 8}},
+		{Channels: 4, RateHz: 300, Quant: quant.Config{Res: quant.Int, Bits: 8}},
+		{Channels: 4, RateHz: 100, Quant: quant.Config{Res: quant.Int, Bits: 12}},
+	}
+	for i, cfg := range bad {
+		if _, _, err := s.Materialize(cfg); err == nil {
+			t.Fatalf("config %d should fail: %+v", i, cfg)
+		}
+	}
+}
+
+func TestGestureSignalCarriesClassInformation(t *testing.T) {
+	// Nearest-centroid in raw shading space must beat chance comfortably:
+	// if it cannot, no network can.
+	s := BuildGestureSet(200, 500, 5)
+	cfg := defaultGestureConfig()
+	x, y, err := s.Materialize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(x.Data) / x.Shape[0]
+	centroids := make([][]float64, NumGestureClasses)
+	counts := make([]int, NumGestureClasses)
+	for i := 0; i < 100; i++ { // first half builds centroids
+		c := y[i]
+		if centroids[c] == nil {
+			centroids[c] = make([]float64, dim)
+		}
+		for j := 0; j < dim; j++ {
+			centroids[c][j] += x.Data[i*dim+j]
+		}
+		counts[c]++
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 100; i < 200; i++ {
+		best, bi := math.Inf(1), 0
+		for c := range centroids {
+			d := 0.0
+			for j := 0; j < dim; j++ {
+				diff := x.Data[i*dim+j] - centroids[c][j]
+				d += diff * diff
+			}
+			if d < best {
+				best, bi = d, c
+			}
+		}
+		if bi == y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / 100
+	if acc < 0.5 {
+		t.Fatalf("nearest-centroid accuracy %.2f; classes not separable", acc)
+	}
+}
+
+func TestGestureFidelityDegradesInformation(t *testing.T) {
+	// Distance between class centroids must shrink with brutal
+	// quantization, demonstrating the sensing/accuracy trade-off.
+	s := BuildGestureSet(60, 500, 6)
+	rich := GestureConfig{Channels: 9, RateHz: 200, Quant: quant.Config{Res: quant.Float, Bits: 32}}
+	poor := GestureConfig{Channels: 1, RateHz: 10, Quant: quant.Config{Res: quant.Int, Bits: 1}}
+	spread := func(cfg GestureConfig) float64 {
+		x, y, err := s.Materialize(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dim := len(x.Data) / x.Shape[0]
+		// Fisher-style ratio: mean inter-class distance over mean
+		// intra-class distance.
+		var inter, intra float64
+		var nInter, nIntra int
+		for i := 0; i < x.Shape[0]; i++ {
+			for j := i + 1; j < x.Shape[0]; j++ {
+				d := 0.0
+				for k := 0; k < dim; k++ {
+					diff := x.Data[i*dim+k] - x.Data[j*dim+k]
+					d += diff * diff
+				}
+				d = math.Sqrt(d / float64(dim))
+				if y[i] == y[j] {
+					intra += d
+					nIntra++
+				} else {
+					inter += d
+					nInter++
+				}
+			}
+		}
+		return (inter / float64(nInter)) / (intra / float64(nIntra))
+	}
+	if spread(poor) >= spread(rich) {
+		t.Fatalf("poor sensing (%.3f) should carry less class separation than rich (%.3f)",
+			spread(poor), spread(rich))
+	}
+}
+
+func TestGestureSplitBalanced(t *testing.T) {
+	s := BuildGestureSet(100, 500, 8)
+	train, test := s.Split(5)
+	if len(train.Samples) != 80 || len(test.Samples) != 20 {
+		t.Fatalf("split %d/%d", len(train.Samples), len(test.Samples))
+	}
+}
+
+func TestConfigInputShape(t *testing.T) {
+	cfg := GestureConfig{Channels: 3, RateHz: 40, Quant: quant.Config{Res: quant.Int, Bits: 8}}
+	shape := cfg.InputShape()
+	if shape[0] != 1 || shape[1] != 3 || shape[2] != 60 {
+		t.Fatalf("InputShape %v", shape)
+	}
+}
+
+// --- KWS ---
+
+func defaultFrontEnd() dsp.FrontEndConfig {
+	return dsp.FrontEndConfig{SampleRate: AudioRateHz, StripeMS: 20, DurationMS: 25, NumFeatures: 13}
+}
+
+func TestBuildKWSSetBalanced(t *testing.T) {
+	s := BuildKWSSet(40, 1)
+	counts := make(map[int]int)
+	for _, l := range s.Labels {
+		counts[l]++
+	}
+	for c := 0; c < NumKWSClasses; c++ {
+		if counts[c] != 4 {
+			t.Fatalf("class %d has %d clips", c, counts[c])
+		}
+	}
+	for _, clip := range s.Audio {
+		if len(clip) != int(AudioRateHz*AudioDurationS) {
+			t.Fatalf("clip length %d", len(clip))
+		}
+	}
+}
+
+func TestKWSDeterministicSeed(t *testing.T) {
+	a := BuildKWSSet(5, 9)
+	b := BuildKWSSet(5, 9)
+	for i := range a.Audio {
+		for j := range a.Audio[i] {
+			if a.Audio[i][j] != b.Audio[i][j] {
+				t.Fatal("same seed must reproduce the same audio")
+			}
+		}
+	}
+}
+
+func TestKWSMaterializeShape(t *testing.T) {
+	s := BuildKWSSet(10, 2)
+	cfg := defaultFrontEnd()
+	x, y, err := s.Materialize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := cfg.NumFrames(int(AudioRateHz * AudioDurationS))
+	if x.Shape[0] != 10 || x.Shape[1] != 1 || x.Shape[2] != frames || x.Shape[3] != 13 {
+		t.Fatalf("shape %v (frames %d)", x.Shape, frames)
+	}
+	if len(y) != 10 {
+		t.Fatalf("%d labels", len(y))
+	}
+	for _, v := range x.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("non-finite feature")
+		}
+	}
+}
+
+func TestKWSMaterializeRejectsBadConfig(t *testing.T) {
+	s := BuildKWSSet(5, 3)
+	bad := dsp.FrontEndConfig{SampleRate: AudioRateHz, StripeMS: 5, DurationMS: 25, NumFeatures: 13}
+	if _, _, err := s.Materialize(bad); err == nil {
+		t.Fatal("invalid front-end must be rejected")
+	}
+}
+
+func TestKWSSignalCarriesClassInformation(t *testing.T) {
+	s := BuildKWSSet(200, 4)
+	cfg := defaultFrontEnd()
+	x, y, err := s.Materialize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(x.Data) / x.Shape[0]
+	centroids := make([][]float64, NumKWSClasses)
+	counts := make([]int, NumKWSClasses)
+	for i := 0; i < 100; i++ {
+		c := y[i]
+		if centroids[c] == nil {
+			centroids[c] = make([]float64, dim)
+		}
+		for j := 0; j < dim; j++ {
+			centroids[c][j] += x.Data[i*dim+j]
+		}
+		counts[c]++
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := 100; i < 200; i++ {
+		best, bi := math.Inf(1), 0
+		for c := range centroids {
+			d := 0.0
+			for j := 0; j < dim; j++ {
+				diff := x.Data[i*dim+j] - centroids[c][j]
+				d += diff * diff
+			}
+			if d < best {
+				best, bi = d, c
+			}
+		}
+		if bi == y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / 100
+	if acc < 0.3 { // 10 classes, chance = 0.1
+		t.Fatalf("nearest-centroid KWS accuracy %.2f; classes not separable", acc)
+	}
+}
+
+func TestKWSSplit(t *testing.T) {
+	s := BuildKWSSet(50, 5)
+	train, test := s.Split(5)
+	if len(train.Audio) != 40 || len(test.Audio) != 10 {
+		t.Fatalf("split %d/%d", len(train.Audio), len(test.Audio))
+	}
+	if len(train.Labels) != 40 || len(test.Labels) != 10 {
+		t.Fatal("labels must split with audio")
+	}
+}

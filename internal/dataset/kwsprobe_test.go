@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"solarml/internal/dsp"
+	"solarml/internal/nn"
+)
+
+func centroidAcc(t *testing.T, cfg dsp.FrontEndConfig, n int) float64 {
+	s := BuildKWSSet(n, 7)
+	x, y, err := s.Materialize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(x.Data) / x.Shape[0]
+	half := n / 2
+	centroids := make([][]float64, NumKWSClasses)
+	counts := make([]int, NumKWSClasses)
+	for i := 0; i < half; i++ {
+		c := y[i]
+		if centroids[c] == nil {
+			centroids[c] = make([]float64, dim)
+		}
+		for j := 0; j < dim; j++ {
+			centroids[c][j] += x.Data[i*dim+j]
+		}
+		counts[c]++
+	}
+	for c := range centroids {
+		for j := range centroids[c] {
+			centroids[c][j] /= float64(counts[c])
+		}
+	}
+	correct := 0
+	for i := half; i < n; i++ {
+		best, bi := math.Inf(1), 0
+		for c := range centroids {
+			d := 0.0
+			for j := 0; j < dim; j++ {
+				diff := x.Data[i*dim+j] - centroids[c][j]
+				d += diff * diff
+			}
+			if d < best {
+				best, bi = d, c
+			}
+		}
+		if bi == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n-half)
+}
+
+func TestProbeInfoByConfig(t *testing.T) {
+	cfgs := []dsp.FrontEndConfig{
+		{SampleRate: AudioRateHz, StripeMS: 30, DurationMS: 18, NumFeatures: 10},
+		{SampleRate: AudioRateHz, StripeMS: 25, DurationMS: 22, NumFeatures: 13},
+		{SampleRate: AudioRateHz, StripeMS: 20, DurationMS: 25, NumFeatures: 20},
+		{SampleRate: AudioRateHz, StripeMS: 10, DurationMS: 30, NumFeatures: 40},
+	}
+	for _, c := range cfgs {
+		t.Logf("s=%d d=%d f=%d centroidAcc=%.3f", c.StripeMS, c.DurationMS, c.NumFeatures, centroidAcc(t, c, 400))
+	}
+}
+
+func TestProbeRichTrainCeiling(t *testing.T) {
+	full := BuildKWSSet(300, 7)
+	train, test := full.Split(5)
+	cfg := dsp.FrontEndConfig{SampleRate: AudioRateHz, StripeMS: 10, DurationMS: 30, NumFeatures: 40}
+	trX, trY, _ := train.Materialize(cfg)
+	teX, teY, _ := test.Materialize(cfg)
+	frames := cfg.NumFrames(8000)
+	arch := &nn.Arch{Input: []int{1, frames, 40}, Body: []nn.LayerSpec{
+		{Kind: nn.KindConv, Out: 8, K: 3, Stride: 1, Pad: 1}, {Kind: nn.KindReLU}, {Kind: nn.KindMaxPool, K: 2},
+		{Kind: nn.KindConv, Out: 12, K: 3, Stride: 1, Pad: 1}, {Kind: nn.KindReLU}, {Kind: nn.KindMaxPool, K: 2},
+		{Kind: nn.KindDense, Out: 48}, {Kind: nn.KindReLU},
+	}, Classes: 10}
+	net, _ := arch.Build()
+	net.Init(rand.New(rand.NewSource(7)))
+	loss := net.Fit(trX, trY, nn.TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.01, Momentum: 0.9, Seed: 7})
+	t.Logf("loss=%.3f acc=%.3f", loss, net.Accuracy(teX, teY))
+}

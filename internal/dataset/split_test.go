@@ -1,0 +1,41 @@
+package dataset
+
+import "testing"
+
+func TestGestureSplitStratified(t *testing.T) {
+	s := BuildGestureSet(100, 500, 21)
+	train, test := s.Split(5)
+	trainCounts := make(map[int]int)
+	testCounts := make(map[int]int)
+	for _, raw := range train.Samples {
+		trainCounts[raw.Label]++
+	}
+	for _, raw := range test.Samples {
+		testCounts[raw.Label]++
+	}
+	for c := 0; c < NumGestureClasses; c++ {
+		if trainCounts[c] != 8 || testCounts[c] != 2 {
+			t.Fatalf("class %d split %d/%d, want 8/2 (both subsets need every class)",
+				c, trainCounts[c], testCounts[c])
+		}
+	}
+}
+
+func TestKWSSplitStratified(t *testing.T) {
+	s := BuildKWSSet(100, 22)
+	train, test := s.Split(5)
+	trainCounts := make(map[int]int)
+	testCounts := make(map[int]int)
+	for _, l := range train.Labels {
+		trainCounts[l]++
+	}
+	for _, l := range test.Labels {
+		testCounts[l]++
+	}
+	for c := 0; c < NumKWSClasses; c++ {
+		if trainCounts[c] == 0 || testCounts[c] == 0 {
+			t.Fatalf("class %d missing from a subset (%d train / %d test)",
+				c, trainCounts[c], testCounts[c])
+		}
+	}
+}

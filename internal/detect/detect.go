@@ -1,0 +1,187 @@
+// Package detect implements the four event-detection mechanisms compared in
+// Table III of the paper: an active proximity sensor (PS), a time-of-flight
+// sensor (ToF), SolarGest's software hover detection, and SolarML's passive
+// MOSFET circuit. Each exposes the same interface so the Table III
+// comparison and the Fig 1 energy-distribution study sweep them uniformly.
+// The SolarML detector additionally detects events on real simulated
+// detector-cell voltage traces.
+package detect
+
+import (
+	"fmt"
+
+	"solarml/internal/circuit"
+)
+
+// Detector describes one event-detection mechanism with the Table III
+// metrics. Power figures are device-level (sensor plus any required MCU
+// activity attributable to detection).
+type Detector interface {
+	// Name returns the Table III row label.
+	Name() string
+	// RangeMM returns the sensing range in millimetres.
+	RangeMM() (lo, hi float64)
+	// ResponseTimeS returns the detection latency band in seconds.
+	ResponseTimeS() (lo, hi float64)
+	// StandbyPowerW returns the idle draw while waiting for events.
+	StandbyPowerW() float64
+	// WorkingPowerW returns the draw band during active detection.
+	WorkingPowerW() (lo, hi float64)
+	// WindowEnergy returns the energy band consumed when the detector
+	// waits waitS seconds and then performs one detection (Table III
+	// reports the 5-second window).
+	WindowEnergy(waitS float64) (lo, hi float64)
+}
+
+// ProximitySensor models the PS of PROS [12]: an IR emitter polled by the
+// MCU; detection requires emitting and processing a reflection.
+type ProximitySensor struct{}
+
+// Name implements Detector.
+func (ProximitySensor) Name() string { return "PS" }
+
+// RangeMM implements Detector.
+func (ProximitySensor) RangeMM() (float64, float64) { return 0, 100 }
+
+// ResponseTimeS implements Detector.
+func (ProximitySensor) ResponseTimeS() (float64, float64) { return 0.010, 0.700 }
+
+// StandbyPowerW implements Detector.
+func (ProximitySensor) StandbyPowerW() float64 { return 7e-6 }
+
+// WorkingPowerW implements Detector.
+func (ProximitySensor) WorkingPowerW() (float64, float64) { return 1000e-6, 1000e-6 }
+
+// WindowEnergy implements Detector: standby for the window, then one
+// active burst of the response duration.
+func (p ProximitySensor) WindowEnergy(waitS float64) (float64, float64) {
+	rLo, rHi := p.ResponseTimeS()
+	wLo, wHi := p.WorkingPowerW()
+	return p.StandbyPowerW()*waitS + wLo*rLo, p.StandbyPowerW()*waitS + wHi*rHi
+}
+
+// ToFSensor models the time-of-flight sensor of [17].
+type ToFSensor struct{}
+
+// Name implements Detector.
+func (ToFSensor) Name() string { return "ToF" }
+
+// RangeMM implements Detector.
+func (ToFSensor) RangeMM() (float64, float64) { return 0, 4000 }
+
+// ResponseTimeS implements Detector.
+func (ToFSensor) ResponseTimeS() (float64, float64) { return 0.020, 1.0 }
+
+// StandbyPowerW implements Detector: 10–30 µW depending on ranging mode;
+// the midpoint is used as the scalar figure.
+func (ToFSensor) StandbyPowerW() float64 { return 10e-6 }
+
+// StandbyPowerHighW returns the upper standby band (long-range mode).
+func (ToFSensor) StandbyPowerHighW() float64 { return 30e-6 }
+
+// WorkingPowerW implements Detector.
+func (ToFSensor) WorkingPowerW() (float64, float64) { return 1000e-6, 1000e-6 }
+
+// WindowEnergy implements Detector.
+func (t ToFSensor) WindowEnergy(waitS float64) (float64, float64) {
+	rLo, rHi := t.ResponseTimeS()
+	wLo, wHi := t.WorkingPowerW()
+	return t.StandbyPowerW()*waitS + wLo*rLo, t.StandbyPowerHighW()*waitS + wHi*rHi
+}
+
+// SolarGest models the software hover detection of SolarGest [15]: the MCU
+// continuously samples the solar-cell signal at low power; a detection
+// requires the user to hover for about a second.
+type SolarGest struct{}
+
+// Name implements Detector.
+func (SolarGest) Name() string { return "SolarGest" }
+
+// RangeMM implements Detector.
+func (SolarGest) RangeMM() (float64, float64) { return 0, 20 }
+
+// ResponseTimeS implements Detector: >1 s by design.
+func (SolarGest) ResponseTimeS() (float64, float64) { return 1.0, 1.5 }
+
+// StandbyPowerW implements Detector: there is no standby — sampling never
+// stops, so the idle draw equals the working draw.
+func (SolarGest) StandbyPowerW() float64 { return 20e-6 }
+
+// WorkingPowerW implements Detector.
+func (SolarGest) WorkingPowerW() (float64, float64) { return 20e-6, 20e-6 }
+
+// WindowEnergy implements Detector: continuous sampling for the window.
+func (s SolarGest) WindowEnergy(waitS float64) (float64, float64) {
+	e := s.StandbyPowerW() * waitS
+	return e, e
+}
+
+// SolarML is the paper's passive detector built on the Fig 5 circuit.
+type SolarML struct {
+	Circuit *circuit.EventCircuit
+}
+
+// NewSolarML returns the passive detector with prototype thresholds.
+func NewSolarML() *SolarML { return &SolarML{Circuit: circuit.NewEventCircuit()} }
+
+// Name implements Detector.
+func (*SolarML) Name() string { return "SolarML" }
+
+// RangeMM implements Detector.
+func (*SolarML) RangeMM() (float64, float64) { return 0, 20 }
+
+// ResponseTimeS implements Detector: the MOSFET switch responds in ≈5 ms.
+func (*SolarML) ResponseTimeS() (float64, float64) { return 0.005, 0.005 }
+
+// StandbyPowerW implements Detector.
+func (d *SolarML) StandbyPowerW() float64 { return d.Circuit.StandbyPower() }
+
+// WorkingPowerW implements Detector.
+func (*SolarML) WorkingPowerW() (float64, float64) { return 7.5e-6, 28e-6 }
+
+// WindowEnergy implements Detector: passive standby plus a 5 ms switch
+// event — the ≈10 µJ per 5 s window of Table III.
+func (d *SolarML) WindowEnergy(waitS float64) (float64, float64) {
+	rLo, rHi := d.ResponseTimeS()
+	wLo, wHi := d.WorkingPowerW()
+	return d.StandbyPowerW()*waitS + wLo*rLo, d.StandbyPowerW()*waitS + wHi*rHi
+}
+
+// Event is a detected hover on the detector cells.
+type Event struct {
+	// StartIdx and EndIdx are sample indices of the hover edges.
+	StartIdx, EndIdx int
+}
+
+// DetectEvents finds hover events on a detector-cell voltage trace sampled
+// at rateHz: a falling edge through vTrigger starts an event, the following
+// rising edge ends it. Events shorter than debounceS are ignored.
+func (d *SolarML) DetectEvents(v2 []float64, rateHz, vTrigger, debounceS float64) []Event {
+	if rateHz <= 0 {
+		panic(fmt.Sprintf("detect: invalid sample rate %v", rateHz))
+	}
+	minLen := int(debounceS * rateHz)
+	var events []Event
+	in := false
+	start := 0
+	for i, v := range v2 {
+		if !in && v < vTrigger {
+			in = true
+			start = i
+		} else if in && v >= vTrigger {
+			in = false
+			if i-start >= minLen {
+				events = append(events, Event{StartIdx: start, EndIdx: i})
+			}
+		}
+	}
+	if in && len(v2)-start >= minLen {
+		events = append(events, Event{StartIdx: start, EndIdx: len(v2)})
+	}
+	return events
+}
+
+// All returns the Table III detector set in row order.
+func All() []Detector {
+	return []Detector{ProximitySensor{}, ToFSensor{}, SolarGest{}, NewSolarML()}
+}

@@ -1,0 +1,181 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIIWindowEnergies(t *testing.T) {
+	// The published 5-second-window energy bands (µJ).
+	cases := []struct {
+		d     Detector
+		loMin float64
+		hiMax float64
+	}{
+		{ProximitySensor{}, 40, 800}, // paper: 45–735
+		{ToFSensor{}, 60, 1200},      // paper: 70–1150
+		{SolarGest{}, 90, 110},       // paper: ≈100
+		{NewSolarML(), 8, 12},        // paper: ≈10
+	}
+	for _, tc := range cases {
+		lo, hi := tc.d.WindowEnergy(5)
+		loU, hiU := lo*1e6, hi*1e6
+		if loU < tc.loMin || hiU > tc.hiMax {
+			t.Fatalf("%s window energy [%.1f, %.1f] µJ outside [%v, %v]",
+				tc.d.Name(), loU, hiU, tc.loMin, tc.hiMax)
+		}
+	}
+}
+
+func TestTableIIIExactFigures(t *testing.T) {
+	ps := ProximitySensor{}
+	lo, hi := ps.WindowEnergy(5)
+	if math.Abs(lo*1e6-45) > 1 || math.Abs(hi*1e6-735) > 1 {
+		t.Fatalf("PS window energy [%.1f, %.1f] µJ, paper 45–735", lo*1e6, hi*1e6)
+	}
+	tof := ToFSensor{}
+	lo, hi = tof.WindowEnergy(5)
+	if math.Abs(lo*1e6-70) > 1 || math.Abs(hi*1e6-1150) > 1 {
+		t.Fatalf("ToF window energy [%.1f, %.1f] µJ, paper 70–1150", lo*1e6, hi*1e6)
+	}
+	sg := SolarGest{}
+	lo, _ = sg.WindowEnergy(5)
+	if math.Abs(lo*1e6-100) > 1 {
+		t.Fatalf("SolarGest window energy %.1f µJ, paper ≈100", lo*1e6)
+	}
+	sml := NewSolarML()
+	lo, hi = sml.WindowEnergy(5)
+	if lo*1e6 < 9.9 || hi*1e6 > 10.5 {
+		t.Fatalf("SolarML window energy [%.2f, %.2f] µJ, paper ≈10", lo*1e6, hi*1e6)
+	}
+}
+
+func TestSectionVBRatios(t *testing.T) {
+	// §V-B: SolarML is ≈10× below SolarGest, ≈7× below ToF, ≈4× below PS.
+	smlLo, smlHi := NewSolarML().WindowEnergy(5)
+	sml := (smlLo + smlHi) / 2
+	sgLo, _ := SolarGest{}.WindowEnergy(5)
+	if r := sgLo / sml; math.Abs(r-10) > 1.5 {
+		t.Fatalf("SolarGest/SolarML ratio %.1f, paper ≈10", r)
+	}
+	tofLo, _ := ToFSensor{}.WindowEnergy(5)
+	if r := tofLo / sml; math.Abs(r-7) > 1.5 {
+		t.Fatalf("ToF/SolarML ratio %.1f, paper ≈7", r)
+	}
+	psLo, _ := ProximitySensor{}.WindowEnergy(5)
+	if r := psLo / sml; math.Abs(r-4.5) > 1.5 {
+		t.Fatalf("PS/SolarML ratio %.1f, paper ≈4", r)
+	}
+}
+
+func TestResponseTimes(t *testing.T) {
+	if lo, hi := (NewSolarML()).ResponseTimeS(); lo != 0.005 || hi != 0.005 {
+		t.Fatalf("SolarML response [%v, %v], paper 5 ms", lo, hi)
+	}
+	if lo, _ := (SolarGest{}).ResponseTimeS(); lo < 1 {
+		t.Fatal("SolarGest response must exceed 1 s")
+	}
+}
+
+func TestRanges(t *testing.T) {
+	if _, hi := (ToFSensor{}).RangeMM(); hi != 4000 {
+		t.Fatal("ToF range")
+	}
+	if _, hi := (NewSolarML()).RangeMM(); hi != 20 {
+		t.Fatal("SolarML range")
+	}
+}
+
+func TestAllReturnsFourDetectors(t *testing.T) {
+	ds := All()
+	if len(ds) != 4 {
+		t.Fatalf("All() returned %d detectors", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		names[d.Name()] = true
+	}
+	for _, want := range []string{"PS", "ToF", "SolarGest", "SolarML"} {
+		if !names[want] {
+			t.Fatalf("missing detector %q", want)
+		}
+	}
+}
+
+func TestDetectEventsFindsHoverPair(t *testing.T) {
+	d := NewSolarML()
+	const rate = 1000.0
+	v2 := make([]float64, 3000)
+	for i := range v2 {
+		v2[i] = 0.5
+	}
+	// Hover 1: samples 100–250. Hover 2: samples 2000–2150.
+	for i := 100; i < 250; i++ {
+		v2[i] = 0.02
+	}
+	for i := 2000; i < 2150; i++ {
+		v2[i] = 0.02
+	}
+	events := d.DetectEvents(v2, rate, 0.12, 0.05)
+	if len(events) != 2 {
+		t.Fatalf("found %d events, want 2", len(events))
+	}
+	if events[0].StartIdx != 100 || events[0].EndIdx != 250 {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].StartIdx != 2000 {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+}
+
+func TestDetectEventsDebounce(t *testing.T) {
+	d := NewSolarML()
+	v2 := make([]float64, 1000)
+	for i := range v2 {
+		v2[i] = 0.5
+	}
+	for i := 300; i < 310; i++ { // 10 ms glitch at 1 kHz
+		v2[i] = 0.02
+	}
+	if events := d.DetectEvents(v2, 1000, 0.12, 0.05); len(events) != 0 {
+		t.Fatalf("glitch should be debounced, got %d events", len(events))
+	}
+}
+
+func TestDetectEventsOpenEndedHover(t *testing.T) {
+	d := NewSolarML()
+	v2 := make([]float64, 500)
+	for i := range v2 {
+		v2[i] = 0.5
+	}
+	for i := 400; i < 500; i++ { // hover continues past the trace end
+		v2[i] = 0.02
+	}
+	events := d.DetectEvents(v2, 1000, 0.12, 0.05)
+	if len(events) != 1 || events[0].EndIdx != 500 {
+		t.Fatalf("open-ended hover: %+v", events)
+	}
+}
+
+func TestDetectEventsPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSolarML().DetectEvents(nil, 0, 0.1, 0.01)
+}
+
+func TestStandbyOrdering(t *testing.T) {
+	// SolarML must have the lowest standby draw of all detectors.
+	sml := NewSolarML().StandbyPowerW()
+	for _, d := range All() {
+		if d.Name() == "SolarML" {
+			continue
+		}
+		if d.StandbyPowerW() <= sml {
+			t.Fatalf("%s standby %.1f µW not above SolarML's %.1f µW",
+				d.Name(), d.StandbyPowerW()*1e6, sml*1e6)
+		}
+	}
+}

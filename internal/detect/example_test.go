@@ -1,0 +1,38 @@
+package detect_test
+
+import (
+	"fmt"
+
+	"solarml/internal/detect"
+)
+
+// Example compares the four Table III event detectors on a 5-second
+// waiting window.
+func Example() {
+	for _, d := range detect.All() {
+		lo, hi := d.WindowEnergy(5)
+		fmt.Printf("%-10s %6.1f – %6.1f µJ\n", d.Name(), lo*1e6, hi*1e6)
+	}
+	// Output:
+	// PS           45.0 –  735.0 µJ
+	// ToF          70.0 – 1150.0 µJ
+	// SolarGest   100.0 –  100.0 µJ
+	// SolarML      10.0 –   10.1 µJ
+}
+
+// ExampleSolarML_DetectEvents finds hover events on a detector-cell
+// voltage trace.
+func ExampleSolarML_DetectEvents() {
+	d := detect.NewSolarML()
+	v2 := make([]float64, 2000)
+	for i := range v2 {
+		v2[i] = 0.5 // bright, no hover
+	}
+	for i := 500; i < 700; i++ {
+		v2[i] = 0.02 // a 200 ms hover at 1 kHz
+	}
+	events := d.DetectEvents(v2, 1000, 0.2, 0.05)
+	fmt.Printf("%d event from sample %d to %d\n", len(events), events[0].StartIdx, events[0].EndIdx)
+	// Output:
+	// 1 event from sample 500 to 700
+}

@@ -1,0 +1,33 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// BenchmarkFFT1024 times the radix-2 kernel at the front-end's FFT size.
+func BenchmarkFFT1024(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)*0.1), 0)
+	}
+	buf := make([]complex128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
+// BenchmarkExtractClip times the full MFCC front-end over one 1-s clip.
+func BenchmarkExtractClip(b *testing.B) {
+	cfg := FrontEndConfig{SampleRate: 8000, StripeMS: 20, DurationMS: 25, NumFeatures: 13}
+	sig := make([]float64, 8000)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * 440 * float64(i) / 8000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Extract(sig)
+	}
+}

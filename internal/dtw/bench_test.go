@@ -1,0 +1,28 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkDistance times one band-limited DTW comparison at gesture size
+// (6 channels × 90 samples), the per-template cost of a prediction.
+func BenchmarkDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func() [][]float64 {
+		tr := make([][]float64, 6)
+		for c := range tr {
+			tr[c] = make([]float64, 90)
+			for j := range tr[c] {
+				tr[c][j] = math.Sin(float64(j)*0.2) + rng.NormFloat64()*0.1
+			}
+		}
+		return tr
+	}
+	a, c := mk(), mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Distance(a, c, 10)
+	}
+}

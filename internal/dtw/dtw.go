@@ -1,0 +1,160 @@
+// Package dtw implements dynamic-time-warping distance and a 1-NN template
+// classifier over multichannel sensor traces — the model-free gesture
+// recognition approach of SolarGest-class systems [15]. It serves as the
+// non-neural baseline in the evaluation: DTW needs no training, but each
+// prediction costs O(templates · T² · channels) operations, which is what
+// makes learned tinyML models win on energy at matched accuracy.
+package dtw
+
+import (
+	"fmt"
+	"math"
+)
+
+// Distance returns the DTW distance between two multichannel sequences
+// shaped (channels × T), constrained to a Sakoe-Chiba band of the given
+// half-width (0 selects max(|Ta−Tb|, 10% of the longer sequence)).
+// Channel counts must match; lengths may differ.
+func Distance(a, b [][]float64, window int) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("dtw: channel mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		panic("dtw: empty sequences")
+	}
+	ta, tb := len(a[0]), len(b[0])
+	if window <= 0 {
+		window = int(0.1 * float64(max(ta, tb)))
+	}
+	if d := abs(ta - tb); window < d {
+		window = d
+	}
+	// Frame-to-frame cost: squared Euclidean across channels.
+	cost := func(i, j int) float64 {
+		s := 0.0
+		for c := range a {
+			d := a[c][i] - b[c][j]
+			s += d * d
+		}
+		return s
+	}
+	const inf = math.MaxFloat64
+	prev := make([]float64, tb+1)
+	cur := make([]float64, tb+1)
+	for j := range prev {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= ta; i++ {
+		for j := range cur {
+			cur[j] = inf
+		}
+		lo := max(1, i-window)
+		hi := min(tb, i+window)
+		for j := lo; j <= hi; j++ {
+			best := prev[j] // insertion
+			if prev[j-1] < best {
+				best = prev[j-1] // match
+			}
+			if cur[j-1] < best {
+				best = cur[j-1] // deletion
+			}
+			cur[j] = cost(i-1, j-1) + best
+		}
+		prev, cur = cur, prev
+	}
+	return math.Sqrt(prev[tb])
+}
+
+// Classifier is a 1-nearest-neighbour DTW template matcher.
+type Classifier struct {
+	// Templates are reference traces shaped (channels × T).
+	Templates [][][]float64
+	Labels    []int
+	// Window is the Sakoe-Chiba half-width (0 = automatic).
+	Window int
+}
+
+// NewClassifier keeps up to perClass templates of each label from the
+// reference set (templates beyond the cap are dropped, bounding the
+// per-prediction cost exactly as an MCU deployment would).
+func NewClassifier(traces [][][]float64, labels []int, perClass, window int) (*Classifier, error) {
+	if len(traces) != len(labels) {
+		return nil, fmt.Errorf("dtw: %d traces for %d labels", len(traces), len(labels))
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("dtw: no templates")
+	}
+	c := &Classifier{Window: window}
+	counts := make(map[int]int)
+	for i, tr := range traces {
+		if perClass > 0 && counts[labels[i]] >= perClass {
+			continue
+		}
+		counts[labels[i]]++
+		c.Templates = append(c.Templates, tr)
+		c.Labels = append(c.Labels, labels[i])
+	}
+	return c, nil
+}
+
+// Predict returns the label of the nearest template.
+func (c *Classifier) Predict(x [][]float64) int {
+	best, bi := math.Inf(1), 0
+	for i, tmpl := range c.Templates {
+		if d := Distance(x, tmpl, c.Window); d < best {
+			best, bi = d, i
+		}
+	}
+	return c.Labels[bi]
+}
+
+// Accuracy evaluates top-1 accuracy over a test set.
+func (c *Classifier) Accuracy(xs [][][]float64, ys []int) float64 {
+	correct := 0
+	for i, x := range xs {
+		if c.Predict(x) == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(ys))
+}
+
+// MACsPerInference estimates the arithmetic work of one prediction against
+// traces of length t with the classifier's channel count: each template
+// costs ≈ 2·window·t cells (band-limited DP), each cell ≈ channels
+// multiply-accumulates plus 3 compares.
+func (c *Classifier) MACsPerInference(t int) int64 {
+	if len(c.Templates) == 0 {
+		return 0
+	}
+	channels := len(c.Templates[0])
+	w := c.Window
+	if w <= 0 {
+		w = int(0.1 * float64(t))
+	}
+	cells := int64(t) * int64(2*w+1)
+	perTemplate := cells * int64(channels+3)
+	return perTemplate * int64(len(c.Templates))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,157 @@
+package dtw
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seq(vals ...float64) [][]float64 { return [][]float64{vals} }
+
+func TestDistanceIdenticalIsZero(t *testing.T) {
+	a := seq(1, 2, 3, 2, 1)
+	if d := Distance(a, a, 0); d != 0 {
+		t.Fatalf("self distance %v", d)
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(s int64) bool {
+		rng := rand.New(rand.NewSource(s))
+		n := 5 + rng.Intn(20)
+		m := 5 + rng.Intn(20)
+		a := [][]float64{make([]float64, n)}
+		b := [][]float64{make([]float64, m)}
+		for i := range a[0] {
+			a[0][i] = rng.NormFloat64()
+		}
+		for i := range b[0] {
+			b[0][i] = rng.NormFloat64()
+		}
+		// A full window keeps the band symmetric for unequal lengths.
+		w := n + m
+		return math.Abs(Distance(a, b, w)-Distance(b, a, w)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTimeShiftToleration(t *testing.T) {
+	// DTW must forgive a temporal shift that Euclidean distance punishes.
+	base := make([]float64, 60)
+	shifted := make([]float64, 60)
+	for i := range base {
+		base[i] = math.Sin(2 * math.Pi * float64(i) / 30)
+		shifted[i] = math.Sin(2 * math.Pi * float64(i-4) / 30)
+	}
+	var euclid float64
+	for i := range base {
+		d := base[i] - shifted[i]
+		euclid += d * d
+	}
+	euclid = math.Sqrt(euclid)
+	if d := Distance(seq(base...), seq(shifted...), 8); d >= euclid/2 {
+		t.Fatalf("DTW %v should be well below Euclidean %v for a shift", d, euclid)
+	}
+}
+
+func TestDistanceDifferentLengths(t *testing.T) {
+	a := seq(0, 1, 2, 3, 4, 5)
+	b := seq(0, 2, 4) // same ramp, half the samples
+	if d := Distance(a, b, 0); d > 2 {
+		t.Fatalf("resampled ramp distance %v too large", d)
+	}
+}
+
+func TestDistanceChannelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Distance([][]float64{{1}}, [][]float64{{1}, {2}}, 0)
+}
+
+func TestDistanceSeparatesShapes(t *testing.T) {
+	up := seq(0, 1, 2, 3, 4)
+	down := seq(4, 3, 2, 1, 0)
+	if Distance(up, down, 0) <= Distance(up, up, 0) {
+		t.Fatal("distinct shapes must be farther than identical ones")
+	}
+}
+
+func makeClassTraces(rng *rand.Rand, n int) ([][][]float64, []int) {
+	traces := make([][][]float64, n)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		tr := make([][]float64, 2)
+		for c := range tr {
+			tr[c] = make([]float64, 40)
+			for j := range tr[c] {
+				u := float64(j) / 40
+				switch cls {
+				case 0:
+					tr[c][j] = math.Sin(2 * math.Pi * u)
+				case 1:
+					tr[c][j] = u * 2
+				default:
+					tr[c][j] = math.Cos(3 * math.Pi * u)
+				}
+				tr[c][j] += rng.NormFloat64() * 0.1
+			}
+		}
+		traces[i] = tr
+		labels[i] = cls
+	}
+	return traces, labels
+}
+
+func TestClassifierSeparatesClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, trainY := makeClassTraces(rng, 30)
+	test, testY := makeClassTraces(rng, 30)
+	c, err := NewClassifier(train, trainY, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := c.Accuracy(test, testY); acc < 0.9 {
+		t.Fatalf("DTW 1-NN accuracy %.3f", acc)
+	}
+}
+
+func TestClassifierTemplateCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, trainY := makeClassTraces(rng, 30)
+	c, err := NewClassifier(train, trainY, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Templates) != 6 { // 3 classes × 2 templates
+		t.Fatalf("%d templates, want 6", len(c.Templates))
+	}
+}
+
+func TestClassifierValidation(t *testing.T) {
+	if _, err := NewClassifier(nil, nil, 1, 0); err == nil {
+		t.Fatal("empty template set must error")
+	}
+	if _, err := NewClassifier(make([][][]float64, 2), []int{1}, 1, 0); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestMACsPerInferenceScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train, trainY := makeClassTraces(rng, 30)
+	small, _ := NewClassifier(train, trainY, 2, 5)
+	big, _ := NewClassifier(train, trainY, 10, 5)
+	if small.MACsPerInference(40) >= big.MACsPerInference(40) {
+		t.Fatal("more templates must cost more")
+	}
+	if small.MACsPerInference(40) >= small.MACsPerInference(80) {
+		t.Fatal("longer traces must cost more")
+	}
+}

@@ -1,0 +1,288 @@
+// Package enas implements the paper's eNAS search (Algorithm 1): a
+// two-phase, aging-evolution hyperparameter search that jointly optimizes
+// sensing parameters and network architecture.
+//
+// Phase 1 fills the population with random candidates under the structural
+// constraints, establishing the energy normalization bounds E_min and E_max.
+// Phase 2 runs regularized (aging) evolution on the objective
+//
+//	max  A − λ·(E − E_min)/(E_max − E_min)
+//
+// where λ ∈ [0,1] trades accuracy (λ=0) against energy (λ=1). Architecture
+// morphisms run every cycle; every R-th cycle the sensing parameters take a
+// local grid-search step instead (GRIDMUTATE), reflecting the observation
+// that small sensing changes matter only once the model has adapted.
+package enas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/nas"
+)
+
+// Config holds the Algorithm 1 settings (§V-D: population 50, sample 20,
+// 150 cycles, R = 20).
+type Config struct {
+	Lambda       float64
+	Population   int
+	SampleSize   int
+	Cycles       int
+	SensingEvery int
+	Seed         int64
+	Constraints  nas.Constraints
+	// Workers sets the evaluation parallelism for Phase 1 and the grid
+	// mutations (≤1 means sequential). Results are merged in generation
+	// order, so the search stays deterministic for a given seed as long
+	// as the evaluator itself is deterministic.
+	Workers int
+	// Objective optionally replaces the default scoring
+	// A − λ·(E−E_min)/(E_max−E_min) used for parent selection and
+	// best-candidate reporting — the hook behind the §IV-B objective
+	// comparison (random scalarization, HarvNet's A/E). Closures may hold
+	// their own seeded randomness.
+	Objective func(acc, energyJ, eMin, eMax float64) float64
+	// Verbose, when set, receives one line per cycle.
+	Verbose func(cycle int, best Entry)
+}
+
+// DefaultConfig returns the paper's evaluation settings for a task.
+func DefaultConfig(task nas.Task, lambda float64) Config {
+	return Config{
+		Lambda:       lambda,
+		Population:   50,
+		SampleSize:   20,
+		Cycles:       150,
+		SensingEvery: 20,
+		Constraints:  nas.DefaultConstraints(task),
+	}
+}
+
+// Entry pairs a candidate with its evaluation.
+type Entry struct {
+	Cand *nas.Candidate
+	Res  nas.Result
+}
+
+// Outcome is the result of one search run.
+type Outcome struct {
+	// Best is the best feasible candidate found (by objective, subject to
+	// the error cap).
+	Best Entry
+	// History holds every evaluated candidate in evaluation order.
+	History []Entry
+	// EMin and EMax are the Phase 1 energy normalization bounds.
+	EMin, EMax float64
+	// Evaluations counts evaluator calls.
+	Evaluations int
+}
+
+// objective scores an entry under the normalized energy trade-off.
+func objective(e Entry, lambda, eMin, eMax float64) float64 {
+	span := eMax - eMin
+	if span <= 0 {
+		span = 1
+	}
+	return e.Res.Accuracy - lambda*(e.Res.EnergyJ-eMin)/span
+}
+
+// score evaluates an entry under the configured objective.
+func (cfg Config) score(e Entry, eMin, eMax float64) float64 {
+	if cfg.Objective != nil {
+		return cfg.Objective(e.Res.Accuracy, e.Res.EnergyJ, eMin, eMax)
+	}
+	return objective(e, cfg.Lambda, eMin, eMax)
+}
+
+// Search runs Algorithm 1.
+func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) {
+	if cfg.Population < 2 || cfg.SampleSize < 1 || cfg.SampleSize > cfg.Population {
+		return nil, fmt.Errorf("enas: invalid population/sample (%d/%d)", cfg.Population, cfg.SampleSize)
+	}
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("enas: lambda %v outside [0,1]", cfg.Lambda)
+	}
+	if cfg.SensingEvery <= 0 {
+		cfg.SensingEvery = 20
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &Outcome{}
+
+	warm, _ := eval.(nas.WarmStartEvaluator)
+	evaluateFrom := func(c, parent *nas.Candidate) (Entry, bool) {
+		if err := cfg.Constraints.CheckStatic(c); err != nil {
+			return Entry{}, false
+		}
+		var res nas.Result
+		var err error
+		if warm != nil && parent != nil {
+			res, err = warm.EvaluateFrom(c, parent)
+		} else {
+			res, err = eval.Evaluate(c)
+		}
+		if err != nil {
+			return Entry{}, false
+		}
+		out.Evaluations++
+		e := Entry{Cand: c, Res: res}
+		out.History = append(out.History, e)
+		return e, true
+	}
+	evaluate := func(c *nas.Candidate) (Entry, bool) { return evaluateFrom(c, nil) }
+	// evaluateAll scores a batch, in parallel when configured, recording
+	// history and returning successes in input order.
+	evaluateAll := func(cands []*nas.Candidate) []Entry {
+		if cfg.Workers <= 1 || len(cands) <= 1 {
+			var ok []Entry
+			for _, c := range cands {
+				if e, k := evaluate(c); k {
+					ok = append(ok, e)
+				}
+			}
+			return ok
+		}
+		type slot struct {
+			e  Entry
+			ok bool
+		}
+		slots := make([]slot, len(cands))
+		sem := make(chan struct{}, cfg.Workers)
+		done := make(chan int)
+		for i, c := range cands {
+			go func(i int, c *nas.Candidate) {
+				sem <- struct{}{}
+				defer func() { <-sem; done <- i }()
+				if err := cfg.Constraints.CheckStatic(c); err != nil {
+					return
+				}
+				res, err := eval.Evaluate(c)
+				if err != nil {
+					return
+				}
+				slots[i] = slot{e: Entry{Cand: c, Res: res}, ok: true}
+			}(i, c)
+		}
+		for range cands {
+			<-done
+		}
+		var ok []Entry
+		for _, s := range slots {
+			if s.ok {
+				out.Evaluations++
+				out.History = append(out.History, s.e)
+				ok = append(ok, s.e)
+			}
+		}
+		return ok
+	}
+
+	// Phase 1: broad exploration with random permutations.
+	population := make([]Entry, 0, cfg.Population)
+	for tries := 0; len(population) < cfg.Population; tries++ {
+		if tries > 200 {
+			return nil, fmt.Errorf("enas: cannot fill population under constraints")
+		}
+		need := cfg.Population - len(population)
+		batch := make([]*nas.Candidate, need)
+		for i := range batch {
+			batch[i] = space.RandomCandidate(rng)
+		}
+		got := evaluateAll(batch)
+		if len(got) > need {
+			got = got[:need]
+		}
+		population = append(population, got...)
+	}
+	out.EMin, out.EMax = math.Inf(1), math.Inf(-1)
+	for _, e := range population {
+		if e.Res.EnergyJ < out.EMin {
+			out.EMin = e.Res.EnergyJ
+		}
+		if e.Res.EnergyJ > out.EMax {
+			out.EMax = e.Res.EnergyJ
+		}
+	}
+
+	// feasible applies the post-evaluation accuracy cap.
+	feasible := func(e Entry) bool {
+		return cfg.Constraints.CheckAccuracy(e.Res.Accuracy) == nil
+	}
+	// score soft-penalizes infeasible entries during parent selection so
+	// evolution can escape an infeasible region but never prefers it.
+	score := func(e Entry) float64 {
+		s := cfg.score(e, out.EMin, out.EMax)
+		if !feasible(e) {
+			s -= 1
+		}
+		return s
+	}
+
+	// Phase 2: optimal exploration with mutations (aging evolution).
+	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
+		// Tournament: sample S candidates, pick the best as parent.
+		best := -1
+		for _, idx := range rng.Perm(len(population))[:cfg.SampleSize] {
+			if best == -1 || score(population[idx]) > score(population[best]) {
+				best = idx
+			}
+		}
+		parent := population[best]
+
+		var child Entry
+		ok := false
+		if cycle%cfg.SensingEvery == 0 {
+			// GRIDMUTATE: local grid search over the sensing neighbours.
+			bestObj := math.Inf(-1)
+			for _, e := range evaluateAll(space.GridNeighbors(parent.Cand)) {
+				if o := score(e); o > bestObj {
+					bestObj, child, ok = o, e, true
+				}
+			}
+		} else {
+			// RANDOMMUTATE: one architecture morphism, warm-started from
+			// the parent's trained weights when the evaluator supports it.
+			for tries := 0; tries < 16 && !ok; tries++ {
+				child, ok = evaluateFrom(space.MutateArch(rng, parent.Cand), parent.Cand)
+			}
+		}
+		if ok {
+			// Aging: append the child, remove the oldest.
+			population = append(population[1:], child)
+		}
+		if cfg.Verbose != nil {
+			b := bestFeasible(out, cfg)
+			cfg.Verbose(cycle, b)
+		}
+	}
+
+	out.Best = bestFeasible(out, cfg)
+	if out.Best.Cand == nil {
+		return nil, fmt.Errorf("enas: no feasible candidate found in %d evaluations", out.Evaluations)
+	}
+	return out, nil
+}
+
+// bestFeasible returns the best entry of the history under the objective,
+// honouring the accuracy cap (falling back to the best overall if nothing
+// is feasible yet).
+func bestFeasible(out *Outcome, cfg Config) Entry {
+	var best Entry
+	bestObj := math.Inf(-1)
+	for _, e := range out.History {
+		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+			continue
+		}
+		if o := cfg.score(e, out.EMin, out.EMax); o > bestObj {
+			bestObj, best = o, e
+		}
+	}
+	if best.Cand == nil {
+		for _, e := range out.History {
+			if o := cfg.score(e, out.EMin, out.EMax); o > bestObj {
+				bestObj, best = o, e
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,183 @@
+package enas
+
+import (
+	"testing"
+
+	"solarml/internal/nas"
+)
+
+func smallConfig(task nas.Task, lambda float64, seed int64) Config {
+	cfg := DefaultConfig(task, lambda)
+	cfg.Population = 12
+	cfg.SampleSize = 5
+	cfg.Cycles = 40
+	cfg.SensingEvery = 8
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestSearchFindsFeasibleCandidate(t *testing.T) {
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	out, err := Search(space, eval, smallConfig(nas.TaskGesture, 0.5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best.Cand == nil {
+		t.Fatal("no best candidate")
+	}
+	if out.Best.Res.Accuracy < 0.75 {
+		t.Fatalf("best accuracy %.3f violates the 0.25 error cap", out.Best.Res.Accuracy)
+	}
+	if err := out.Best.Cand.Validate(); err != nil {
+		t.Fatalf("best candidate invalid: %v", err)
+	}
+	if out.EMin >= out.EMax {
+		t.Fatalf("energy bounds degenerate: [%v, %v]", out.EMin, out.EMax)
+	}
+	if out.Evaluations < 12 {
+		t.Fatalf("only %d evaluations", out.Evaluations)
+	}
+}
+
+func TestLambdaControlsTradeoff(t *testing.T) {
+	// λ=1 (energy-focused) must find lower-energy results than λ=0
+	// (accuracy-focused); λ=0 must find at-least-as-accurate results.
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	// Average over seeds to damp evolutionary noise.
+	var accE, accA, enE, enA float64
+	const runs = 3
+	for s := int64(0); s < runs; s++ {
+		outA, err := Search(space, eval, smallConfig(nas.TaskGesture, 0, 100+s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		outE, err := Search(space, eval, smallConfig(nas.TaskGesture, 1, 100+s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		accA += outA.Best.Res.Accuracy
+		accE += outE.Best.Res.Accuracy
+		enA += outA.Best.Res.EnergyJ
+		enE += outE.Best.Res.EnergyJ
+	}
+	if enE >= enA {
+		t.Fatalf("λ=1 mean energy %.3g should undercut λ=0's %.3g", enE/runs, enA/runs)
+	}
+	if accA <= accE-0.01*runs {
+		t.Fatalf("λ=0 mean accuracy %.3f should not trail λ=1's %.3f", accA/runs, accE/runs)
+	}
+}
+
+func TestSearchRespectsStaticConstraints(t *testing.T) {
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	cfg := smallConfig(nas.TaskGesture, 0.5, 2)
+	out, err := Search(space, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.History {
+		if err := cfg.Constraints.CheckStatic(e.Cand); err != nil {
+			t.Fatalf("history contains constraint violation: %v", err)
+		}
+	}
+}
+
+func TestSearchKWSSpace(t *testing.T) {
+	space := nas.KWSSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	out, err := Search(space, eval, smallConfig(nas.TaskKWS, 0.5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best.Res.Accuracy < 0.70 {
+		t.Fatalf("KWS best accuracy %.3f violates the 0.3 error cap", out.Best.Res.Accuracy)
+	}
+}
+
+func TestSearchDeterministicWithSeed(t *testing.T) {
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	a, err := Search(space, eval, smallConfig(nas.TaskGesture, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(space, eval, smallConfig(nas.TaskGesture, 0.5, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Cand.Fingerprint() != b.Best.Cand.Fingerprint() {
+		t.Fatal("same seed must reproduce the same search")
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Fatal("evaluation counts must match")
+	}
+}
+
+func TestSearchRejectsBadConfig(t *testing.T) {
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	bad := []Config{
+		{Lambda: 0.5, Population: 1, SampleSize: 1, Cycles: 5},
+		{Lambda: 0.5, Population: 10, SampleSize: 20, Cycles: 5},
+		{Lambda: -0.1, Population: 10, SampleSize: 5, Cycles: 5},
+		{Lambda: 1.5, Population: 10, SampleSize: 5, Cycles: 5},
+	}
+	for i, cfg := range bad {
+		cfg.Constraints = nas.DefaultConstraints(nas.TaskGesture)
+		if _, err := Search(space, eval, cfg); err == nil {
+			t.Fatalf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	seq, err := Search(space, eval, smallConfig(nas.TaskGesture, 0.5, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := smallConfig(nas.TaskGesture, 0.5, 21)
+	pcfg.Workers = 4
+	par, err := Search(space, eval, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Best.Cand.Fingerprint() != par.Best.Cand.Fingerprint() {
+		t.Fatal("parallel evaluation must not change the search result")
+	}
+	if seq.Evaluations != par.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", seq.Evaluations, par.Evaluations)
+	}
+	if len(seq.History) != len(par.History) {
+		t.Fatalf("history lengths differ: %d vs %d", len(seq.History), len(par.History))
+	}
+	for i := range seq.History {
+		if seq.History[i].Cand.Fingerprint() != par.History[i].Cand.Fingerprint() {
+			t.Fatalf("history diverges at %d", i)
+		}
+	}
+}
+
+func TestGridMutateCyclesTouchSensing(t *testing.T) {
+	// With SensingEvery = 2, half the cycles are grid mutations; sensing
+	// configurations in the history must therefore vary.
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	cfg := smallConfig(nas.TaskGesture, 0.5, 11)
+	cfg.SensingEvery = 2
+	out, err := Search(space, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensings := map[string]bool{}
+	for _, e := range out.History[cfg.Population:] { // Phase 2 only
+		sensings[e.Cand.SensingString()] = true
+	}
+	if len(sensings) < 2 {
+		t.Fatal("grid mutations never explored sensing parameters")
+	}
+}

@@ -1,0 +1,37 @@
+package enas_test
+
+import (
+	"fmt"
+
+	"solarml/internal/enas"
+	"solarml/internal/nas"
+)
+
+// Example runs a small eNAS search with the surrogate evaluator and the
+// ground-truth energy model, the configuration of the Fig 10 sweeps.
+func Example() {
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	cfg := enas.Config{
+		Lambda:       0.5,
+		Population:   12,
+		SampleSize:   5,
+		Cycles:       30,
+		SensingEvery: 10,
+		Seed:         7,
+		Constraints:  nas.DefaultConstraints(nas.TaskGesture),
+	}
+	out, err := enas.Search(space, eval, cfg)
+	if err != nil {
+		panic(err)
+	}
+	best := out.Best
+	fmt.Printf("meets the error cap: %v\n", best.Res.Accuracy >= 0.75)
+	fmt.Printf("energy within phase-1 bounds: %v\n",
+		best.Res.EnergyJ >= out.EMin*0.5 && best.Res.EnergyJ <= out.EMax*1.5)
+	fmt.Printf("candidate is valid: %v\n", best.Cand.Validate() == nil)
+	// Output:
+	// meets the error cap: true
+	// energy within phase-1 bounds: true
+	// candidate is valid: true
+}

@@ -1,0 +1,60 @@
+package energymodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"solarml/internal/dataset"
+	"solarml/internal/mcu"
+	"solarml/internal/quant"
+)
+
+// The sensing ground truth has two implementations: the closed-form
+// GestureSensingTrue/AudioSensingTrue used by the energy models and NAS,
+// and the mcu.Device trace recorder used by the session simulations. They
+// must agree exactly, or Fig 2 shares and Fig 10 energies would drift
+// apart.
+
+func TestGestureSensingMatchesDeviceTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	p := mcu.NRF52840()
+	for i := 0; i < 50; i++ {
+		cfg := dataset.GestureConfig{
+			Channels: 1 + rng.Intn(9),
+			RateHz:   10 + rng.Intn(191),
+			Quant:    quant.Config{Res: quant.Int, Bits: 1 + rng.Intn(8)},
+		}
+		if rng.Intn(2) == 1 {
+			cfg.Quant = quant.Config{Res: quant.Float, Bits: 9 + rng.Intn(24)}
+		}
+		want := GestureSensingTrue(p, cfg)
+
+		dev := mcu.NewDevice()
+		bits := cfg.Quant.EffectiveBits()
+		got := dev.SampleGesture(cfg.Channels, float64(cfg.RateHz), dataset.GestureDurationS, bits)
+		samples := int64(float64(cfg.Channels) * float64(cfg.RateHz) * dataset.GestureDurationS)
+		got += dev.Process(3 * samples)
+
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("config %+v: device trace %.6g J vs closed form %.6g J", cfg, got, want)
+		}
+	}
+}
+
+func TestAudioSensingMatchesDeviceTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	p := mcu.NRF52840()
+	for i := 0; i < 50; i++ {
+		cfg := randomAudioCfg(rng)
+		want := AudioSensingTrue(p, cfg)
+
+		dev := mcu.NewDevice()
+		got := dev.SampleAudio(dataset.AudioDurationS)
+		got += dev.ProcessDSP(cfg.FrontEndMACs(int(dataset.AudioRateHz * dataset.AudioDurationS)))
+
+		if math.Abs(got-want)/want > 1e-9 {
+			t.Fatalf("config %+v: device trace %.6g J vs closed form %.6g J", cfg, got, want)
+		}
+	}
+}

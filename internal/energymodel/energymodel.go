@@ -1,0 +1,308 @@
+// Package energymodel implements the paper's two energy models and the
+// measurement ground truth they are fit against.
+//
+// Inference: the paper observes (Fig 7) that at equal MAC counts different
+// layer types cost very different energy (Dense ≈50 µJ vs Conv ≈175 µJ at
+// 75 k MACs), so eNAS fits one coefficient per layer kind:
+//
+//	E_M = a₁·MAC_AvgPool + a₂·MAC_MaxPool + a₃·MAC_Conv
+//	    + a₄·MAC_Dense + a₅·MAC_Norm + a₆·MAC_DWConv + b
+//
+// against measured energies, while μNAS/HarvNet use a single total-MACs
+// model E_M = a·MACs + b. The ground-truth simulator below includes the
+// per-kind cost differences plus a mild super-linear memory-pressure term
+// and measurement noise, which is what separates the estimators in Table I.
+//
+// Sensing: for gestures the model is fit over (n, r, b, q) — channels,
+// rate, resolution family, quantization depth; for audio over (s, d, f) —
+// window stripe, window duration, feature count.
+package energymodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/dataset"
+	"solarml/internal/dsp"
+	"solarml/internal/mcu"
+	"solarml/internal/nn"
+	"solarml/internal/quant"
+	"solarml/internal/regress"
+)
+
+// Coefficients are the ground-truth per-kind energy costs of the simulated
+// nRF52840, calibrated to Fig 7 (Dense 50 µJ, Conv 175 µJ at 75 k MACs
+// including the b overhead).
+type Coefficients struct {
+	// PerMACJ maps each compute layer kind to its J/MAC cost.
+	PerMACJ map[nn.LayerKind]float64
+	// OverheadJ is the fixed inference setup cost (b).
+	OverheadJ float64
+	// MemPressureGamma scales the super-linear cost growth of large
+	// layers (cache/RAM pressure), the structural nonlinearity that keeps
+	// even the layer-wise linear model from a perfect fit.
+	MemPressureGamma float64
+	// MemPressureMACs is the layer size where pressure starts to matter.
+	MemPressureMACs float64
+}
+
+// DefaultCoefficients returns the calibrated ground truth.
+func DefaultCoefficients() Coefficients {
+	return Coefficients{
+		PerMACJ: map[nn.LayerKind]float64{
+			nn.KindConv:    2.20e-9,
+			nn.KindDWConv:  1.80e-9,
+			nn.KindDense:   0.533e-9,
+			nn.KindMaxPool: 0.75e-9,
+			nn.KindAvgPool: 0.65e-9,
+			nn.KindNorm:    1.00e-9,
+		},
+		OverheadJ:        10e-6,
+		MemPressureGamma: 0.12,
+		MemPressureMACs:  200_000,
+	}
+}
+
+// TrueEnergy returns the noise-free inference energy for a per-kind MAC
+// breakdown. Kinds are accumulated in a fixed order so the floating-point
+// sum is deterministic regardless of map iteration order.
+func (c Coefficients) TrueEnergy(macs map[nn.LayerKind]int64) float64 {
+	e := c.OverheadJ
+	for _, kind := range nn.ComputeKinds() {
+		m := macs[kind]
+		a, ok := c.PerMACJ[kind]
+		if !ok || m == 0 {
+			continue
+		}
+		pressure := 1 + c.MemPressureGamma*math.Log10(1+float64(m)/c.MemPressureMACs)
+		e += a * float64(m) * pressure
+	}
+	return e
+}
+
+// Measurer produces "measured" energies: ground truth plus multiplicative
+// noise, standing in for the 300 OTII measurement campaigns of §IV-A.
+// Inference measurements carry more spread than sensing measurements:
+// inference bursts are short (milliseconds) while sensing integrates over
+// the whole gesture/clip, averaging supply noise out.
+type Measurer struct {
+	Coeff            Coefficients
+	Profile          mcu.PowerProfile
+	InferNoiseFrac   float64
+	SensingNoiseFrac float64
+	rng              *rand.Rand
+}
+
+// NewMeasurer returns a measurer with the calibrated ground truth.
+func NewMeasurer(seed int64) *Measurer {
+	return &Measurer{
+		Coeff:            DefaultCoefficients(),
+		Profile:          mcu.NRF52840(),
+		InferNoiseFrac:   0.08,
+		SensingNoiseFrac: 0.02,
+		rng:              rand.New(rand.NewSource(seed)),
+	}
+}
+
+// noisy applies multiplicative measurement noise.
+func (m *Measurer) noisy(e, frac float64) float64 {
+	return e * (1 + m.rng.NormFloat64()*frac)
+}
+
+// MeasureInference returns a measured inference energy for a network's
+// per-kind MAC breakdown.
+func (m *Measurer) MeasureInference(macs map[nn.LayerKind]int64) float64 {
+	return m.noisy(m.Coeff.TrueEnergy(macs), m.InferNoiseFrac)
+}
+
+// GestureSensingTrue returns the noise-free sensing energy of a gesture
+// configuration over one gesture: tickless base power plus per-sample ADC
+// conversions plus the normalization pre-processing.
+func GestureSensingTrue(p mcu.PowerProfile, cfg dataset.GestureConfig) float64 {
+	bits := cfg.Quant.EffectiveBits()
+	perScan := p.ScanOverheadJ + float64(cfg.Channels)*p.ADCSampleBaseJ + bits*p.ADCSamplePerBitJ
+	sampling := dataset.GestureDurationS * (p.TicklessBaseW + float64(cfg.RateHz)*perScan)
+	// Normalization + quantization pass: ≈3 ops per captured sample
+	// (whole samples, matching the device trace accounting).
+	samples := float64(int64(float64(cfg.Channels) * float64(cfg.RateHz) * dataset.GestureDurationS))
+	return sampling + 3*samples*p.CPUPerMACJ
+}
+
+// MeasureGestureSensing returns a measured gesture sensing energy.
+func (m *Measurer) MeasureGestureSensing(cfg dataset.GestureConfig) float64 {
+	return m.noisy(GestureSensingTrue(m.Profile, cfg), m.SensingNoiseFrac)
+}
+
+// AudioSensingTrue returns the noise-free sensing energy of a KWS front-end
+// configuration over one clip: microphone capture plus MFCC processing.
+func AudioSensingTrue(p mcu.PowerProfile, cfg dsp.FrontEndConfig) float64 {
+	capture := dataset.AudioDurationS * (p.TicklessBaseW + p.MicW)
+	procMACs := cfg.FrontEndMACs(int(dataset.AudioRateHz * dataset.AudioDurationS))
+	return capture + float64(procMACs)*p.DSPPerMACJ
+}
+
+// MeasureAudioSensing returns a measured audio sensing energy.
+func (m *Measurer) MeasureAudioSensing(cfg dsp.FrontEndConfig) float64 {
+	return m.noisy(AudioSensingTrue(m.Profile, cfg), m.SensingNoiseFrac)
+}
+
+// --- Feature extractors (the regression proxies of Table I) ---
+
+// LayerwiseFeatures returns per-kind MACs in nn.ComputeKinds order, the
+// eNAS proxy.
+func LayerwiseFeatures(macs map[nn.LayerKind]int64) []float64 {
+	kinds := nn.ComputeKinds()
+	out := make([]float64, len(kinds))
+	for i, k := range kinds {
+		out[i] = float64(macs[k])
+	}
+	return out
+}
+
+// TotalMACsFeature returns the single-total proxy used by μNAS/HarvNet.
+func TotalMACsFeature(macs map[nn.LayerKind]int64) []float64 {
+	var t float64
+	for _, m := range macs {
+		t += float64(m)
+	}
+	return []float64{t}
+}
+
+// GestureFeatures returns the (n, r, b, q) proxy of the sensing model.
+func GestureFeatures(cfg dataset.GestureConfig) []float64 {
+	b := 0.0
+	if cfg.Quant.Res == quant.Float {
+		b = 1
+	}
+	return []float64{float64(cfg.Channels), float64(cfg.RateHz), b, float64(cfg.Quant.Bits)}
+}
+
+// AudioFeatures returns the (s, d, f) proxy of the audio sensing model.
+func AudioFeatures(cfg dsp.FrontEndConfig) []float64 {
+	return []float64{float64(cfg.StripeMS), float64(cfg.DurationMS), float64(cfg.NumFeatures)}
+}
+
+// --- Fitted estimators ---
+
+// InferenceSample pairs a MAC breakdown with its measured energy.
+type InferenceSample struct {
+	MACs    map[nn.LayerKind]int64
+	EnergyJ float64
+}
+
+// InferenceEstimator is a fitted inference energy model.
+type InferenceEstimator struct {
+	// Reg is the regression family; nil defaults to linear.
+	Reg regress.Model
+	// Layerwise selects the eNAS per-kind proxy; false selects the
+	// μNAS/HarvNet total-MACs proxy.
+	Layerwise bool
+}
+
+func (e *InferenceEstimator) features(macs map[nn.LayerKind]int64) []float64 {
+	if e.Layerwise {
+		return LayerwiseFeatures(macs)
+	}
+	return TotalMACsFeature(macs)
+}
+
+// Fit trains the estimator on measured samples.
+func (e *InferenceEstimator) Fit(samples []InferenceSample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("energymodel: no samples")
+	}
+	if e.Reg == nil {
+		e.Reg = &regress.Linear{}
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		X[i] = e.features(s.MACs)
+		y[i] = s.EnergyJ
+	}
+	return e.Reg.Fit(X, y)
+}
+
+// Predict estimates the inference energy of a MAC breakdown.
+func (e *InferenceEstimator) Predict(macs map[nn.LayerKind]int64) float64 {
+	p := e.Reg.Predict(e.features(macs))
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// GestureSample pairs a gesture sensing configuration with its measurement.
+type GestureSample struct {
+	Cfg     dataset.GestureConfig
+	EnergyJ float64
+}
+
+// GestureEstimator is a fitted gesture sensing energy model over (n,r,b,q).
+type GestureEstimator struct {
+	Reg regress.Model
+}
+
+// Fit trains the estimator on measured samples.
+func (e *GestureEstimator) Fit(samples []GestureSample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("energymodel: no samples")
+	}
+	if e.Reg == nil {
+		e.Reg = &regress.Linear{}
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		X[i] = GestureFeatures(s.Cfg)
+		y[i] = s.EnergyJ
+	}
+	return e.Reg.Fit(X, y)
+}
+
+// Predict estimates the sensing energy of a configuration.
+func (e *GestureEstimator) Predict(cfg dataset.GestureConfig) float64 {
+	p := e.Reg.Predict(GestureFeatures(cfg))
+	if p < 0 {
+		p = 0
+	}
+	return p
+}
+
+// AudioSample pairs an audio front-end configuration with its measurement.
+type AudioSample struct {
+	Cfg     dsp.FrontEndConfig
+	EnergyJ float64
+}
+
+// AudioEstimator is a fitted audio sensing energy model over (s,d,f).
+type AudioEstimator struct {
+	Reg regress.Model
+}
+
+// Fit trains the estimator on measured samples.
+func (e *AudioEstimator) Fit(samples []AudioSample) error {
+	if len(samples) == 0 {
+		return fmt.Errorf("energymodel: no samples")
+	}
+	if e.Reg == nil {
+		e.Reg = &regress.Linear{}
+	}
+	X := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		X[i] = AudioFeatures(s.Cfg)
+		y[i] = s.EnergyJ
+	}
+	return e.Reg.Fit(X, y)
+}
+
+// Predict estimates the sensing energy of a front-end configuration.
+func (e *AudioEstimator) Predict(cfg dsp.FrontEndConfig) float64 {
+	p := e.Reg.Predict(AudioFeatures(cfg))
+	if p < 0 {
+		p = 0
+	}
+	return p
+}

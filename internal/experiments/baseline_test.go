@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestDTWBaselineShapes(t *testing.T) {
+	res, err := DTWBaseline(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both classifiers must work well above chance (10 classes).
+	if res.DTWAccuracy < 0.5 {
+		t.Fatalf("DTW accuracy %.3f", res.DTWAccuracy)
+	}
+	if res.CNNAccuracy < 0.5 {
+		t.Fatalf("CNN accuracy %.3f", res.CNNAccuracy)
+	}
+	// The motivating shape: DTW pays far more compute per inference.
+	if res.DTWInferJ < 3*res.CNNInferJ {
+		t.Fatalf("DTW inference %.0f µJ should dwarf CNN %.0f µJ",
+			res.DTWInferJ*1e6, res.CNNInferJ*1e6)
+	}
+	if res.DTWTemplates != 50 {
+		t.Fatalf("%d templates, want 50 (5 × 10 digits)", res.DTWTemplates)
+	}
+	if res.SensingJ <= 0 {
+		t.Fatal("missing sensing energy")
+	}
+}

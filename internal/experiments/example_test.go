@@ -1,0 +1,36 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"solarml/internal/experiments"
+	"solarml/internal/nn"
+)
+
+// ExampleFig7 regenerates the per-layer energy comparison that motivates
+// the layer-wise energy model.
+func ExampleFig7() {
+	for _, p := range experiments.Fig7() {
+		if p.MACs != 75_000 {
+			continue
+		}
+		if p.Kind == nn.KindConv || p.Kind == nn.KindDense {
+			fmt.Printf("%s at 75k MACs: %.0f µJ\n", p.Kind, p.EnergyJ*1e6)
+		}
+	}
+	// Output:
+	// Conv at 75k MACs: 178 µJ
+	// Dense at 75k MACs: 51 µJ
+}
+
+// ExampleTable3 reproduces the event-detector comparison rows.
+func ExampleTable3() {
+	for _, r := range experiments.Table3() {
+		if r.Name == "SolarML" {
+			fmt.Printf("%s: %.0f µW standby, %.0f ms response\n",
+				r.Name, r.StandbyUW, r.RespLoMS)
+		}
+	}
+	// Output:
+	// SolarML: 2 µW standby, 5 ms response
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import "testing"
+
+func TestLuxRobustnessCollapsesInDimLight(t *testing.T) {
+	pts, err := LuxRobustness(3, []float64{20, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, bright := pts[0], pts[1]
+	if bright.Accuracy < 0.7 {
+		t.Fatalf("bright-light accuracy %.3f too low", bright.Accuracy)
+	}
+	if dim.Accuracy > bright.Accuracy-0.2 {
+		t.Fatalf("20 lux accuracy %.3f should collapse versus 500 lux %.3f",
+			dim.Accuracy, bright.Accuracy)
+	}
+}

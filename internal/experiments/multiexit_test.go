@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"solarml/internal/nas"
+	"solarml/internal/pareto"
+)
+
+func TestMultiExitExperiment(t *testing.T) {
+	res, err := MultiExit(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ExitMACs) != 3 {
+		t.Fatalf("%d exits", len(res.ExitMACs))
+	}
+	// Every exit must learn something well above chance (10 classes).
+	for k, acc := range res.ExitAccs {
+		if acc < 0.3 {
+			t.Fatalf("exit %d accuracy %.3f barely above chance", k, acc)
+		}
+	}
+	// The budget sweep must be monotone: larger budgets never pick a
+	// shallower exit.
+	prev := -2
+	for _, p := range res.Curve {
+		if p.Exit < prev {
+			t.Fatalf("budget sweep regressed from exit %d to %d", prev, p.Exit)
+		}
+		prev = p.Exit
+	}
+	// The smallest budget (20% of the deepest exit) must afford less than
+	// the deepest exit; the largest must afford it.
+	if res.Curve[0].Exit == len(res.ExitMACs)-1 {
+		t.Fatal("tiny budget should not afford the deepest exit")
+	}
+	if last := res.Curve[len(res.Curve)-1]; last.Exit != len(res.ExitMACs)-1 {
+		t.Fatalf("full budget should afford the deepest exit, got %d", last.Exit)
+	}
+	if res.Confident < 0.3 {
+		t.Fatalf("confidence routing accuracy %.3f", res.Confident)
+	}
+	text := FormatMultiExit(res)
+	for _, want := range []string{"exit 0", "budget", "confidence"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHypervolumeGeometry(t *testing.T) {
+	front := []pareto.Point{
+		{Acc: 0.8, Energy: 1},
+		{Acc: 0.9, Energy: 2},
+	}
+	// Reference: acc 0.7, energy 3. Sweep ascending energy:
+	// p(0.8,1): (3-1)·(0.8-0.7)=0.2; p(0.9,2): (3-2)·(0.9-0.8)=0.1.
+	if hv := hypervolume(front, 0.7, 3); math.Abs(hv-0.3) > 1e-12 {
+		t.Fatalf("hypervolume %v, want 0.3", hv)
+	}
+	// Points outside the reference box contribute nothing.
+	if hv := hypervolume([]pareto.Point{{Acc: 0.6, Energy: 1}}, 0.7, 3); hv != 0 {
+		t.Fatalf("below-floor point contributed %v", hv)
+	}
+	if hv := hypervolume([]pareto.Point{{Acc: 0.9, Energy: 5}}, 0.7, 3); hv != 0 {
+		t.Fatalf("over-budget point contributed %v", hv)
+	}
+}
+
+func TestObjectiveComparisonQuick(t *testing.T) {
+	res, err := ObjectiveComparison(nas.TaskGesture, ScaleQuick, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ENASHyper != 1 {
+		t.Fatalf("eNAS hypervolume must normalize to 1, got %v", res.ENASHyper)
+	}
+	if res.RandomHyper <= 0 || res.HarvNetHyper <= 0 {
+		t.Fatalf("competing objectives produced empty fronts: %+v", res)
+	}
+	// The λ-sweep covers at least as much front as the single-run A/E
+	// objective (it runs 3× the budget across λ values, which is exactly
+	// the controllability argument of §IV-B).
+	if res.HarvNetHyper > 1.2 {
+		t.Fatalf("A/E objective should not dominate the λ sweep: %+v", res)
+	}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"solarml/internal/nas"
+)
+
+// GenerateReport runs the full evaluation campaign and renders a markdown
+// report of paper-versus-measured results — the live counterpart of the
+// checked-in EXPERIMENTS.md.
+func GenerateReport(scale Scale, seed int64) (string, error) {
+	var b strings.Builder
+	w := func(format string, args ...interface{}) {
+		fmt.Fprintf(&b, format+"\n", args...)
+	}
+	scaleName := "quick"
+	if scale == ScalePaper {
+		scaleName = "paper"
+	}
+	w("# SolarML measured results (scale=%s, seed=%d)", scaleName, seed)
+	w("")
+
+	// Fig 1.
+	fig1, err := Fig1()
+	if err != nil {
+		return "", err
+	}
+	w("## Fig 1 — energy-cost distribution (3 s wait)")
+	w("")
+	w("| System | E_E | E_S | E_M | total µJ |")
+	w("|---|---|---|---|---|")
+	for _, r := range fig1 {
+		ee, es, em := r.Shares()
+		w("| %s | %.1f%% | %.1f%% | %.1f%% | %.0f |", r.Name, ee*100, es*100, em*100, r.Total*1e6)
+	}
+	w("")
+
+	// Fig 2.
+	fig2, err := Fig2()
+	if err != nil {
+		return "", err
+	}
+	w("## Fig 2 — energy traces (paper: gesture 38/47/15, KWS 29/53/18)")
+	w("")
+	for _, r := range fig2 {
+		ee, es, em := r.Shares()
+		w("- %s: E_E %.1f%% / E_S %.1f%% / E_M %.1f%%, total %.0f µJ",
+			r.Name, ee*100, es*100, em*100, r.Total*1e6)
+	}
+	w("")
+
+	// Fig 6.
+	single, resumed, err := Fig6(500)
+	if err != nil {
+		return "", err
+	}
+	w("## Fig 6 — sleep mechanism")
+	w("")
+	w("- single inference: %.0f µJ over %.1f s", single.Trace.TotalEnergy()*1e6, single.Trace.Duration())
+	w("- with standby resume: %.0f µJ over %.1f s (one cold boot, two inferences)",
+		resumed.Trace.TotalEnergy()*1e6, resumed.Trace.Duration())
+	w("")
+
+	// Fig 7.
+	w("## Fig 7 — layer energy at 75 k MACs (paper: Dense ≈50 µJ, Conv ≈175 µJ)")
+	w("")
+	for _, p := range Fig7() {
+		if p.MACs == 75_000 {
+			w("- %s: %.0f µJ", p.Kind, p.EnergyJ*1e6)
+		}
+	}
+	w("")
+
+	// Table I.
+	w("## Table I — estimator R² (paper: layer-wise LR 0.96, total 0.46)")
+	w("")
+	w("| Target | Proxy | Method | R² |")
+	w("|---|---|---|---|")
+	for _, r := range Table1(seed) {
+		w("| %s | %s | %s | %.3f |", r.Target, r.Proxy, r.Method, r.R2)
+	}
+	w("")
+
+	// Table III.
+	w("## Table III — event detectors")
+	w("")
+	w("```")
+	w("%s", strings.TrimRight(FormatTable3(Table3()), "\n"))
+	w("```")
+	w("")
+
+	// Fig 9.
+	f9 := Fig9(seed)
+	w("## Fig 9 — energy-model validation")
+	w("")
+	w("- sensing mean error %.1f%% (paper ≈3.1%%), p90 %.1f%%",
+		f9.SensingMean*100, Percentile(f9.SensingErrs, 0.9)*100)
+	w("- inference: ours %.1f%% (paper ≈12.8%%) vs µNAS %.1f%% (paper ≈76.9%%)",
+		f9.OursMean*100, f9.MuNASMean*100)
+	w("")
+
+	// Fig 10 both tasks + end-to-end.
+	for _, task := range []nas.Task{nas.TaskGesture, nas.TaskKWS} {
+		f10, err := Fig10(task, scale, seed)
+		if err != nil {
+			return "", err
+		}
+		w("## Fig 10 (%s) — eNAS vs µNAS", task)
+		w("")
+		for i, p := range f10.ENASBest {
+			w("- eNAS λ=%.1f: acc %.3f, %.0f µJ", f10.ENASLambdas[i], p.Acc, p.Energy*1e6)
+		}
+		for _, floor := range []float64{0.82, 0.90} {
+			if enasE, muE, ratio, ok := f10.EnergyRatioAt(floor, 0.03); ok {
+				w("- @acc %.2f: eNAS %.0f µJ vs µNAS avg %.0f µJ → **%.2f×**",
+					floor, enasE*1e6, muE*1e6, ratio)
+			}
+		}
+		w("")
+	}
+
+	e2e, err := EndToEnd(scale, seed)
+	if err != nil {
+		return "", err
+	}
+	w("## §V-D — end-to-end (paper: digits 27%% saving, KWS 48%%)")
+	w("")
+	w("- digits: SolarML %.0f µJ vs PS+µNAS %.0f µJ → %.1f%% saving; %.0f s @500 lux",
+		e2e.Digits.SolarML.Total*1e6, e2e.Digits.Baseline.Total*1e6,
+		e2e.Digits.Savings*100, e2e.Digits.HarvestTimeS[500])
+	w("- KWS: SolarML %.0f µJ vs PS+µNAS %.0f µJ → %.1f%% saving; %.0f s @500 lux",
+		e2e.KWS.SolarML.Total*1e6, e2e.KWS.Baseline.Total*1e6,
+		e2e.KWS.Savings*100, e2e.KWS.HarvestTimeS[500])
+	w("")
+
+	// Baseline extension.
+	base, err := DTWBaseline(seed)
+	if err != nil {
+		return "", err
+	}
+	w("## Extension — DTW baseline")
+	w("")
+	w("- DTW 1-NN: acc %.3f at E_M %.0f µJ; CNN: acc %.3f at E_M %.0f µJ (%.1f× compute gap)",
+		base.DTWAccuracy, base.DTWInferJ*1e6, base.CNNAccuracy, base.CNNInferJ*1e6,
+		base.DTWInferJ/base.CNNInferJ)
+	return b.String(), nil
+}

@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateReportCoversAllArtifacts(t *testing.T) {
+	text, err := GenerateReport(ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Fig 1", "Fig 2", "Fig 6", "Fig 7", "Table I", "Table III",
+		"Fig 9", "Fig 10 (gesture)", "Fig 10 (kws)", "§V-D", "DTW baseline",
+		"layer-wise MACs", "SolarML",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	if strings.Count(text, "##") < 10 {
+		t.Fatalf("report has too few sections:\n%s", text[:200])
+	}
+}

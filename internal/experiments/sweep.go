@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"solarml/internal/enas"
+	"solarml/internal/nas"
+	"solarml/internal/pareto"
+)
+
+// LambdaSweepPoint is one λ setting's ground-truth-rescored winner.
+type LambdaSweepPoint struct {
+	Lambda float64
+	Point  pareto.Point
+}
+
+// LambdaSweep traces the objective's trade-off control: eNAS runs across a
+// fine λ grid, each winner rescored with ground truth. The paper samples
+// λ ∈ {0, 0.5, 1}; the full sweep shows the knob is continuous.
+func LambdaSweep(task nas.Task, scale Scale, seed int64, lambdas []float64) ([]LambdaSweepPoint, error) {
+	var space *nas.Space
+	if task == nas.TaskGesture {
+		space = nas.GestureSpace()
+	} else {
+		space = nas.KWSSpace()
+	}
+	truth := nas.NewTruthEnergy()
+	fitted, err := nas.CalibrateEnergy(space, 300, true, true, seed)
+	if err != nil {
+		return nil, err
+	}
+	eval := nas.NewSurrogateEvaluator(fitted)
+	out := make([]LambdaSweepPoint, 0, len(lambdas))
+	for i, lambda := range lambdas {
+		// Shared seed per λ so the sweep isolates the objective knob.
+		res, err := enas.Search(space, eval, scale.enasConfig(task, lambda, seed+int64(i)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, LambdaSweepPoint{
+			Lambda: lambda,
+			Point:  truthPoint(truth, res.Best.Cand, res.Best.Res, i),
+		})
+	}
+	return out, nil
+}
+
+// StabilityResult summarizes the Fig 10 headline ratio across independent
+// seeds — the paper's §V-D claim that eNAS's advantage is "consistent and
+// robust", quantified.
+type StabilityResult struct {
+	Target float64
+	Ratios []float64
+	Mean   float64
+	Min    float64
+	Max    float64
+}
+
+// Fig10Stability reruns the Fig 10 comparison across `seeds` independent
+// seeds and collects the µNAS/eNAS energy ratio at the accuracy target.
+func Fig10Stability(task nas.Task, scale Scale, target float64, seeds int, seed0 int64) (*StabilityResult, error) {
+	res := &StabilityResult{Target: target, Min: 1e18, Max: -1e18}
+	for s := 0; s < seeds; s++ {
+		f10, err := Fig10(task, scale, seed0+int64(s)*1000)
+		if err != nil {
+			return nil, err
+		}
+		_, _, ratio, ok := f10.EnergyRatioAt(target, 0.03)
+		if !ok {
+			continue
+		}
+		res.Ratios = append(res.Ratios, ratio)
+		res.Mean += ratio
+		if ratio < res.Min {
+			res.Min = ratio
+		}
+		if ratio > res.Max {
+			res.Max = ratio
+		}
+	}
+	if len(res.Ratios) == 0 {
+		return nil, fmt.Errorf("experiments: no seed reached accuracy %.2f", target)
+	}
+	res.Mean /= float64(len(res.Ratios))
+	return res, nil
+}
+
+// RSweepPoint is one sensing-mutation period's averaged outcome.
+type RSweepPoint struct {
+	// R is the grid-mutation period (0 renders as ∞: sensing frozen).
+	R     int
+	Acc   float64
+	E     float64
+	Evals float64
+}
+
+// RSweep studies the R hyperparameter of Algorithm 1 (the paper sets R=20
+// "based on our hardware capabilities and practical experience"): how often
+// the sensing parameters take a grid step. Small R spends evaluations on
+// sensing neighbours; large R leaves sensing to the Phase 1 lottery. Each
+// setting is averaged over three seeds at λ=0.5.
+func RSweep(task nas.Task, scale Scale, seed int64, rs []int) ([]RSweepPoint, error) {
+	var space *nas.Space
+	if task == nas.TaskGesture {
+		space = nas.GestureSpace()
+	} else {
+		space = nas.KWSSpace()
+	}
+	truth := nas.NewTruthEnergy()
+	fitted, err := nas.CalibrateEnergy(space, 300, true, true, seed)
+	if err != nil {
+		return nil, err
+	}
+	eval := nas.NewSurrogateEvaluator(fitted)
+	const seeds = 3
+	out := make([]RSweepPoint, 0, len(rs))
+	for _, r := range rs {
+		pt := RSweepPoint{R: r}
+		for s := int64(0); s < seeds; s++ {
+			cfg := scale.enasConfig(task, 0.5, seed+1+s)
+			if r <= 0 {
+				cfg.SensingEvery = cfg.Cycles + 1
+			} else {
+				cfg.SensingEvery = r
+			}
+			res, err := enas.Search(space, eval, cfg)
+			if err != nil {
+				return nil, err
+			}
+			p := truthPoint(truth, res.Best.Cand, res.Best.Res, int(s))
+			pt.Acc += p.Acc / seeds
+			pt.E += p.Energy / seeds
+			pt.Evals += float64(res.Evaluations) / seeds
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

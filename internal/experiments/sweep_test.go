@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"solarml/internal/nas"
+)
+
+func TestLambdaSweepEndpoints(t *testing.T) {
+	pts, err := LambdaSweep(nas.TaskGesture, ScaleQuick, 9, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// λ=1 must not pay more energy than λ=0 at the same seed/evaluator.
+	if pts[1].Point.Energy > pts[0].Point.Energy {
+		t.Fatalf("λ=1 energy %.0f µJ above λ=0's %.0f µJ",
+			pts[1].Point.Energy*1e6, pts[0].Point.Energy*1e6)
+	}
+	for _, p := range pts {
+		if p.Point.Acc < 0.75 {
+			t.Fatalf("λ=%.1f winner violates the error cap: %.3f", p.Lambda, p.Point.Acc)
+		}
+	}
+}
+
+func TestRSweepShape(t *testing.T) {
+	pts, err := RSweep(nas.TaskGesture, ScaleQuick, 9, []int{5, 20, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d points", len(pts))
+	}
+	// More frequent grid mutations spend more evaluations.
+	if pts[0].Evals <= pts[2].Evals {
+		t.Fatalf("R=5 (%v evals) should outspend frozen sensing (%v evals)",
+			pts[0].Evals, pts[2].Evals)
+	}
+	for _, p := range pts {
+		if p.Acc <= 0 || p.E <= 0 {
+			t.Fatalf("empty sweep point %+v", p)
+		}
+	}
+}
+
+func TestFig10StabilityAcrossSeeds(t *testing.T) {
+	res, err := Fig10Stability(nas.TaskGesture, ScaleQuick, 0.80, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ratios) < 2 {
+		t.Fatalf("only %d seeds reached the target", len(res.Ratios))
+	}
+	// eNAS must win on average across seeds, not just on a lucky one.
+	if res.Mean < 1.1 {
+		t.Fatalf("mean µNAS/eNAS ratio %.2f — advantage not robust", res.Mean)
+	}
+	if res.Min < 0.8 {
+		t.Fatalf("a seed inverted the result badly: min ratio %.2f", res.Min)
+	}
+}

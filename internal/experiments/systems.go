@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"solarml/internal/core"
+	"solarml/internal/detect"
+)
+
+// Fig1 reproduces Fig 1: the E_E/E_S/E_M energy-cost distribution of six
+// end-to-end systems with a 3 s event wait.
+func Fig1() ([]*core.SessionReport, error) {
+	p := core.NewPlatform()
+	var out []*core.SessionReport
+	for _, cfg := range core.Fig1Systems() {
+		rep, err := p.RunSession(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %s: %w", cfg.Name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Fig2 reproduces Fig 2: the gesture and KWS energy traces after one minute
+// of deep sleep.
+func Fig2() ([]*core.SessionReport, error) {
+	p := core.NewPlatform()
+	var out []*core.SessionReport
+	for _, cfg := range core.Fig2Scenarios() {
+		rep, err := p.RunSession(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig2 %s: %w", cfg.Name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Fig6 reproduces Fig 6: the sleep-mechanism session with and without the
+// standby resume path.
+func Fig6(lux float64) (single, resumed *core.Fig6Report, err error) {
+	// Fresh platforms: the event circuit is stateful.
+	single, err = core.NewPlatform().SimulateSleepMechanism(lux, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	resumed, err = core.NewPlatform().SimulateSleepMechanism(lux, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return single, resumed, nil
+}
+
+// Table3Row is one column of Table III.
+type Table3Row struct {
+	Name         string
+	RangeLoMM    float64
+	RangeHiMM    float64
+	RespLoMS     float64
+	RespHiMS     float64
+	StandbyUW    float64
+	WorkLoUW     float64
+	WorkHiUW     float64
+	Window5sLoUJ float64
+	Window5sHiUJ float64
+}
+
+// Table3 reproduces Table III from the detector models.
+func Table3() []Table3Row {
+	var out []Table3Row
+	for _, d := range detect.All() {
+		rLo, rHi := d.RangeMM()
+		tLo, tHi := d.ResponseTimeS()
+		wLo, wHi := d.WorkingPowerW()
+		eLo, eHi := d.WindowEnergy(5)
+		out = append(out, Table3Row{
+			Name:         d.Name(),
+			RangeLoMM:    rLo,
+			RangeHiMM:    rHi,
+			RespLoMS:     tLo * 1e3,
+			RespHiMS:     tHi * 1e3,
+			StandbyUW:    d.StandbyPowerW() * 1e6,
+			WorkLoUW:     wLo * 1e6,
+			WorkHiUW:     wHi * 1e6,
+			Window5sLoUJ: eLo * 1e6,
+			Window5sHiUJ: eHi * 1e6,
+		})
+	}
+	return out
+}
+
+// FormatTable3 renders Table III as text.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %14s %12s %16s %18s\n",
+		"Detector", "Range (mm)", "Response (ms)", "Standby(µW)", "Working (µW)", "5-s energy (µJ)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %4.0f-%-7.0f %5.0f-%-8.0f %12.1f %8.1f-%-7.1f %10.1f-%-7.1f\n",
+			r.Name, r.RangeLoMM, r.RangeHiMM, r.RespLoMS, r.RespHiMS,
+			r.StandbyUW, r.WorkLoUW, r.WorkHiUW, r.Window5sLoUJ, r.Window5sHiUJ)
+	}
+	return b.String()
+}

@@ -1,0 +1,27 @@
+package firmware_test
+
+import (
+	"fmt"
+
+	"solarml/internal/firmware"
+)
+
+// Example simulates a morning of deployment: the platform harvests office
+// light while three users interact with it.
+func Example() {
+	cfg := firmware.DefaultConfig()
+	cfg.Lux = firmware.ConstantLux(500)
+	sim, err := firmware.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	stats, err := sim.Run(1800, []float64{300, 900, 1500})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed %d of %d interactions\n", stats.Counts[firmware.Completed], len(stats.Events))
+	fmt.Printf("net energy positive: %v\n", stats.HarvestedJ > stats.ConsumedJ)
+	// Output:
+	// completed 3 of 3 interactions
+	// net energy positive: true
+}

@@ -1,0 +1,345 @@
+// Package firmware glues the SolarML subsystems into a discrete-event
+// lifetime simulation: the supercap charges continuously from the array,
+// user hover events arrive over hours, and each event runs the §III-B
+// energy-management policy — the passive circuit boots the MCU only in
+// sufficient light and with a charged supercap, the firmware proceeds with
+// inference only when the stored voltage clears the threshold V_θ, and a
+// session that outruns the stored energy browns out. This is the layer a
+// deployment would actually run, and it exposes duty-cycle statistics that
+// none of the single-session experiments can show.
+package firmware
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"solarml/internal/circuit"
+	"solarml/internal/dataset"
+	"solarml/internal/dsp"
+	"solarml/internal/energymodel"
+	"solarml/internal/harvest"
+	"solarml/internal/mcu"
+	"solarml/internal/nas"
+	"solarml/internal/nn"
+	"solarml/internal/quant"
+	"solarml/internal/solar"
+)
+
+// LuxProfile maps simulation time (seconds) to illuminance.
+type LuxProfile func(t float64) float64
+
+// ConstantLux returns a flat illuminance profile.
+func ConstantLux(lux float64) LuxProfile {
+	return func(float64) float64 { return lux }
+}
+
+// OfficeDay models a 12-hour office lighting curve starting at t=0
+// (07:00): lights ramp up to the working-hours plateau, dip over lunch,
+// and fall to night levels after hour 11.
+func OfficeDay(plateau float64) LuxProfile {
+	return func(t float64) float64 {
+		h := t / 3600
+		switch {
+		case h < 0 || h > 12:
+			return 5
+		case h < 1: // ramp up
+			return 5 + (plateau-5)*h
+		case h >= 5 && h < 6: // lunch dip
+			return plateau * 0.6
+		case h > 11: // ramp down
+			return plateau * (12 - h)
+		default:
+			return plateau
+		}
+	}
+}
+
+// Config parameterizes a lifetime simulation.
+type Config struct {
+	// Lux is the lighting profile.
+	Lux LuxProfile
+	// Task selects the application (gesture by default). Either way, the
+	// passive solar-cell hover detector wakes the platform; for KWS the
+	// sensing phase is the microphone capture plus the MFCC front-end.
+	Task nas.Task
+	// Gesture is the deployed sensing configuration for TaskGesture.
+	Gesture dataset.GestureConfig
+	// Audio is the deployed front-end configuration for TaskKWS.
+	Audio dsp.FrontEndConfig
+	// InferMACs is the deployed model.
+	InferMACs map[nn.LayerKind]int64
+	// VTheta is the firmware's minimum supercap voltage to start an
+	// inference after boot (§III-B: "checks if the supercap voltage is
+	// sufficient (V > V_θ)").
+	VTheta float64
+	// InitialV is the supercap voltage at t=0.
+	InitialV float64
+	// ExitMACs, when non-empty, replaces InferMACs with a HarvNet-style
+	// multi-exit ladder (shallow→deep): at each event the firmware runs
+	// the deepest exit whose session energy fits the energy stored above
+	// V_θ, degrading gracefully instead of rejecting outright.
+	ExitMACs []map[nn.LayerKind]int64
+}
+
+// DefaultConfig returns a deployment-like configuration.
+func DefaultConfig() Config {
+	return Config{
+		Lux: ConstantLux(500),
+		Gesture: dataset.GestureConfig{
+			Channels: 6, RateHz: 80,
+			Quant: quant.Config{Res: quant.Int, Bits: 8},
+		},
+		InferMACs: map[nn.LayerKind]int64{
+			nn.KindConv:  350_000,
+			nn.KindDense: 40_000,
+		},
+		VTheta:   2.0,
+		InitialV: 2.2,
+	}
+}
+
+// EventOutcome classifies what happened to one user interaction.
+type EventOutcome int
+
+const (
+	// Completed: the full sample→process→infer session ran.
+	Completed EventOutcome = iota
+	// BlockedWeakLight: the N₂ guard kept the MCU disconnected.
+	BlockedWeakLight
+	// BlockedLowSupercap: the supercap could not boot the MCU at all.
+	BlockedLowSupercap
+	// RejectedVTheta: the MCU booted, saw V ≤ V_θ, and powered back down.
+	RejectedVTheta
+	// BrownOut: the session started but the stored energy ran out.
+	BrownOut
+)
+
+// String names the outcome.
+func (o EventOutcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case BlockedWeakLight:
+		return "blocked-weak-light"
+	case BlockedLowSupercap:
+		return "blocked-low-supercap"
+	case RejectedVTheta:
+		return "rejected-vtheta"
+	case BrownOut:
+		return "brown-out"
+	}
+	return "unknown"
+}
+
+// Event records one interaction.
+type Event struct {
+	T       float64
+	Outcome EventOutcome
+	// EnergyJ is the energy the event consumed (partial on brown-out).
+	EnergyJ float64
+	// V is the supercap voltage when the event arrived.
+	V float64
+	// Exit is the multi-exit ladder rung used (-1 for single-exit runs).
+	Exit int
+}
+
+// Stats summarizes a simulation run.
+type Stats struct {
+	Duration   float64
+	Events     []Event
+	Counts     map[EventOutcome]int
+	ExitCounts map[int]int
+	HarvestedJ float64
+	ConsumedJ  float64
+	FinalV     float64
+}
+
+// Rate returns the completed fraction of all interactions.
+func (s *Stats) Rate(outcome EventOutcome) float64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return float64(s.Counts[outcome]) / float64(len(s.Events))
+}
+
+// Summary renders a one-paragraph report.
+func (s *Stats) Summary() string {
+	out := fmt.Sprintf("%d interactions over %.1f h: ", len(s.Events), s.Duration/3600)
+	for _, o := range []EventOutcome{Completed, RejectedVTheta, BrownOut, BlockedLowSupercap, BlockedWeakLight} {
+		if n := s.Counts[o]; n > 0 {
+			out += fmt.Sprintf("%d %s, ", n, o)
+		}
+	}
+	out += fmt.Sprintf("harvested %.1f mJ, consumed %.1f mJ, final %.2f V",
+		s.HarvestedJ*1e3, s.ConsumedJ*1e3, s.FinalV)
+	return out
+}
+
+// Simulator runs lifetime simulations.
+type Simulator struct {
+	cfg     Config
+	array   *solar.Array
+	harv    *harvest.Harvester
+	event   *circuit.EventCircuit
+	profile mcu.PowerProfile
+}
+
+// New returns a simulator over a fresh platform.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Lux == nil {
+		return nil, fmt.Errorf("firmware: missing lux profile")
+	}
+	if cfg.Task == nas.TaskKWS {
+		if err := cfg.Audio.Validate(); err != nil {
+			return nil, err
+		}
+	} else if err := cfg.Gesture.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:     cfg,
+		array:   solar.NewArray(),
+		harv:    harvest.New(),
+		event:   circuit.NewEventCircuit(),
+		profile: mcu.NRF52840(),
+	}
+	s.harv.Cap.V = cfg.InitialV
+	return s, nil
+}
+
+// sessionEnergyFor returns the energy and duration of one full session
+// (wake + sample + process + infer) through the given model.
+func (s *Simulator) sessionEnergyFor(macs map[nn.LayerKind]int64) (float64, float64) {
+	wake := s.profile.WakeUpS * s.profile.WakeUpW
+	var sense, senseDur float64
+	if s.cfg.Task == nas.TaskKWS {
+		sense = energymodel.AudioSensingTrue(s.profile, s.cfg.Audio)
+		senseDur = dataset.AudioDurationS
+	} else {
+		sense = energymodel.GestureSensingTrue(s.profile, s.cfg.Gesture)
+		senseDur = dataset.GestureDurationS
+	}
+	infer := energymodel.DefaultCoefficients().TrueEnergy(macs)
+	dur := s.profile.WakeUpS + senseDur + infer/s.profile.ActiveW
+	return wake + sense + infer, dur
+}
+
+// chooseExit picks the deepest affordable ladder rung given the energy
+// stored above the V_θ reserve. Returns -1 when even the shallowest exit
+// does not fit.
+func (s *Simulator) chooseExit() (exit int, energy, dur float64) {
+	available := s.harv.Cap.EnergyAbove(s.cfg.VTheta)
+	exit = -1
+	for k, macs := range s.cfg.ExitMACs {
+		e, d := s.sessionEnergyFor(macs)
+		if e <= available {
+			exit, energy, dur = k, e, d
+		}
+	}
+	return exit, energy, dur
+}
+
+// charge advances the harvester from t0 to t1 with the lighting profile,
+// in ≤60 s steps, and returns the harvested energy. During a session
+// (sensing=true) the user's hand additionally shadows part of the array.
+func (s *Simulator) charge(t0, t1 float64, sensing bool) float64 {
+	harvested := 0.0
+	for t := t0; t < t1; {
+		dt := math.Min(60, t1-t)
+		before := s.harv.Cap.Energy()
+		if sensing {
+			s.harv.ChargeShaded(s.cfg.Lux(t+dt/2), dt, 0.4, 0.8, true)
+		} else {
+			s.harv.Charge(s.cfg.Lux(t+dt/2), dt, false)
+		}
+		if gained := s.harv.Cap.Energy() - before; gained > 0 {
+			harvested += gained
+		}
+		t += dt
+	}
+	return harvested
+}
+
+// Run simulates `duration` seconds with user interactions at the given
+// times (need not be sorted).
+func (s *Simulator) Run(duration float64, eventTimes []float64) (*Stats, error) {
+	times := append([]float64(nil), eventTimes...)
+	sort.Float64s(times)
+	stats := &Stats{Duration: duration, Counts: make(map[EventOutcome]int), ExitCounts: make(map[int]int)}
+	now := 0.0
+	sessionJ, sessionDur := s.sessionEnergyFor(s.cfg.InferMACs)
+	for _, et := range times {
+		if et < 0 || et > duration {
+			return nil, fmt.Errorf("firmware: event time %.1f outside [0, %.1f]", et, duration)
+		}
+		stats.HarvestedJ += s.charge(now, et, false)
+		now = et
+		lux := s.cfg.Lux(et)
+		ev := Event{T: et, V: s.harv.Cap.V, Exit: -1}
+
+		// The passive circuit decides whether the MCU powers at all.
+		hovered := s.array.DetectVoltage(lux, 0.95)
+		refVoc := s.array.Cell.Voc(lux)
+		booted := s.event.Step(hovered, refVoc, s.harv.Cap.V)
+		switch {
+		case !booted && refVoc < s.event.VWeakLight:
+			ev.Outcome = BlockedWeakLight
+		case !booted:
+			ev.Outcome = BlockedLowSupercap
+		default:
+			s.event.SetHold(true)
+			wantJ, wantDur := sessionJ, sessionDur
+			exit := -1
+			if len(s.cfg.ExitMACs) > 0 {
+				exit, wantJ, wantDur = s.chooseExit()
+			}
+			// Firmware policy: proceed only when V > V_θ (and, with a
+			// multi-exit ladder, only when some rung fits the budget).
+			switch {
+			case s.harv.Cap.V <= s.cfg.VTheta, len(s.cfg.ExitMACs) > 0 && exit < 0:
+				ev.Outcome = RejectedVTheta
+				ev.EnergyJ = s.profile.WakeUpS * s.profile.WakeUpW
+				s.harv.Cap.Drain(ev.EnergyJ)
+			case s.harv.Cap.Drain(wantJ):
+				ev.Outcome = Completed
+				ev.EnergyJ = wantJ
+				ev.Exit = exit
+				if exit >= 0 {
+					stats.ExitCounts[exit]++
+				}
+				// Sensing cells are switched out of the harvesting
+				// branch for the session.
+				stats.HarvestedJ += s.charge(now, now+wantDur, true)
+				now += wantDur
+			default:
+				// Not enough stored energy: the session browns out
+				// partway and the supercap is left nearly empty.
+				ev.Outcome = BrownOut
+				ev.EnergyJ = s.harv.Cap.Energy() * 0.9
+				s.harv.Cap.Drain(ev.EnergyJ)
+			}
+			s.event.SetHold(false)
+			s.event.Step(s.array.DetectVoltage(lux, 0), refVoc, s.harv.Cap.V)
+		}
+		stats.ConsumedJ += ev.EnergyJ
+		stats.Counts[ev.Outcome]++
+		stats.Events = append(stats.Events, ev)
+	}
+	stats.HarvestedJ += s.charge(now, duration, false)
+	stats.FinalV = s.harv.Cap.V
+	return stats, nil
+}
+
+// PoissonArrivals draws event times with the given mean inter-arrival
+// seconds over the duration.
+func PoissonArrivals(rng *rand.Rand, duration, meanGapS float64) []float64 {
+	var out []float64
+	t := rng.ExpFloat64() * meanGapS
+	for t < duration {
+		out = append(out, t)
+		t += rng.ExpFloat64() * meanGapS
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package harvnet implements the HarvNet baseline [5] objective as described
+// in the paper's §IV-B: accuracy and energy are combined into the single
+// ratio max A/E, which needs no weight tuning but cannot steer along the
+// Pareto frontier. Like μNAS it searches the architecture only and uses the
+// total-MACs energy model; it is included for the ablation comparisons.
+package harvnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/nas"
+)
+
+// Config holds the HarvNet settings, matched to the eNAS run.
+type Config struct {
+	Population  int
+	SampleSize  int
+	Cycles      int
+	Seed        int64
+	Constraints nas.Constraints
+}
+
+// DefaultConfig returns settings matched to the paper's evaluation.
+func DefaultConfig(task nas.Task) Config {
+	return Config{
+		Population:  50,
+		SampleSize:  20,
+		Cycles:      150,
+		Constraints: nas.DefaultConstraints(task),
+	}
+}
+
+// Entry pairs a candidate with its evaluation.
+type Entry struct {
+	Cand *nas.Candidate
+	Res  nas.Result
+}
+
+// Outcome is the result of one HarvNet run.
+type Outcome struct {
+	// Best maximizes A/E among feasible candidates.
+	Best Entry
+	// History holds every evaluated candidate.
+	History     []Entry
+	Evaluations int
+}
+
+// ratio is the HarvNet objective.
+func ratio(e Entry) float64 {
+	if e.Res.EnergyJ <= 0 {
+		return 0
+	}
+	return e.Res.Accuracy / e.Res.EnergyJ
+}
+
+// Search runs the HarvNet-style evolution from a fixed sensing
+// configuration.
+func Search(space *nas.Space, sensing *nas.Candidate, eval nas.Evaluator, cfg Config) (*Outcome, error) {
+	if cfg.Population < 2 || cfg.SampleSize < 1 || cfg.SampleSize > cfg.Population {
+		return nil, fmt.Errorf("harvnet: invalid population/sample (%d/%d)", cfg.Population, cfg.SampleSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &Outcome{}
+
+	randomArch := func() *nas.Candidate {
+		c := space.RandomCandidate(rng)
+		fixed := sensing.Clone()
+		fixed.Arch = c.Arch
+		if fixed.Rebind() != nil {
+			return nil
+		}
+		return fixed
+	}
+	evaluate := func(c *nas.Candidate) (Entry, bool) {
+		if c == nil {
+			return Entry{}, false
+		}
+		if err := cfg.Constraints.CheckStatic(c); err != nil {
+			return Entry{}, false
+		}
+		res, err := eval.Evaluate(c)
+		if err != nil {
+			return Entry{}, false
+		}
+		out.Evaluations++
+		e := Entry{Cand: c, Res: res}
+		out.History = append(out.History, e)
+		return e, true
+	}
+	score := func(e Entry) float64 {
+		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+			return math.Inf(-1) // infeasible candidates never win tournaments
+		}
+		return ratio(e)
+	}
+
+	population := make([]Entry, 0, cfg.Population)
+	for tries := 0; len(population) < cfg.Population; tries++ {
+		if tries > cfg.Population*200 {
+			return nil, fmt.Errorf("harvnet: cannot fill population under constraints")
+		}
+		if e, ok := evaluate(randomArch()); ok {
+			population = append(population, e)
+		}
+	}
+	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
+		best := -1
+		for _, idx := range rng.Perm(len(population))[:cfg.SampleSize] {
+			if best == -1 || score(population[idx]) > score(population[best]) {
+				best = idx
+			}
+		}
+		parent := population[best]
+		var child Entry
+		ok := false
+		for tries := 0; tries < 16 && !ok; tries++ {
+			child, ok = evaluate(space.MutateArch(rng, parent.Cand))
+		}
+		if ok {
+			population = append(population[1:], child)
+		}
+	}
+
+	for _, e := range out.History {
+		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+			continue
+		}
+		if out.Best.Cand == nil || ratio(e) > ratio(out.Best) {
+			out.Best = e
+		}
+	}
+	if out.Best.Cand == nil {
+		for _, e := range out.History {
+			if out.Best.Cand == nil || ratio(e) > ratio(out.Best) {
+				out.Best = e
+			}
+		}
+	}
+	return out, nil
+}

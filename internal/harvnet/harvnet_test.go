@@ -1,0 +1,88 @@
+package harvnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"solarml/internal/nas"
+)
+
+func smallConfig(task nas.Task, seed int64) Config {
+	cfg := DefaultConfig(task)
+	cfg.Population = 12
+	cfg.SampleSize = 5
+	cfg.Cycles = 40
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestSearchMaximizesRatio(t *testing.T) {
+	space := nas.GestureSpace()
+	rng := rand.New(rand.NewSource(1))
+	sensing := space.RandomCandidate(rng)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	out, err := Search(space, sensing, eval, smallConfig(nas.TaskGesture, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Best.Cand == nil {
+		t.Fatal("no best candidate")
+	}
+	best := out.Best.Res.Accuracy / out.Best.Res.EnergyJ
+	for _, e := range out.History {
+		if nasFeasible(e, smallConfig(nas.TaskGesture, 2)) && e.Res.Accuracy/e.Res.EnergyJ > best+1e-9 {
+			t.Fatal("reported best does not maximize A/E among feasible history")
+		}
+	}
+}
+
+func nasFeasible(e Entry, cfg Config) bool {
+	return cfg.Constraints.CheckAccuracy(e.Res.Accuracy) == nil
+}
+
+func TestSearchKeepsSensingFixed(t *testing.T) {
+	space := nas.KWSSpace()
+	rng := rand.New(rand.NewSource(3))
+	sensing := space.RandomCandidate(rng)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	out, err := Search(space, sensing, eval, smallConfig(nas.TaskKWS, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sensing.SensingString()
+	for _, e := range out.History {
+		if e.Cand.SensingString() != want {
+			t.Fatal("HarvNet must not mutate sensing")
+		}
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	space := nas.GestureSpace()
+	rng := rand.New(rand.NewSource(5))
+	sensing := space.RandomCandidate(rng)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	a, err := Search(space, sensing, eval, smallConfig(nas.TaskGesture, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(space, sensing, eval, smallConfig(nas.TaskGesture, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.Cand.Fingerprint() != b.Best.Cand.Fingerprint() {
+		t.Fatal("same seed must reproduce the same search")
+	}
+}
+
+func TestSearchRejectsBadConfig(t *testing.T) {
+	space := nas.GestureSpace()
+	rng := rand.New(rand.NewSource(7))
+	sensing := space.RandomCandidate(rng)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	cfg := Config{Population: 0, SampleSize: 1, Cycles: 1,
+		Constraints: nas.DefaultConstraints(nas.TaskGesture)}
+	if _, err := Search(space, sensing, eval, cfg); err == nil {
+		t.Fatal("invalid config should be rejected")
+	}
+}

@@ -1,0 +1,183 @@
+// Package mcu models the Xiao nRF52840 microcontroller of the SolarML
+// prototype as a power-state machine. Per-state power draws are calibrated
+// so the simulated traces reproduce the paper's measured figures: the Fig 2
+// E_E/E_S/E_M split, the Fig 7 per-layer energies, and the §V-D end-to-end
+// budgets. The device writes every activity into a powertrace.Recorder,
+// standing in for the OTII analyzer.
+package mcu
+
+import (
+	"fmt"
+
+	"solarml/internal/powertrace"
+)
+
+// PowerProfile holds the per-state electrical constants of the MCU board
+// (MCU + DC-DC converter at 3.3 V).
+type PowerProfile struct {
+	// DeepSleepW is system-on deep sleep with RTC wake source.
+	DeepSleepW float64
+	// StandbyW is RAM-retention standby between back-to-back inferences.
+	StandbyW float64
+	// WakeUpW and WakeUpS describe the boot/restore transition.
+	WakeUpW float64
+	WakeUpS float64
+	// ActiveW is the CPU running flat out (inference, preprocessing).
+	ActiveW float64
+	// TicklessBaseW is the base draw of tickless sampling mode, where an
+	// external clock peripheral paces the ADC without waking the CPU.
+	TicklessBaseW float64
+	// ScanOverheadJ is the fixed cost of one tickless scan burst (timer
+	// wake, multiplexer settling), paid once per sampling period
+	// regardless of how many channels are read.
+	ScanOverheadJ float64
+	// ADCSampleBaseJ is the per-channel conversion energy (the ADC runs
+	// at its native resolution).
+	ADCSampleBaseJ float64
+	// ADCSamplePerBitJ is the per-scan software quantization/packing cost
+	// per retained bit of resolution.
+	ADCSamplePerBitJ float64
+	// MicW is the PDM microphone plus acquisition-path power.
+	MicW float64
+	// CPUPerMACJ is the generic CPU cost of one multiply-accumulate of
+	// pre-processing arithmetic (not layer inference, which uses the
+	// layer-wise model).
+	CPUPerMACJ float64
+	// DSPPerMACJ is the cost of one front-end DSP operation (FFT
+	// butterflies, filterbank, DCT); several instructions per op on a
+	// Cortex-M4 without a hardware FPU pipeline for doubles.
+	DSPPerMACJ float64
+}
+
+// NRF52840 returns the calibrated profile of the prototype board.
+func NRF52840() PowerProfile {
+	return PowerProfile{
+		DeepSleepW:       45e-6,
+		StandbyW:         5e-6,
+		WakeUpW:          6.8e-3,
+		WakeUpS:          0.05,
+		ActiveW:          15e-3,
+		TicklessBaseW:    0.5e-3,
+		ScanOverheadJ:    8.0e-6,
+		ADCSampleBaseJ:   0.5e-6,
+		ADCSamplePerBitJ: 0.2e-6,
+		MicW:             2.5e-3,
+		CPUPerMACJ:       1.0e-9,
+		DSPPerMACJ:       6.5e-9,
+	}
+}
+
+// Device is an MCU instance bound to a trace recorder.
+type Device struct {
+	Profile PowerProfile
+	Trace   *powertrace.Recorder
+}
+
+// NewDevice returns an nRF52840 device recording into a fresh trace.
+func NewDevice() *Device {
+	return &Device{Profile: NRF52840(), Trace: powertrace.New()}
+}
+
+// Off records a fully disconnected span (the SolarML idle state).
+func (d *Device) Off(seconds float64) {
+	d.Trace.Record(powertrace.PhaseOff, seconds, 0)
+}
+
+// DeepSleep records a deep-sleep span and returns its energy.
+func (d *Device) DeepSleep(seconds float64) float64 {
+	d.Trace.Record(powertrace.PhaseDeepSleep, seconds, d.Profile.DeepSleepW)
+	return seconds * d.Profile.DeepSleepW
+}
+
+// Standby records a RAM-retention standby span and returns its energy.
+func (d *Device) Standby(seconds float64) float64 {
+	d.Trace.Record(powertrace.PhaseStandby, seconds, d.Profile.StandbyW)
+	return seconds * d.Profile.StandbyW
+}
+
+// WakeUp records the boot transition and returns its energy.
+func (d *Device) WakeUp() float64 {
+	d.Trace.Record(powertrace.PhaseWakeUp, d.Profile.WakeUpS, d.Profile.WakeUpW)
+	return d.Profile.WakeUpS * d.Profile.WakeUpW
+}
+
+// ScanEnergy returns the energy of one tickless scan burst reading
+// `channels` channels and quantizing to the given effective resolution:
+// the burst overhead, one native-resolution conversion per channel, and a
+// per-scan software quantization/packing pass scaling with retained bits.
+func (d *Device) ScanEnergy(channels int, bits float64) float64 {
+	if bits < 1 {
+		bits = 1
+	}
+	return d.Profile.ScanOverheadJ +
+		float64(channels)*d.Profile.ADCSampleBaseJ +
+		bits*d.Profile.ADCSamplePerBitJ
+}
+
+// SampleGesture records tickless ADC sampling of `channels` solar-cell
+// channels at rateHz for `seconds`, quantizing to the given resolution.
+// It returns the segment energy.
+func (d *Device) SampleGesture(channels int, rateHz float64, seconds float64, bits float64) float64 {
+	if channels < 1 || rateHz <= 0 || seconds <= 0 {
+		panic(fmt.Sprintf("mcu: invalid gesture sampling (%d ch, %v Hz, %v s)", channels, rateHz, seconds))
+	}
+	power := d.Profile.TicklessBaseW + rateHz*d.ScanEnergy(channels, bits)
+	d.Trace.Record(powertrace.PhaseSampling, seconds, power)
+	return seconds * power
+}
+
+// SampleAudio records tickless PDM microphone capture for `seconds` and
+// returns the segment energy.
+func (d *Device) SampleAudio(seconds float64) float64 {
+	if seconds <= 0 {
+		panic(fmt.Sprintf("mcu: invalid audio sampling duration %v", seconds))
+	}
+	power := d.Profile.TicklessBaseW + d.Profile.MicW
+	d.Trace.Record(powertrace.PhaseSampling, seconds, power)
+	return seconds * power
+}
+
+// Process records CPU pre-processing work of the given MAC count and
+// returns its energy.
+func (d *Device) Process(macs int64) float64 {
+	if macs < 0 {
+		panic("mcu: negative MAC count")
+	}
+	if macs == 0 {
+		return 0
+	}
+	energy := float64(macs) * d.Profile.CPUPerMACJ
+	seconds := energy / d.Profile.ActiveW
+	d.Trace.Record(powertrace.PhaseProcessing, seconds, d.Profile.ActiveW)
+	return energy
+}
+
+// ProcessDSP records front-end DSP work (FFT, filterbank, DCT) of the given
+// operation count and returns its energy. DSP ops cost more than plain
+// MACs on this core (no double-precision FPU pipeline).
+func (d *Device) ProcessDSP(ops int64) float64 {
+	if ops < 0 {
+		panic("mcu: negative DSP op count")
+	}
+	if ops == 0 {
+		return 0
+	}
+	energy := float64(ops) * d.Profile.DSPPerMACJ
+	seconds := energy / d.Profile.ActiveW
+	d.Trace.Record(powertrace.PhaseProcessing, seconds, d.Profile.ActiveW)
+	return energy
+}
+
+// Infer records a model inference of the given energy (from the layer-wise
+// energy model) executed at active power, and returns the energy.
+func (d *Device) Infer(energyJ float64) float64 {
+	if energyJ < 0 {
+		panic("mcu: negative inference energy")
+	}
+	if energyJ == 0 {
+		return 0
+	}
+	seconds := energyJ / d.Profile.ActiveW
+	d.Trace.Record(powertrace.PhaseInference, seconds, d.Profile.ActiveW)
+	return energyJ
+}

@@ -1,0 +1,155 @@
+package mcu
+
+import (
+	"math"
+	"testing"
+
+	"solarml/internal/powertrace"
+)
+
+func TestDeepSleepEnergy(t *testing.T) {
+	d := NewDevice()
+	e := d.DeepSleep(60)
+	want := 60 * d.Profile.DeepSleepW
+	if math.Abs(e-want) > 1e-15 {
+		t.Fatalf("deep sleep energy %v, want %v", e, want)
+	}
+	if d.Trace.TotalEnergy() != e {
+		t.Fatal("trace must record the same energy")
+	}
+}
+
+func TestWakeUpEnergy(t *testing.T) {
+	d := NewDevice()
+	e := d.WakeUp()
+	if e <= 0 || e > 1e-3 {
+		t.Fatalf("wake-up energy %v J implausible", e)
+	}
+}
+
+func TestScanEnergyScalesWithBitsAndChannels(t *testing.T) {
+	d := NewDevice()
+	if d.ScanEnergy(4, 12) <= d.ScanEnergy(4, 4) {
+		t.Fatal("higher resolution must cost more per scan")
+	}
+	if d.ScanEnergy(8, 8) <= d.ScanEnergy(2, 8) {
+		t.Fatal("more channels must cost more per scan")
+	}
+	if d.ScanEnergy(4, 0.5) != d.ScanEnergy(4, 1) {
+		t.Fatal("bits must clamp at 1")
+	}
+}
+
+func TestSampleGestureEnergyScaling(t *testing.T) {
+	d := NewDevice()
+	e1 := d.SampleGesture(1, 100, 1, 10)
+	d2 := NewDevice()
+	e2 := d2.SampleGesture(9, 100, 1, 10)
+	if e2 <= e1 {
+		t.Fatal("more channels must cost more")
+	}
+	// Channel scaling affects only the per-channel conversion part, not
+	// the base power, the scan overhead, or the quantization pass.
+	fixed := d.Profile.TicklessBaseW + 100*(d.Profile.ScanOverheadJ+10*d.Profile.ADCSamplePerBitJ)
+	adc1 := e1 - fixed
+	adc9 := e2 - fixed
+	if math.Abs(adc9-9*adc1) > 1e-9 {
+		t.Fatalf("conversion energy should scale linearly with channels: %v vs %v", adc9, 9*adc1)
+	}
+}
+
+func TestSampleGestureRateScaling(t *testing.T) {
+	a, b := NewDevice(), NewDevice()
+	e1 := a.SampleGesture(4, 50, 2, 10)
+	e2 := b.SampleGesture(4, 200, 2, 10)
+	if e2 <= e1 {
+		t.Fatal("higher rate must cost more")
+	}
+}
+
+func TestSampleGestureCalibration(t *testing.T) {
+	// Paper's Fig 2 gesture scenario: ≈2 s of 9-channel sampling lands in
+	// the low-mJ range (E_S ≈ 47% of a ≈8 mJ total).
+	d := NewDevice()
+	e := d.SampleGesture(9, 100, 2, 10)
+	if e < 2e-3 || e > 6e-3 {
+		t.Fatalf("gesture sampling energy %.2f mJ outside plausible band", e*1e3)
+	}
+}
+
+func TestSampleAudioCalibration(t *testing.T) {
+	// 1 s of microphone capture ≈ 5 mJ (mic + tickless base).
+	d := NewDevice()
+	e := d.SampleAudio(1)
+	if e < 3e-3 || e > 8e-3 {
+		t.Fatalf("audio sampling energy %.2f mJ outside plausible band", e*1e3)
+	}
+}
+
+func TestProcessEnergyLinearInMACs(t *testing.T) {
+	d := NewDevice()
+	e1 := d.Process(1_000_000)
+	e2 := d.Process(2_000_000)
+	if math.Abs(e2-2*e1) > 1e-15 {
+		t.Fatalf("process energy must be linear: %v vs %v", e2, 2*e1)
+	}
+	if d.Process(0) != 0 {
+		t.Fatal("zero MACs must be free")
+	}
+}
+
+func TestInferRecordsModelPhase(t *testing.T) {
+	d := NewDevice()
+	d.Infer(1.2e-3)
+	by := d.Trace.EnergyByCategory()
+	if math.Abs(by[powertrace.CatModel]-1.2e-3) > 1e-12 {
+		t.Fatalf("E_M = %v", by[powertrace.CatModel])
+	}
+}
+
+func TestFig2LikeScenarioShares(t *testing.T) {
+	// One-minute sleep, wake, 2 s gesture sampling, small preprocessing,
+	// ≈1.2 mJ inference: the E_E/E_S/E_M split should resemble Fig 2's
+	// 38/47/15 for the gesture task.
+	d := NewDevice()
+	d.DeepSleep(60)
+	d.WakeUp()
+	d.SampleGesture(9, 100, 2, 10)
+	d.Process(400_000)
+	d.Infer(1.2e-3)
+	shares := d.Trace.CategoryShares()
+	ee := shares[powertrace.CatEvent]
+	es := shares[powertrace.CatSensing]
+	em := shares[powertrace.CatModel]
+	if math.Abs(ee-0.38) > 0.10 {
+		t.Fatalf("E_E share %.2f, paper ≈0.38", ee)
+	}
+	if math.Abs(es-0.47) > 0.10 {
+		t.Fatalf("E_S share %.2f, paper ≈0.47", es)
+	}
+	if math.Abs(em-0.15) > 0.08 {
+		t.Fatalf("E_M share %.2f, paper ≈0.15", em)
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	d := NewDevice()
+	cases := []func(){
+		func() { d.SampleGesture(0, 100, 1, 10) },
+		func() { d.SampleGesture(1, 0, 1, 10) },
+		func() { d.SampleGesture(1, 100, 0, 10) },
+		func() { d.SampleAudio(0) },
+		func() { d.Process(-1) },
+		func() { d.Infer(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

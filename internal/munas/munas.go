@@ -1,0 +1,160 @@
+// Package munas implements the μNAS baseline [4] as used in the paper's
+// comparison: aging evolution over the architecture only, with the sensing
+// configuration fixed per run (μNAS has no sensing hyperparameters in its
+// search space), a single total-MACs energy model, and random scalarization
+// to combine the accuracy and energy objectives — a fresh weight vector is
+// drawn each cycle, which explores the Pareto frontier but gives the user
+// no direct control over the trade-off.
+package munas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/nas"
+)
+
+// Config holds the μNAS settings, matched to the eNAS run for fairness
+// (§V-D: population 50, sample 20, 150 cycles).
+type Config struct {
+	Population  int
+	SampleSize  int
+	Cycles      int
+	Seed        int64
+	Constraints nas.Constraints
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig(task nas.Task) Config {
+	return Config{
+		Population:  50,
+		SampleSize:  20,
+		Cycles:      150,
+		Constraints: nas.DefaultConstraints(task),
+	}
+}
+
+// Entry pairs a candidate with its evaluation.
+type Entry struct {
+	Cand *nas.Candidate
+	Res  nas.Result
+}
+
+// Outcome is the result of one μNAS run.
+type Outcome struct {
+	// BestAccuracy is the feasible candidate with the highest accuracy
+	// (μNAS's reporting convention).
+	BestAccuracy Entry
+	// History holds every evaluated candidate.
+	History []Entry
+	// Evaluations counts evaluator calls.
+	Evaluations int
+}
+
+// Search runs μNAS from a fixed sensing configuration: `seed.Cand` provides
+// the sensing half (and task); only the architecture evolves.
+func Search(space *nas.Space, sensing *nas.Candidate, eval nas.Evaluator, cfg Config) (*Outcome, error) {
+	if cfg.Population < 2 || cfg.SampleSize < 1 || cfg.SampleSize > cfg.Population {
+		return nil, fmt.Errorf("munas: invalid population/sample (%d/%d)", cfg.Population, cfg.SampleSize)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &Outcome{}
+
+	// randomArchCandidate keeps the sensing half fixed.
+	randomArch := func() *nas.Candidate {
+		c := space.RandomCandidate(rng)
+		fixed := sensing.Clone()
+		fixed.Arch = c.Arch
+		if fixed.Rebind() != nil {
+			return nil
+		}
+		return fixed
+	}
+
+	evaluate := func(c *nas.Candidate) (Entry, bool) {
+		if c == nil {
+			return Entry{}, false
+		}
+		if err := cfg.Constraints.CheckStatic(c); err != nil {
+			return Entry{}, false
+		}
+		res, err := eval.Evaluate(c)
+		if err != nil {
+			return Entry{}, false
+		}
+		out.Evaluations++
+		e := Entry{Cand: c, Res: res}
+		out.History = append(out.History, e)
+		return e, true
+	}
+
+	population := make([]Entry, 0, cfg.Population)
+	for tries := 0; len(population) < cfg.Population; tries++ {
+		if tries > cfg.Population*200 {
+			return nil, fmt.Errorf("munas: cannot fill population under constraints")
+		}
+		if e, ok := evaluate(randomArch()); ok {
+			population = append(population, e)
+		}
+	}
+	// Running energy scale for scalarization normalization.
+	eMax := math.Inf(-1)
+	for _, e := range population {
+		if e.Res.EnergyJ > eMax {
+			eMax = e.Res.EnergyJ
+		}
+	}
+
+	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
+		// Random scalarization: fresh weights each cycle.
+		w := rng.Float64()
+		score := func(e Entry) float64 {
+			s := w*e.Res.Accuracy - (1-w)*e.Res.EnergyJ/eMax
+			if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+				s -= 1
+			}
+			return s
+		}
+		best := -1
+		for _, idx := range rng.Perm(len(population))[:cfg.SampleSize] {
+			if best == -1 || score(population[idx]) > score(population[best]) {
+				best = idx
+			}
+		}
+		parent := population[best]
+		var child Entry
+		ok := false
+		for tries := 0; tries < 16 && !ok; tries++ {
+			child, ok = evaluate(space.MutateArch(rng, parent.Cand))
+		}
+		if ok {
+			if child.Res.EnergyJ > eMax {
+				eMax = child.Res.EnergyJ
+			}
+			population = append(population[1:], child)
+		}
+	}
+
+	for _, e := range out.History {
+		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+			continue
+		}
+		if out.BestAccuracy.Cand == nil || e.Res.Accuracy > out.BestAccuracy.Res.Accuracy {
+			out.BestAccuracy = e
+		}
+	}
+	if out.BestAccuracy.Cand == nil {
+		// Nothing feasible: report the highest-accuracy attempt.
+		for _, e := range out.History {
+			if out.BestAccuracy.Cand == nil || e.Res.Accuracy > out.BestAccuracy.Res.Accuracy {
+				out.BestAccuracy = e
+			}
+		}
+	}
+	return out, nil
+}
+
+// ParetoEntries returns the history's accuracy/energy points for frontier
+// reporting.
+func (o *Outcome) ParetoEntries() []Entry { return o.History }

@@ -1,0 +1,102 @@
+package munas
+
+import (
+	"math/rand"
+	"testing"
+
+	"solarml/internal/nas"
+)
+
+func smallConfig(task nas.Task, seed int64) Config {
+	cfg := DefaultConfig(task)
+	cfg.Population = 12
+	cfg.SampleSize = 5
+	cfg.Cycles = 40
+	cfg.Seed = seed
+	return cfg
+}
+
+func fixedSensing(t *testing.T, space *nas.Space, seed int64) *nas.Candidate {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return space.RandomCandidate(rng)
+}
+
+func TestSearchKeepsSensingFixed(t *testing.T) {
+	space := nas.GestureSpace()
+	sensing := fixedSensing(t, space, 1)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	out, err := Search(space, sensing, eval, smallConfig(nas.TaskGesture, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sensing.SensingString()
+	for _, e := range out.History {
+		if e.Cand.SensingString() != want {
+			t.Fatalf("μNAS mutated sensing: %s vs %s", e.Cand.SensingString(), want)
+		}
+	}
+}
+
+func TestSearchFindsFeasibleBest(t *testing.T) {
+	space := nas.GestureSpace()
+	sensing := fixedSensing(t, space, 3)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	out, err := Search(space, sensing, eval, smallConfig(nas.TaskGesture, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BestAccuracy.Cand == nil {
+		t.Fatal("no best candidate")
+	}
+	if err := out.BestAccuracy.Cand.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if out.Evaluations != len(out.History) {
+		t.Fatal("evaluation accounting broken")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	space := nas.KWSSpace()
+	sensing := fixedSensing(t, space, 5)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	a, err := Search(space, sensing, eval, smallConfig(nas.TaskKWS, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(space, sensing, eval, smallConfig(nas.TaskKWS, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestAccuracy.Cand.Fingerprint() != b.BestAccuracy.Cand.Fingerprint() {
+		t.Fatal("same seed must reproduce the same search")
+	}
+}
+
+func TestSearchRejectsBadConfig(t *testing.T) {
+	space := nas.GestureSpace()
+	sensing := fixedSensing(t, space, 7)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	cfg := Config{Population: 1, SampleSize: 1, Cycles: 5,
+		Constraints: nas.DefaultConstraints(nas.TaskGesture)}
+	if _, err := Search(space, sensing, eval, cfg); err == nil {
+		t.Fatal("population 1 should be rejected")
+	}
+}
+
+func TestHistoryStaysWithinStaticConstraints(t *testing.T) {
+	space := nas.GestureSpace()
+	sensing := fixedSensing(t, space, 8)
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	cfg := smallConfig(nas.TaskGesture, 9)
+	out, err := Search(space, sensing, eval, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range out.History {
+		if err := cfg.Constraints.CheckStatic(e.Cand); err != nil {
+			t.Fatalf("history violates constraints: %v", err)
+		}
+	}
+}

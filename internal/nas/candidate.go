@@ -1,0 +1,145 @@
+// Package nas defines the joint sensing+architecture search space of eNAS
+// (Table II), candidate encoding and mutation morphisms, the memory/MAC/
+// accuracy constraints shared by all searches, and the two candidate
+// evaluators: TrainEvaluator (really trains each candidate with internal/nn)
+// and SurrogateEvaluator (a calibrated analytic accuracy model for
+// paper-scale sweeps).
+package nas
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"solarml/internal/dataset"
+	"solarml/internal/dsp"
+	"solarml/internal/nn"
+	"solarml/internal/quant"
+)
+
+// Task selects the application.
+type Task int
+
+const (
+	// TaskGesture is solar-cell digit recognition.
+	TaskGesture Task = iota
+	// TaskKWS is microphone keyword spotting.
+	TaskKWS
+)
+
+// String returns the task name.
+func (t Task) String() string {
+	if t == TaskGesture {
+		return "gesture"
+	}
+	return "kws"
+}
+
+// Classes returns the label count of the task.
+func (t Task) Classes() int {
+	if t == TaskGesture {
+		return dataset.NumGestureClasses
+	}
+	return dataset.NumKWSClasses
+}
+
+// Candidate is one point of the joint search space: sensing parameters plus
+// a network architecture whose input shape is derived from the sensing side.
+type Candidate struct {
+	Task Task
+	// Gesture holds the sensing parameters when Task == TaskGesture.
+	Gesture dataset.GestureConfig
+	// Audio holds the front-end parameters when Task == TaskKWS.
+	Audio dsp.FrontEndConfig
+	// Arch is the network body; its Input is kept in sync with the
+	// sensing configuration by Rebind.
+	Arch *nn.Arch
+}
+
+// Clone returns a deep copy.
+func (c *Candidate) Clone() *Candidate {
+	out := *c
+	out.Arch = c.Arch.Clone()
+	return &out
+}
+
+// InputShape returns the network input implied by the sensing parameters.
+func (c *Candidate) InputShape() []int {
+	switch c.Task {
+	case TaskGesture:
+		return c.Gesture.InputShape()
+	default:
+		frames := c.Audio.NumFrames(int(dataset.AudioRateHz * dataset.AudioDurationS))
+		return []int{1, frames, c.Audio.NumFeatures}
+	}
+}
+
+// Rebind updates the architecture's input shape from the sensing
+// configuration and reports whether the architecture still materializes.
+func (c *Candidate) Rebind() error {
+	c.Arch.Input = c.InputShape()
+	c.Arch.Classes = c.Task.Classes()
+	return c.Arch.Validate()
+}
+
+// Validate checks both halves of the candidate.
+func (c *Candidate) Validate() error {
+	switch c.Task {
+	case TaskGesture:
+		if err := c.Gesture.Validate(); err != nil {
+			return err
+		}
+	case TaskKWS:
+		if err := c.Audio.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("nas: unknown task %d", c.Task)
+	}
+	return c.Rebind()
+}
+
+// SensingString renders the sensing half compactly.
+func (c *Candidate) SensingString() string {
+	if c.Task == TaskGesture {
+		return fmt.Sprintf("n=%d r=%dHz %s", c.Gesture.Channels, c.Gesture.RateHz, c.Gesture.Quant)
+	}
+	return fmt.Sprintf("s=%dms d=%dms f=%d", c.Audio.StripeMS, c.Audio.DurationMS, c.Audio.NumFeatures)
+}
+
+// String renders the whole candidate.
+func (c *Candidate) String() string {
+	return fmt.Sprintf("[%s | %s]", c.SensingString(), c.Arch)
+}
+
+// Fingerprint returns a stable hash of the candidate configuration, used
+// for deterministic surrogate noise and deduplication.
+func (c *Candidate) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d|%d|%d|%d|%d|", c.Task,
+		c.Gesture.Channels, c.Gesture.RateHz, c.Gesture.Quant.Res, c.Gesture.Quant.Bits,
+		c.Audio.StripeMS, c.Audio.DurationMS, c.Audio.NumFeatures)
+	for _, s := range c.Arch.Body {
+		fmt.Fprintf(h, "%d,%d,%d,%d,%d;", s.Kind, s.Out, s.K, s.Stride, s.Pad)
+	}
+	return h.Sum64()
+}
+
+// quantFromEffective is a helper mapping search moves across the int/float
+// boundary of the quantization axis.
+func quantNeighbors(q quant.Config) []quant.Config {
+	var out []quant.Config
+	lo, hi := q.Res.Bounds()
+	if q.Bits > lo {
+		out = append(out, quant.Config{Res: q.Res, Bits: q.Bits - 1})
+	}
+	if q.Bits < hi {
+		out = append(out, quant.Config{Res: q.Res, Bits: q.Bits + 1})
+	}
+	// "replace" morphism: switch representation family (Table II).
+	if q.Res == quant.Int {
+		out = append(out, quant.Config{Res: quant.Float, Bits: 9})
+	} else {
+		out = append(out, quant.Config{Res: quant.Int, Bits: 8})
+	}
+	return out
+}

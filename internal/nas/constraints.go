@@ -1,0 +1,72 @@
+package nas
+
+import (
+	"fmt"
+)
+
+// Constraints are the hard limits every candidate must satisfy (§V-D: 100 KB
+// memory, 30 M MACs, task-specific error caps — 0.25 for digit gestures,
+// 0.3 for KWS).
+type Constraints struct {
+	// MemoryBytes bounds weights + activations at the quantized widths.
+	MemoryBytes int64
+	// MaxMACs bounds the per-inference MAC count.
+	MaxMACs int64
+	// MaxError bounds 1 − accuracy; checked after evaluation.
+	MaxError float64
+}
+
+// DefaultConstraints returns the paper's evaluation settings for the task.
+func DefaultConstraints(task Task) Constraints {
+	c := Constraints{MemoryBytes: 100 * 1024, MaxMACs: 30_000_000}
+	if task == TaskGesture {
+		c.MaxError = 0.25
+	} else {
+		c.MaxError = 0.30
+	}
+	return c
+}
+
+// weightBits returns the storage width per weight for the candidate's
+// quantization configuration (KWS models store int8 weights as in μNAS).
+func weightBits(c *Candidate) int {
+	if c.Task == TaskGesture {
+		return c.Gesture.Quant.Bits
+	}
+	return 8
+}
+
+// CheckStatic verifies the structural constraints (memory, MACs) that can
+// be checked without training.
+func (ct Constraints) CheckStatic(c *Candidate) error {
+	// Arithmetic pre-screen: reject absurd parameter counts before any
+	// tensor is allocated.
+	if est, err := c.Arch.EstimateParams(); err != nil {
+		return err
+	} else if est > ct.MemoryBytes*8 { // even bit-packed weights cannot fit
+		return fmt.Errorf("nas: %d parameters cannot fit %d B", est, ct.MemoryBytes)
+	}
+	net, err := c.Arch.Build()
+	if err != nil {
+		return err
+	}
+	if macs := net.TotalMACs(); macs > ct.MaxMACs {
+		return fmt.Errorf("nas: %d MACs exceeds limit %d", macs, ct.MaxMACs)
+	}
+	wb := weightBits(c)
+	if wb < 8 {
+		wb = 8 // sub-byte weights are stored byte-packed on the MCU
+	}
+	if mem := net.MemoryBytes(wb, 8); mem > ct.MemoryBytes {
+		return fmt.Errorf("nas: %d B memory exceeds limit %d", mem, ct.MemoryBytes)
+	}
+	return nil
+}
+
+// CheckAccuracy verifies the error cap after evaluation.
+func (ct Constraints) CheckAccuracy(acc float64) error {
+	if 1-acc > ct.MaxError {
+		return fmt.Errorf("nas: error %.3f exceeds cap %.3f", 1-acc, ct.MaxError)
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+package nas
+
+import (
+	"math/rand"
+
+	"solarml/internal/dataset"
+	"solarml/internal/dsp"
+	"solarml/internal/nn"
+	"solarml/internal/quant"
+)
+
+// Space is the joint search space: Table II sensing ranges plus a μNAS-style
+// architecture space (conv/pool/norm blocks followed by dense layers).
+type Space struct {
+	Task Task
+	// MaxBlocks bounds the convolutional block count.
+	MaxBlocks int
+	// MaxDense bounds the trailing dense layers (excluding the head).
+	MaxDense int
+	// ChannelChoices are the allowed conv widths.
+	ChannelChoices []int
+	// DenseChoices are the allowed dense widths.
+	DenseChoices []int
+	// KernelChoices are the allowed conv kernels.
+	KernelChoices []int
+	// SensingEvery (R in Algorithm 1) is carried here for convenience.
+	SensingEvery int
+}
+
+// GestureSpace returns the digit-recognition search space.
+func GestureSpace() *Space {
+	return &Space{
+		Task:           TaskGesture,
+		MaxBlocks:      3,
+		MaxDense:       2,
+		ChannelChoices: []int{2, 4, 6, 8, 12, 16, 24},
+		DenseChoices:   []int{8, 16, 24, 32, 48, 64},
+		KernelChoices:  []int{3, 5},
+		SensingEvery:   20,
+	}
+}
+
+// KWSSpace returns the keyword-spotting search space.
+func KWSSpace() *Space {
+	return &Space{
+		Task:           TaskKWS,
+		MaxBlocks:      4,
+		MaxDense:       2,
+		ChannelChoices: []int{2, 4, 6, 8, 12, 16, 24, 32},
+		DenseChoices:   []int{8, 16, 24, 32, 48, 64},
+		KernelChoices:  []int{3, 5},
+		SensingEvery:   20,
+	}
+}
+
+// RandomSensing draws a uniform sensing configuration from Table II.
+func (s *Space) RandomSensing(rng *rand.Rand, c *Candidate) {
+	switch s.Task {
+	case TaskGesture:
+		cLo, cHi := dataset.ChannelBounds()
+		rLo, rHi := dataset.RateBounds()
+		res := quant.Int
+		qLo, qHi := res.Bounds()
+		if rng.Intn(2) == 1 {
+			res = quant.Float
+			qLo, qHi = res.Bounds()
+		}
+		c.Gesture = dataset.GestureConfig{
+			Channels: cLo + rng.Intn(cHi-cLo+1),
+			RateHz:   rLo + rng.Intn(rHi-rLo+1),
+			Quant:    quant.Config{Res: res, Bits: qLo + rng.Intn(qHi-qLo+1)},
+		}
+	case TaskKWS:
+		sLo, sHi := dsp.StripeBounds()
+		dLo, dHi := dsp.DurationBounds()
+		fLo, fHi := dsp.FeatureBounds()
+		c.Audio = dsp.FrontEndConfig{
+			SampleRate:  dataset.AudioRateHz,
+			StripeMS:    sLo + rng.Intn(sHi-sLo+1),
+			DurationMS:  dLo + rng.Intn(dHi-dLo+1),
+			NumFeatures: fLo + rng.Intn(fHi-fLo+1),
+		}
+	}
+}
+
+// randomArchBody draws a random architecture body. The caller must Rebind
+// and validity-check the result.
+func (s *Space) randomArchBody(rng *rand.Rand) []nn.LayerSpec {
+	var body []nn.LayerSpec
+	blocks := 1 + rng.Intn(s.MaxBlocks)
+	for b := 0; b < blocks; b++ {
+		k := s.KernelChoices[rng.Intn(len(s.KernelChoices))]
+		if rng.Float64() < 0.25 {
+			body = append(body, nn.LayerSpec{
+				Kind: nn.KindDWConv, K: k, Stride: 1, Pad: k / 2,
+			})
+		} else {
+			body = append(body, nn.LayerSpec{
+				Kind: nn.KindConv, Out: s.ChannelChoices[rng.Intn(len(s.ChannelChoices))],
+				K: k, Stride: 1, Pad: k / 2,
+			})
+		}
+		if rng.Float64() < 0.5 {
+			body = append(body, nn.LayerSpec{Kind: nn.KindNorm})
+		}
+		body = append(body, nn.LayerSpec{Kind: nn.KindReLU})
+		if rng.Float64() < 0.7 {
+			kind := nn.KindMaxPool
+			if rng.Float64() < 0.4 {
+				kind = nn.KindAvgPool
+			}
+			body = append(body, nn.LayerSpec{Kind: kind, K: 2})
+		}
+	}
+	dense := rng.Intn(s.MaxDense + 1)
+	for d := 0; d < dense; d++ {
+		body = append(body, nn.LayerSpec{
+			Kind: nn.KindDense, Out: s.DenseChoices[rng.Intn(len(s.DenseChoices))],
+		})
+		body = append(body, nn.LayerSpec{Kind: nn.KindReLU})
+	}
+	return body
+}
+
+// RandomCandidate draws random sensing parameters and a random architecture
+// until the pair materializes (pooling fits, shapes stay positive).
+func (s *Space) RandomCandidate(rng *rand.Rand) *Candidate {
+	for {
+		c := &Candidate{Task: s.Task, Arch: &nn.Arch{Classes: s.Task.Classes()}}
+		s.RandomSensing(rng, c)
+		c.Arch.Body = s.randomArchBody(rng)
+		if c.Rebind() == nil {
+			return c
+		}
+	}
+}
+
+// MutateArch applies one μNAS-style architecture morphism: widen/narrow a
+// layer, change a kernel, insert or delete a layer. Returns a valid mutant
+// (retrying internally) that differs from the parent.
+func (s *Space) MutateArch(rng *rand.Rand, parent *Candidate) *Candidate {
+	for tries := 0; tries < 64; tries++ {
+		c := parent.Clone()
+		body := c.Arch.Body
+		op := rng.Intn(4)
+		switch {
+		case op == 0 && len(body) > 0: // widen/narrow
+			i := rng.Intn(len(body))
+			switch body[i].Kind {
+			case nn.KindConv:
+				body[i].Out = s.ChannelChoices[rng.Intn(len(s.ChannelChoices))]
+			case nn.KindDense:
+				body[i].Out = s.DenseChoices[rng.Intn(len(s.DenseChoices))]
+			default:
+				continue
+			}
+		case op == 1 && len(body) > 0: // change kernel
+			i := rng.Intn(len(body))
+			if body[i].Kind != nn.KindConv && body[i].Kind != nn.KindDWConv {
+				continue
+			}
+			k := s.KernelChoices[rng.Intn(len(s.KernelChoices))]
+			body[i].K, body[i].Pad = k, k/2
+		case op == 2: // insert a layer
+			i := rng.Intn(len(body) + 1)
+			var ins nn.LayerSpec
+			switch rng.Intn(4) {
+			case 0:
+				k := s.KernelChoices[rng.Intn(len(s.KernelChoices))]
+				ins = nn.LayerSpec{Kind: nn.KindConv, Out: s.ChannelChoices[rng.Intn(len(s.ChannelChoices))], K: k, Stride: 1, Pad: k / 2}
+			case 1:
+				ins = nn.LayerSpec{Kind: nn.KindNorm}
+			case 2:
+				ins = nn.LayerSpec{Kind: nn.KindMaxPool, K: 2}
+			default:
+				ins = nn.LayerSpec{Kind: nn.KindReLU}
+			}
+			body = append(body[:i], append([]nn.LayerSpec{ins}, body[i:]...)...)
+			c.Arch.Body = body
+		case op == 3 && len(body) > 1: // delete a layer
+			i := rng.Intn(len(body))
+			body = append(body[:i], body[i+1:]...)
+			c.Arch.Body = body
+		default:
+			continue
+		}
+		if c.Rebind() == nil && c.Fingerprint() != parent.Fingerprint() {
+			return c
+		}
+	}
+	// Mutation space exhausted around this parent; fall back to a fresh
+	// architecture with the parent's sensing parameters.
+	c := parent.Clone()
+	c.Arch.Body = s.randomArchBody(rng)
+	for c.Rebind() != nil {
+		c.Arch.Body = s.randomArchBody(rng)
+	}
+	return c
+}
+
+// MutateSensing applies one Table II sensing morphism (n±1, r±2, q±1, or
+// the int/float replace move; s±1, d±1, f±1 for KWS), keeping the
+// architecture fixed and revalidating the pair.
+func (s *Space) MutateSensing(rng *rand.Rand, parent *Candidate) *Candidate {
+	for tries := 0; tries < 64; tries++ {
+		c := parent.Clone()
+		switch s.Task {
+		case TaskGesture:
+			switch rng.Intn(3) {
+			case 0:
+				c.Gesture.Channels += 1 - 2*rng.Intn(2)
+			case 1:
+				c.Gesture.RateHz += 2 - 4*rng.Intn(2)
+			default:
+				qs := quantNeighbors(c.Gesture.Quant)
+				c.Gesture.Quant = qs[rng.Intn(len(qs))]
+			}
+			if c.Gesture.Validate() != nil {
+				continue
+			}
+		case TaskKWS:
+			switch rng.Intn(3) {
+			case 0:
+				c.Audio.StripeMS += 1 - 2*rng.Intn(2)
+			case 1:
+				c.Audio.DurationMS += 1 - 2*rng.Intn(2)
+			default:
+				c.Audio.NumFeatures += 1 - 2*rng.Intn(2)
+			}
+			if c.Audio.Validate() != nil {
+				continue
+			}
+		}
+		if c.Rebind() == nil && c.Fingerprint() != parent.Fingerprint() {
+			return c
+		}
+	}
+	return parent.Clone()
+}
+
+// GridNeighbors enumerates the full one-step sensing neighbourhood of the
+// candidate (the local grid of Algorithm 1's GRIDMUTATE), keeping only
+// valid pairs.
+func (s *Space) GridNeighbors(parent *Candidate) []*Candidate {
+	var out []*Candidate
+	add := func(c *Candidate) {
+		if c.Validate() == nil && c.Fingerprint() != parent.Fingerprint() {
+			out = append(out, c)
+		}
+	}
+	switch s.Task {
+	case TaskGesture:
+		for _, dn := range []int{-1, 1} {
+			c := parent.Clone()
+			c.Gesture.Channels += dn
+			add(c)
+		}
+		for _, dr := range []int{-2, 2} {
+			c := parent.Clone()
+			c.Gesture.RateHz += dr
+			add(c)
+		}
+		for _, q := range quantNeighbors(parent.Gesture.Quant) {
+			c := parent.Clone()
+			c.Gesture.Quant = q
+			add(c)
+		}
+	case TaskKWS:
+		for _, d := range []int{-1, 1} {
+			c := parent.Clone()
+			c.Audio.StripeMS += d
+			add(c)
+			c = parent.Clone()
+			c.Audio.DurationMS += d
+			add(c)
+			c = parent.Clone()
+			c.Audio.NumFeatures += d
+			add(c)
+		}
+	}
+	return out
+}

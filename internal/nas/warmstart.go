@@ -1,0 +1,110 @@
+package nas
+
+import (
+	"sync"
+
+	"solarml/internal/nn"
+)
+
+// WarmStartEvaluator is implemented by evaluators that can reuse a parent
+// candidate's trained weights when scoring a mutated child — the weight
+// inheritance that makes evolutionary NAS affordable in practice. Search
+// loops call EvaluateFrom when they know the lineage; Evaluate remains the
+// cold-start path.
+type WarmStartEvaluator interface {
+	Evaluator
+	EvaluateFrom(child, parent *Candidate) (Result, error)
+}
+
+// trainedEntry is one stored lineage record: a trained parameter snapshot
+// plus the tensor signatures needed to align it against a mutated child.
+type trainedEntry struct {
+	snap [][]float64
+	sigs []layerSig
+}
+
+// paramStore keeps trained parameter snapshots for recent candidates,
+// bounded FIFO so long searches don't hoard memory.
+type paramStore struct {
+	mu    sync.Mutex
+	cap   int
+	order []uint64
+	byFP  map[uint64]trainedEntry
+}
+
+func newParamStore(capacity int) *paramStore {
+	return &paramStore{cap: capacity, byFP: make(map[uint64]trainedEntry)}
+}
+
+func (s *paramStore) put(fp uint64, e trainedEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byFP[fp]; !ok {
+		s.order = append(s.order, fp)
+		for len(s.order) > s.cap {
+			delete(s.byFP, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.byFP[fp] = e
+}
+
+func (s *paramStore) get(fp uint64) (trainedEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byFP[fp]
+	return e, ok
+}
+
+// layerSig identifies a parameter tensor for inheritance alignment: the
+// owning layer's kind plus the tensor's length. Only identically-shaped
+// tensors transfer.
+type layerSig struct {
+	kind nn.LayerKind
+	n    int
+}
+
+// paramSigs returns one signature per parameter tensor of the network, in
+// Params() order.
+func paramSigs(net *nn.Network) []layerSig {
+	var sigs []layerSig
+	for _, l := range net.Layers {
+		for _, p := range l.Params() {
+			sigs = append(sigs, layerSig{kind: l.Kind(), n: p.Value.Len()})
+		}
+	}
+	return sigs
+}
+
+// inheritParams copies parent tensors into the child wherever the aligned
+// signatures match. Our morphisms change one layer (widen, re-kernel,
+// insert, delete), so aligning the common prefix and suffix of the
+// signature lists transfers everything the mutation did not touch. Returns
+// how many tensors were inherited.
+func inheritParams(child *nn.Network, parentSigs []layerSig, parentSnap [][]float64) int {
+	childSigs := paramSigs(child)
+	childParams := child.Params()
+	// Longest matching prefix.
+	prefix := 0
+	for prefix < len(childSigs) && prefix < len(parentSigs) && childSigs[prefix] == parentSigs[prefix] {
+		prefix++
+	}
+	// Longest matching suffix that does not overlap the prefix.
+	suffix := 0
+	for suffix < len(childSigs)-prefix && suffix < len(parentSigs)-prefix &&
+		childSigs[len(childSigs)-1-suffix] == parentSigs[len(parentSigs)-1-suffix] {
+		suffix++
+	}
+	inherited := 0
+	for i := 0; i < prefix; i++ {
+		copy(childParams[i].Value.Data, parentSnap[i])
+		inherited++
+	}
+	for i := 0; i < suffix; i++ {
+		ci := len(childParams) - 1 - i
+		pi := len(parentSnap) - 1 - i
+		copy(childParams[ci].Value.Data, parentSnap[pi])
+		inherited++
+	}
+	return inherited
+}

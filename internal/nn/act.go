@@ -1,0 +1,95 @@
+package nn
+
+import (
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Kind implements Layer.
+func (r *ReLU) Kind() LayerKind { return KindReLU }
+
+// OutShape implements Layer.
+func (r *ReLU) OutShape(in []int) []int {
+	out := make([]int, len(in))
+	copy(out, in)
+	return out
+}
+
+// Init implements Layer (no parameters).
+func (r *ReLU) Init(rng *rand.Rand) {}
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape...)
+	r.mask = make([]bool, len(x.Data))
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(grad.Shape...)
+	for i, m := range r.mask {
+		if m {
+			dx.Data[i] = grad.Data[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// MACs implements Layer: activations carry no multiply-accumulates.
+func (r *ReLU) MACs(in []int) int64 { return 0 }
+
+// Flatten reshapes (N, C, H, W) to (N, C·H·W). It exists so architecture
+// specs can express the conv→dense transition explicitly.
+type Flatten struct {
+	lastIn []int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Kind implements Layer.
+func (f *Flatten) Kind() LayerKind { return KindFlatten }
+
+// OutShape implements Layer.
+func (f *Flatten) OutShape(in []int) []int { return []int{shapeVolume(in)} }
+
+// Init implements Layer (no parameters).
+func (f *Flatten) Init(rng *rand.Rand) {}
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.lastIn = make([]int, len(x.Shape))
+	copy(f.lastIn, x.Shape)
+	n := x.Shape[0]
+	return x.Reshape(n, len(x.Data)/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastIn...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// MACs implements Layer.
+func (f *Flatten) MACs(in []int) int64 { return 0 }

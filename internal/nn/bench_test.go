@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"solarml/internal/tensor"
+)
+
+func benchConvNet(b *testing.B) (*Network, *tensor.Tensor, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	arch := &Arch{
+		Input: []int{1, 9, 120},
+		Body: []LayerSpec{
+			{Kind: KindConv, Out: 8, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindMaxPool, K: 2},
+			{Kind: KindConv, Out: 12, K: 3, Stride: 1, Pad: 1},
+			{Kind: KindReLU},
+			{Kind: KindMaxPool, K: 2},
+			{Kind: KindDense, Out: 32},
+			{Kind: KindReLU},
+		},
+		Classes: 10,
+	}
+	net, err := arch.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	net.Init(rng)
+	x := tensor.New(16, 1, 9, 120)
+	x.RandFill(rng, 1)
+	y := make([]int, 16)
+	for i := range y {
+		y[i] = i % 10
+	}
+	return net, x, y
+}
+
+// BenchmarkForwardCNN times one 16-sample inference batch through a
+// gesture-sized CNN.
+func BenchmarkForwardCNN(b *testing.B) {
+	net, x, _ := benchConvNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+// BenchmarkTrainStepCNN times one forward+backward+update minibatch.
+func BenchmarkTrainStepCNN(b *testing.B) {
+	net, x, y := benchConvNet(b)
+	opt := &SGD{LR: 0.01, Momentum: 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		_, grad := CrossEntropy(logits, y)
+		for li := len(net.Layers) - 1; li >= 0; li-- {
+			grad = net.Layers[li].Backward(grad)
+		}
+		opt.Step(net.Params())
+	}
+}
+
+// BenchmarkPTQForward times quantized inference against the float path.
+func BenchmarkPTQForward(b *testing.B) {
+	net, x, _ := benchConvNet(b)
+	ptq, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 8, ActBits: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptq.Forward(x)
+	}
+}
+
+// BenchmarkMatMulMid times the core GEMM at a NAS-typical size.
+func BenchmarkMatMulMid(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := tensor.New(64, 256)
+	c := tensor.New(256, 64)
+	a.RandFill(rng, 1)
+	c.RandFill(rng, 1)
+	out := tensor.New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulInto(out, a, c)
+	}
+}

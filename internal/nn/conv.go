@@ -1,0 +1,299 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// convOutDim returns the output extent for one spatial dimension.
+func convOutDim(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}
+
+// Conv2D is a standard 2-D convolution with a square kernel, symmetric
+// zero padding and shared stride. Input is NCHW.
+type Conv2D struct {
+	InC, OutC, K, Stride, Pad int
+	W                         *Param // (OutC, InC*K*K)
+	B                         *Param // (OutC)
+
+	lastCols []*tensor.Tensor // per-sample im2col matrices
+	lastIn   []int            // per-sample input shape
+}
+
+// NewConv2D returns a convolution layer; call Init before training.
+func NewConv2D(inC, outC, k, stride, pad int) *Conv2D {
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W: newParam(outC, inC*k*k),
+		B: newParam(outC),
+	}
+}
+
+// Kind implements Layer.
+func (c *Conv2D) Kind() LayerKind { return KindConv }
+
+// OutShape implements Layer.
+func (c *Conv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects (C=%d,H,W) input, got %v", c.InC, in))
+	}
+	oh := convOutDim(in[1], c.K, c.Stride, c.Pad)
+	ow := convOutDim(in[2], c.K, c.Stride, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: Conv2D output collapsed for input %v kernel %d stride %d", in, c.K, c.Stride))
+	}
+	return []int{c.OutC, oh, ow}
+}
+
+// Init applies He-uniform initialization.
+func (c *Conv2D) Init(rng *rand.Rand) {
+	fanIn := float64(c.InC * c.K * c.K)
+	c.W.Value.RandFill(rng, math.Sqrt(6.0/fanIn))
+	c.B.Value.Zero()
+}
+
+// im2col lowers one (C,H,W) sample to a (C*K*K, OH*OW) column matrix.
+func im2col(x []float64, cc, h, w, k, stride, pad, oh, ow int) *tensor.Tensor {
+	cols := tensor.New(cc*k*k, oh*ow)
+	for ch := 0; ch < cc; ch++ {
+		chOff := ch * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols.Data[((ch*k+ky)*k+kx)*oh*ow:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						row[oy*ow+ox] = x[chOff+iy*w+ix]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters a (C*K*K, OH*OW) gradient back to a (C,H,W) sample.
+func col2im(cols *tensor.Tensor, dst []float64, cc, h, w, k, stride, pad, oh, ow int) {
+	for ch := 0; ch < cc; ch++ {
+		chOff := ch * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols.Data[((ch*k+ky)*k+kx)*oh*ow:]
+				for oy := 0; oy < oh; oy++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for ox := 0; ox < ow; ox++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						dst[chOff+iy*w+ix] += row[oy*ow+ox]
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := convOutDim(h, c.K, c.Stride, c.Pad)
+	ow := convOutDim(w, c.K, c.Stride, c.Pad)
+	out := tensor.New(n, c.OutC, oh, ow)
+	c.lastCols = make([]*tensor.Tensor, n)
+	c.lastIn = []int{c.InC, h, w}
+	sampleIn := c.InC * h * w
+	sampleOut := c.OutC * oh * ow
+	oMat := tensor.New(c.OutC, oh*ow)
+	for i := 0; i < n; i++ {
+		cols := im2col(x.Data[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
+		c.lastCols[i] = cols
+		tensor.MatMulInto(oMat, c.W.Value, cols)
+		dst := out.Data[i*sampleOut : (i+1)*sampleOut]
+		copy(dst, oMat.Data)
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.B.Value.Data[oc]
+			row := dst[oc*oh*ow : (oc+1)*oh*ow]
+			for j := range row {
+				row[j] += b
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, oh, ow := grad.Shape[0], grad.Shape[2], grad.Shape[3]
+	h, w := c.lastIn[1], c.lastIn[2]
+	dx := tensor.New(n, c.InC, h, w)
+	sampleIn := c.InC * h * w
+	sampleOut := c.OutC * oh * ow
+	for i := 0; i < n; i++ {
+		g := tensor.FromSlice(grad.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, oh*ow)
+		// dW += g × colsᵀ
+		dW := tensor.MatMulTransB(g, c.lastCols[i])
+		c.W.Grad.Add(dW)
+		// db += row sums of g
+		for oc := 0; oc < c.OutC; oc++ {
+			s := 0.0
+			for _, v := range g.Data[oc*oh*ow : (oc+1)*oh*ow] {
+				s += v
+			}
+			c.B.Grad.Data[oc] += s
+		}
+		// dcols = Wᵀ × g, then scatter back.
+		dcols := tensor.MatMulTransA(c.W.Value, g)
+		col2im(dcols, dx.Data[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MACs implements Layer: OutC·OH·OW·InC·K² per sample.
+func (c *Conv2D) MACs(in []int) int64 {
+	oh := convOutDim(in[1], c.K, c.Stride, c.Pad)
+	ow := convOutDim(in[2], c.K, c.Stride, c.Pad)
+	return int64(c.OutC) * int64(oh) * int64(ow) * int64(c.InC) * int64(c.K) * int64(c.K)
+}
+
+// DepthwiseConv2D convolves each channel with its own K×K filter.
+// Input is NCHW with C channels preserved.
+type DepthwiseConv2D struct {
+	C, K, Stride, Pad int
+	W                 *Param // (C, K*K)
+	B                 *Param // (C)
+
+	lastX *tensor.Tensor
+}
+
+// NewDepthwiseConv2D returns a depthwise convolution layer.
+func NewDepthwiseConv2D(c, k, stride, pad int) *DepthwiseConv2D {
+	return &DepthwiseConv2D{C: c, K: k, Stride: stride, Pad: pad, W: newParam(c, k*k), B: newParam(c)}
+}
+
+// Kind implements Layer.
+func (c *DepthwiseConv2D) Kind() LayerKind { return KindDWConv }
+
+// OutShape implements Layer.
+func (c *DepthwiseConv2D) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != c.C {
+		panic(fmt.Sprintf("nn: DWConv expects (C=%d,H,W) input, got %v", c.C, in))
+	}
+	oh := convOutDim(in[1], c.K, c.Stride, c.Pad)
+	ow := convOutDim(in[2], c.K, c.Stride, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: DWConv output collapsed for input %v", in))
+	}
+	return []int{c.C, oh, ow}
+}
+
+// Init applies He-uniform initialization.
+func (c *DepthwiseConv2D) Init(rng *rand.Rand) {
+	c.W.Value.RandFill(rng, math.Sqrt(6.0/float64(c.K*c.K)))
+	c.B.Value.Zero()
+}
+
+// Forward implements Layer.
+func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := convOutDim(h, c.K, c.Stride, c.Pad)
+	ow := convOutDim(w, c.K, c.Stride, c.Pad)
+	c.lastX = x
+	out := tensor.New(n, c.C, oh, ow)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c.C; ch++ {
+			src := x.Data[(i*c.C+ch)*h*w:]
+			dst := out.Data[(i*c.C+ch)*oh*ow:]
+			wrow := c.W.Value.Data[ch*c.K*c.K:]
+			b := c.B.Value.Data[ch]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := b
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							s += wrow[ky*c.K+kx] * src[iy*w+ix]
+						}
+					}
+					dst[oy*ow+ox] = s
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	x := c.lastX
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh, ow := grad.Shape[2], grad.Shape[3]
+	dx := tensor.New(n, c.C, h, w)
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c.C; ch++ {
+			src := x.Data[(i*c.C+ch)*h*w:]
+			g := grad.Data[(i*c.C+ch)*oh*ow:]
+			dsrc := dx.Data[(i*c.C+ch)*h*w:]
+			wrow := c.W.Value.Data[ch*c.K*c.K:]
+			dwrow := c.W.Grad.Data[ch*c.K*c.K:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := g[oy*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					c.B.Grad.Data[ch] += gv
+					for ky := 0; ky < c.K; ky++ {
+						iy := oy*c.Stride + ky - c.Pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							ix := ox*c.Stride + kx - c.Pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							dwrow[ky*c.K+kx] += gv * src[iy*w+ix]
+							dsrc[iy*w+ix] += gv * wrow[ky*c.K+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *DepthwiseConv2D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// MACs implements Layer: C·OH·OW·K² per sample.
+func (c *DepthwiseConv2D) MACs(in []int) int64 {
+	oh := convOutDim(in[1], c.K, c.Stride, c.Pad)
+	ow := convOutDim(in[2], c.K, c.Stride, c.Pad)
+	return int64(c.C) * int64(oh) * int64(ow) * int64(c.K) * int64(c.K)
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = x·Wᵀ + b.
+// Input shape is (N, In); output shape is (N, Out).
+type Dense struct {
+	In, Out int
+	W       *Param // (Out, In)
+	B       *Param // (Out)
+
+	lastX *tensor.Tensor
+}
+
+// NewDense returns a dense layer with uninitialized parameters;
+// call Init before training.
+func NewDense(in, out int) *Dense {
+	return &Dense{In: in, Out: out, W: newParam(out, in), B: newParam(out)}
+}
+
+// Kind implements Layer.
+func (d *Dense) Kind() LayerKind { return KindDense }
+
+// OutShape implements Layer.
+func (d *Dense) OutShape(in []int) []int {
+	if shapeVolume(in) != d.In {
+		panic(fmt.Sprintf("nn: Dense expects %d inputs, got shape %v", d.In, in))
+	}
+	return []int{d.Out}
+}
+
+// Init applies He-uniform initialization.
+func (d *Dense) Init(rng *rand.Rand) {
+	scale := math.Sqrt(6.0 / float64(d.In))
+	d.W.Value.RandFill(rng, scale)
+	d.B.Value.Zero()
+}
+
+// Forward implements Layer. A higher-rank input is flattened per sample.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n := x.Shape[0]
+	x2 := x.Reshape(n, len(x.Data)/n)
+	if x2.Shape[1] != d.In {
+		panic(fmt.Sprintf("nn: Dense input width %d, want %d", x2.Shape[1], d.In))
+	}
+	d.lastX = x2
+	out := tensor.MatMulTransB(x2, d.W.Value) // (N, Out)
+	for i := 0; i < n; i++ {
+		row := out.Data[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += d.B.Value.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	// dW (Out, In) += gradᵀ × x
+	dW := tensor.MatMulTransA(grad, d.lastX)
+	d.W.Grad.Add(dW)
+	// db += column sums of grad
+	for i := 0; i < n; i++ {
+		row := grad.Data[i*d.Out : (i+1)*d.Out]
+		for j, g := range row {
+			d.B.Grad.Data[j] += g
+		}
+	}
+	// dx (N, In) = grad × W
+	return tensor.MatMul(grad, d.W.Value)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// MACs implements Layer: In×Out multiply-accumulates per sample.
+func (d *Dense) MACs(in []int) int64 { return int64(d.In) * int64(d.Out) }

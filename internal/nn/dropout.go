@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// Dropout zeroes a random fraction of activations during training (inverted
+// dropout: survivors are scaled by 1/(1−p) so inference needs no change).
+// It carries no MACs and is a no-op in inference mode. Not part of the
+// Table II search space; available for hand-built training recipes.
+type Dropout struct {
+	// P is the drop probability in [0, 1).
+	P float64
+
+	rng  *rand.Rand
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with the given drop probability.
+func NewDropout(p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout probability %v outside [0,1)", p))
+	}
+	return &Dropout{P: p}
+}
+
+// Kind implements Layer (dropout shares ReLU's zero-cost accounting).
+func (d *Dropout) Kind() LayerKind { return KindDropout }
+
+// OutShape implements Layer.
+func (d *Dropout) OutShape(in []int) []int {
+	out := make([]int, len(in))
+	copy(out, in)
+	return out
+}
+
+// Init seeds the layer's mask generator.
+func (d *Dropout) Init(rng *rand.Rand) {
+	d.rng = rand.New(rand.NewSource(rng.Int63()))
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	if d.rng == nil {
+		panic("nn: Dropout used before Init")
+	}
+	out := tensor.New(x.Shape...)
+	d.mask = make([]float64, len(x.Data))
+	scale := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() >= d.P {
+			d.mask[i] = scale
+			out.Data[i] = v * scale
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.mask == nil {
+		return grad
+	}
+	dx := tensor.New(grad.Shape...)
+	for i, m := range d.mask {
+		dx.Data[i] = grad.Data[i] * m
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// MACs implements Layer.
+func (d *Dropout) MACs(in []int) int64 { return 0 }

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExportCHeaderStructure(t *testing.T) {
+	net, x, _ := trainedBlobNet(t)
+	ptq, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 8, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ptq.ExportCHeader(&buf, "gesture-digits"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"#ifndef SOLARML_GESTURE_DIGITS_H",
+		"#include <stdint.h>",
+		"GESTURE_DIGITS_WEIGHT_BITS 8",
+		"static const int8_t gesture_digits_weights_0[",
+		"static const float gesture_digits_scale_0",
+		"gesture_digits_act_scales",
+		"#endif",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("header missing %q", want)
+		}
+	}
+	// One weight array and one scale per parameter tensor.
+	if n := strings.Count(out, "_weights_"); n != len(net.Params()) {
+		t.Fatalf("%d weight arrays for %d tensors", n, len(net.Params()))
+	}
+}
+
+func TestExportCHeaderValuesRoundTrip(t *testing.T) {
+	// Dequantized header values must reproduce the PTQ weights.
+	net, x, _ := trainedBlobNet(t)
+	ptq, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 8, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ptq.ExportCHeader(&buf, "m"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for ti, param := range net.Params() {
+		scale := extractFloat(t, out, fmt.Sprintf("m_scale_%d = ", ti))
+		ints := extractInts(t, out, fmt.Sprintf("m_weights_%d[", ti))
+		if len(ints) != param.Value.Len() {
+			t.Fatalf("tensor %d: %d ints for %d weights", ti, len(ints), param.Value.Len())
+		}
+		for i, q := range ints {
+			want := param.Value.Data[i]
+			got := float64(q) * scale
+			if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("tensor %d weight %d: header %v vs model %v", ti, i, got, want)
+			}
+		}
+	}
+}
+
+func TestExportCHeaderRejectsWideWeights(t *testing.T) {
+	net, x, _ := trainedBlobNet(t)
+	ptq, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 16, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ptq.ExportCHeader(&bytes.Buffer{}, "m"); err == nil {
+		t.Fatal("16-bit export must be rejected")
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"gesture-digits": "gesture_digits",
+		"2fast":          "m2fast",
+		"":               "model",
+		"ok_name":        "ok_name",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// extractFloat pulls the float literal following the marker.
+func extractFloat(t *testing.T, s, marker string) float64 {
+	t.Helper()
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("marker %q not found", marker)
+	}
+	rest := s[i+len(marker):]
+	end := strings.IndexAny(rest, "f;")
+	v, err := strconv.ParseFloat(rest[:end], 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", rest[:end], err)
+	}
+	return v
+}
+
+// extractInts pulls the int8 initializer list following the marker.
+func extractInts(t *testing.T, s, marker string) []int {
+	t.Helper()
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("marker %q not found", marker)
+	}
+	body := s[i:]
+	open := strings.Index(body, "{")
+	closeIdx := strings.Index(body, "}")
+	var out []int
+	for _, tok := range strings.Split(body[open+1:closeIdx], ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", tok, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzLoadModel asserts the model parser never panics on malformed input —
+// it must fail with an error, whatever the bytes. Run the seed corpus as a
+// plain test, or explore with `go test -fuzz=FuzzLoadModel ./internal/nn`.
+func FuzzLoadModel(f *testing.F) {
+	// Seed with a valid model and a few corruptions of it.
+	arch := &Arch{Input: []int{1, 4, 4}, Body: []LayerSpec{
+		{Kind: KindConv, Out: 2, K: 3, Stride: 1, Pad: 1},
+		{Kind: KindReLU},
+	}, Classes: 2}
+	net, err := arch.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	net.Init(rand.New(rand.NewSource(1)))
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, arch, net); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("SMLM"))
+	f.Add([]byte{})
+	corrupt := append([]byte(nil), valid...)
+	for i := 8; i < 24 && i < len(corrupt); i++ {
+		corrupt[i] = 0xFF
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must never panic; errors are fine.
+		_, _, _ = LoadModel(bytes.NewReader(data))
+	})
+}

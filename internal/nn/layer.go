@@ -1,0 +1,114 @@
+// Package nn implements the tinyML neural-network substrate used by solarml:
+// the layer types that appear in the paper's inference energy model (Conv,
+// depthwise Conv, Dense, Max/Avg pooling, BatchNorm), softmax cross-entropy
+// training with SGD+momentum, and the MAC / parameter / peak-RAM accounting
+// that the NAS constraints and energy models consume.
+//
+// Tensors are laid out NCHW for convolutional layers and (N, F) for dense
+// layers. All layers operate on a whole minibatch per call.
+package nn
+
+import (
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// LayerKind identifies a layer type for energy accounting. The paper's
+// inference energy model assigns one regression coefficient per kind
+// (E_M = Σ aᵢ·MACsᵢ + b), so kinds must distinguish every compute layer.
+type LayerKind int
+
+const (
+	KindConv LayerKind = iota
+	KindDWConv
+	KindDense
+	KindMaxPool
+	KindAvgPool
+	KindNorm
+	KindReLU
+	KindFlatten
+	KindDropout
+	numLayerKinds
+)
+
+// String returns the canonical kind name.
+func (k LayerKind) String() string {
+	switch k {
+	case KindConv:
+		return "Conv"
+	case KindDWConv:
+		return "DWConv"
+	case KindDense:
+		return "Dense"
+	case KindMaxPool:
+		return "MaxPool"
+	case KindAvgPool:
+		return "AvgPool"
+	case KindNorm:
+		return "Norm"
+	case KindReLU:
+		return "ReLU"
+	case KindFlatten:
+		return "Flatten"
+	case KindDropout:
+		return "Dropout"
+	}
+	return "Unknown"
+}
+
+// ComputeKinds lists the layer kinds that carry MACs and therefore appear in
+// the layer-wise energy model.
+func ComputeKinds() []LayerKind {
+	return []LayerKind{KindConv, KindDWConv, KindDense, KindMaxPool, KindAvgPool, KindNorm}
+}
+
+// Param is a trainable tensor together with its gradient and SGD momentum
+// buffer. Layers expose their parameters through Params so the optimizer can
+// update them uniformly.
+type Param struct {
+	Value    *tensor.Tensor
+	Grad     *tensor.Tensor
+	Momentum *tensor.Tensor
+}
+
+func newParam(shape ...int) *Param {
+	return &Param{
+		Value:    tensor.New(shape...),
+		Grad:     tensor.New(shape...),
+		Momentum: tensor.New(shape...),
+	}
+}
+
+// Layer is one stage of a sequential network.
+type Layer interface {
+	// Kind reports the layer type for energy accounting.
+	Kind() LayerKind
+	// OutShape returns the per-sample output shape for a per-sample input
+	// shape (no batch dimension).
+	OutShape(in []int) []int
+	// Forward consumes a batched input and returns the batched output.
+	// train selects training behaviour (e.g. batch statistics in Norm).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient of the loss with respect to the layer
+	// output and returns the gradient with respect to the layer input,
+	// accumulating parameter gradients along the way. It must be called
+	// after Forward on the same minibatch.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable parameters (possibly empty).
+	Params() []*Param
+	// MACs returns the multiply-accumulate count for one sample with the
+	// given per-sample input shape.
+	MACs(in []int) int64
+	// Init initializes parameters from rng. No-op for parameter-free layers.
+	Init(rng *rand.Rand)
+}
+
+// shapeVolume returns the product of the dimensions.
+func shapeVolume(shape []int) int {
+	v := 1
+	for _, d := range shape {
+		v *= d
+	}
+	return v
+}

@@ -1,0 +1,336 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// Network is a sequential stack of layers ending in logits over NumClasses.
+type Network struct {
+	InShape []int // per-sample input shape
+	Layers  []Layer
+}
+
+// NewNetwork returns a network for the given per-sample input shape.
+func NewNetwork(inShape []int, layers ...Layer) *Network {
+	s := make([]int, len(inShape))
+	copy(s, inShape)
+	return &Network{InShape: s, Layers: layers}
+}
+
+// Init initializes all layer parameters from rng.
+func (n *Network) Init(rng *rand.Rand) {
+	for _, l := range n.Layers {
+		l.Init(rng)
+	}
+}
+
+// OutShape returns the per-sample output shape.
+func (n *Network) OutShape() []int {
+	s := n.InShape
+	for _, l := range n.Layers {
+		s = l.OutShape(s)
+	}
+	return s
+}
+
+// Forward runs the batched input through every layer.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Params returns all trainable parameters.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of trainable scalars.
+func (n *Network) ParamCount() int64 {
+	var c int64
+	for _, p := range n.Params() {
+		c += int64(p.Value.Len())
+	}
+	return c
+}
+
+// ZeroGrads clears all parameter gradients.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// MACsByKind returns per-sample MAC counts grouped by layer kind, the
+// feature vector of the paper's layer-wise inference energy model.
+func (n *Network) MACsByKind() map[LayerKind]int64 {
+	out := make(map[LayerKind]int64)
+	s := n.InShape
+	for _, l := range n.Layers {
+		out[l.Kind()] += l.MACs(s)
+		s = l.OutShape(s)
+	}
+	return out
+}
+
+// TotalMACs returns the per-sample MAC count summed over all layers,
+// the single proxy used by the μNAS/HarvNet baseline energy model.
+func (n *Network) TotalMACs() int64 {
+	var t int64
+	for _, v := range n.MACsByKind() {
+		t += v
+	}
+	return t
+}
+
+// PeakActivation returns the largest per-sample activation element count
+// across layer boundaries, a proxy for working RAM.
+func (n *Network) PeakActivation() int64 {
+	s := n.InShape
+	peak := int64(shapeVolume(s))
+	for _, l := range n.Layers {
+		s = l.OutShape(s)
+		if v := int64(shapeVolume(s)); v > peak {
+			peak = v
+		}
+	}
+	return peak
+}
+
+// MemoryBytes estimates MCU RAM: weights at weightBits plus the two largest
+// consecutive activations at activationBits (double-buffered execution).
+func (n *Network) MemoryBytes(weightBits, activationBits int) int64 {
+	wb := n.ParamCount() * int64(weightBits) / 8
+	// Two largest consecutive activation buffers.
+	s := n.InShape
+	prev := int64(shapeVolume(s))
+	var peakPair int64 = prev
+	for _, l := range n.Layers {
+		s = l.OutShape(s)
+		cur := int64(shapeVolume(s))
+		if prev+cur > peakPair {
+			peakPair = prev + cur
+		}
+		prev = cur
+	}
+	ab := peakPair * int64(activationBits) / 8
+	return wb + ab
+}
+
+// Softmax converts logits (N, K) into probabilities row by row.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Shape[0], logits.Shape[1]
+	out := tensor.New(n, k)
+	for i := 0; i < n; i++ {
+		row := logits.Data[i*k : (i+1)*k]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		s := 0.0
+		dst := out.Data[i*k : (i+1)*k]
+		for j, v := range row {
+			e := math.Exp(v - m)
+			dst[j] = e
+			s += e
+		}
+		for j := range dst {
+			dst[j] /= s
+		}
+	}
+	return out
+}
+
+// CrossEntropy returns the mean negative log-likelihood of labels under the
+// softmax of logits, together with the gradient with respect to the logits.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	probs := Softmax(logits)
+	grad = tensor.New(n, k)
+	for i, y := range labels {
+		p := probs.Data[i*k+y]
+		loss -= math.Log(math.Max(p, 1e-12))
+		for j := 0; j < k; j++ {
+			g := probs.Data[i*k+j]
+			if j == y {
+				g -= 1
+			}
+			grad.Data[i*k+j] = g / float64(n)
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// SGD is a momentum optimizer with optional L2 weight decay.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64
+}
+
+// Step applies one update to every parameter and leaves gradients intact;
+// callers usually ZeroGrads before the next minibatch.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + o.Decay*p.Value.Data[i]
+			p.Momentum.Data[i] = o.Momentum*p.Momentum.Data[i] - o.LR*g
+			p.Value.Data[i] += p.Momentum.Data[i]
+		}
+	}
+}
+
+// TrainConfig bundles the knobs of Fit.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	Decay     float64
+	// ClipNorm bounds the global L2 norm of the gradient per minibatch
+	// (0 selects the default of 5). NAS trains candidates with widely
+	// varying input sizes at one learning rate; clipping keeps the
+	// large-input ones from diverging. Set negative to disable.
+	ClipNorm float64
+	// QATWeightBits, when positive, enables quantization-aware training:
+	// each minibatch runs forward/backward with the weights snapped to a
+	// symmetric grid of this many bits while the optimizer updates the
+	// full-precision shadow weights (straight-through estimation). The
+	// trained model then survives post-training quantization at the same
+	// width with far less accuracy loss.
+	QATWeightBits int
+	Seed          int64
+	// Verbose, when set, receives one line per epoch.
+	Verbose func(epoch int, loss float64)
+}
+
+// clipGradients scales all gradients so their global L2 norm is at most c.
+func clipGradients(params []*Param, c float64) {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= c || norm == 0 {
+		return
+	}
+	scale := c / norm
+	for _, p := range params {
+		p.Grad.Scale(scale)
+	}
+}
+
+// Fit trains the network on (inputs, labels) with softmax cross-entropy.
+// inputs is (N, ...InShape). It returns the final epoch's mean loss.
+func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) float64 {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 1
+	}
+	if cfg.ClipNorm == 0 {
+		cfg.ClipNorm = 5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum, Decay: cfg.Decay}
+	total := inputs.Shape[0]
+	sample := len(inputs.Data) / total
+	order := rng.Perm(total)
+	var lastLoss float64
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		rng.Shuffle(total, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		epochLoss, batches := 0.0, 0
+		for start := 0; start < total; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > total {
+				end = total
+			}
+			bs := end - start
+			bshape := append([]int{bs}, n.InShape...)
+			bx := tensor.New(bshape...)
+			by := make([]int, bs)
+			for bi := 0; bi < bs; bi++ {
+				src := order[start+bi]
+				copy(bx.Data[bi*sample:(bi+1)*sample], inputs.Data[src*sample:(src+1)*sample])
+				by[bi] = labels[src]
+			}
+			n.ZeroGrads()
+			var shadow [][]float64
+			if cfg.QATWeightBits > 0 {
+				// Straight-through estimator: compute with quantized
+				// weights, update the full-precision shadows.
+				shadow = n.SnapshotParams()
+				for _, p := range n.Params() {
+					quantizeTensorSym(p.Value, cfg.QATWeightBits)
+				}
+			}
+			logits := n.Forward(bx, true)
+			loss, grad := CrossEntropy(logits, by)
+			for i := len(n.Layers) - 1; i >= 0; i-- {
+				grad = n.Layers[i].Backward(grad)
+			}
+			if shadow != nil {
+				n.RestoreParams(shadow)
+			}
+			if cfg.ClipNorm > 0 {
+				clipGradients(n.Params(), cfg.ClipNorm)
+			}
+			opt.Step(n.Params())
+			epochLoss += loss
+			batches++
+		}
+		lastLoss = epochLoss / float64(batches)
+		if cfg.Verbose != nil {
+			cfg.Verbose(ep, lastLoss)
+		}
+	}
+	return lastLoss
+}
+
+// Accuracy evaluates top-1 accuracy on (inputs, labels) in inference mode.
+func (n *Network) Accuracy(inputs *tensor.Tensor, labels []int) float64 {
+	total := inputs.Shape[0]
+	sample := len(inputs.Data) / total
+	correct := 0
+	const chunk = 32
+	for start := 0; start < total; start += chunk {
+		end := start + chunk
+		if end > total {
+			end = total
+		}
+		bs := end - start
+		bshape := append([]int{bs}, n.InShape...)
+		bx := tensor.FromSlice(inputs.Data[start*sample:end*sample], bshape...)
+		logits := n.Forward(bx, false)
+		k := logits.Shape[1]
+		for i := 0; i < bs; i++ {
+			best, bi := math.Inf(-1), 0
+			for j := 0; j < k; j++ {
+				if v := logits.Data[i*k+j]; v > best {
+					best, bi = v, j
+				}
+			}
+			if bi == labels[start+i] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(total)
+}

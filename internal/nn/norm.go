@@ -1,0 +1,156 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// BatchNorm normalizes per channel over the batch and spatial dimensions,
+// then applies a learned scale (gamma) and shift (beta). In inference mode
+// it uses exponential running statistics accumulated during training.
+type BatchNorm struct {
+	C       int
+	Eps     float64
+	Mom     float64 // running-statistics momentum
+	Gamma   *Param  // (C)
+	Beta    *Param  // (C)
+	RunMean []float64
+	RunVar  []float64
+
+	lastXHat *tensor.Tensor
+	lastStd  []float64
+	lastN    int // batch × spatial count per channel
+}
+
+// NewBatchNorm returns a batch-normalization layer for c channels.
+func NewBatchNorm(c int) *BatchNorm {
+	bn := &BatchNorm{
+		C: c, Eps: 1e-5, Mom: 0.9,
+		Gamma:   newParam(c),
+		Beta:    newParam(c),
+		RunMean: make([]float64, c),
+		RunVar:  make([]float64, c),
+	}
+	return bn
+}
+
+// Kind implements Layer.
+func (b *BatchNorm) Kind() LayerKind { return KindNorm }
+
+// OutShape implements Layer.
+func (b *BatchNorm) OutShape(in []int) []int {
+	if len(in) != 3 || in[0] != b.C {
+		panic(fmt.Sprintf("nn: BatchNorm expects (C=%d,H,W), got %v", b.C, in))
+	}
+	out := make([]int, len(in))
+	copy(out, in)
+	return out
+}
+
+// Init sets gamma to one, beta to zero and unit running variance.
+func (b *BatchNorm) Init(rng *rand.Rand) {
+	b.Gamma.Value.Fill(1)
+	b.Beta.Value.Zero()
+	for i := range b.RunVar {
+		b.RunVar[i] = 1
+		b.RunMean[i] = 0
+	}
+}
+
+// Forward implements Layer.
+func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	plane := h * w
+	out := tensor.New(n, c, h, w)
+	if train {
+		b.lastXHat = tensor.New(n, c, h, w)
+		b.lastStd = make([]float64, c)
+		b.lastN = n * plane
+	}
+	for ch := 0; ch < c; ch++ {
+		var mean, variance float64
+		if train {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				d := x.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
+				for _, v := range d {
+					s += v
+				}
+			}
+			mean = s / float64(n*plane)
+			s = 0.0
+			for i := 0; i < n; i++ {
+				d := x.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
+				for _, v := range d {
+					dv := v - mean
+					s += dv * dv
+				}
+			}
+			variance = s / float64(n*plane)
+			b.RunMean[ch] = b.Mom*b.RunMean[ch] + (1-b.Mom)*mean
+			b.RunVar[ch] = b.Mom*b.RunVar[ch] + (1-b.Mom)*variance
+		} else {
+			mean, variance = b.RunMean[ch], b.RunVar[ch]
+		}
+		std := math.Sqrt(variance + b.Eps)
+		g, bb := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
+		for i := 0; i < n; i++ {
+			src := x.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
+			dst := out.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
+			for j, v := range src {
+				xh := (v - mean) / std
+				if train {
+					b.lastXHat.Data[(i*c+ch)*plane+j] = xh
+				}
+				dst[j] = g*xh + bb
+			}
+		}
+		if train {
+			b.lastStd[ch] = std
+		}
+	}
+	return out
+}
+
+// Backward implements Layer using the standard batch-norm gradient.
+func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c := grad.Shape[0], grad.Shape[1]
+	plane := grad.Shape[2] * grad.Shape[3]
+	dx := tensor.New(grad.Shape...)
+	m := float64(b.lastN)
+	for ch := 0; ch < c; ch++ {
+		g := b.Gamma.Value.Data[ch]
+		var sumDy, sumDyXhat float64
+		for i := 0; i < n; i++ {
+			off := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dy := grad.Data[off+j]
+				sumDy += dy
+				sumDyXhat += dy * b.lastXHat.Data[off+j]
+			}
+		}
+		b.Beta.Grad.Data[ch] += sumDy
+		b.Gamma.Grad.Data[ch] += sumDyXhat
+		inv := g / (m * b.lastStd[ch])
+		for i := 0; i < n; i++ {
+			off := (i*c + ch) * plane
+			for j := 0; j < plane; j++ {
+				dy := grad.Data[off+j]
+				xh := b.lastXHat.Data[off+j]
+				dx.Data[off+j] = inv * (m*dy - sumDy - xh*sumDyXhat)
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }
+
+// MACs implements Layer: one scale and one shift per element.
+func (b *BatchNorm) MACs(in []int) int64 {
+	return 2 * int64(shapeVolume(in))
+}

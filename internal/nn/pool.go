@@ -1,0 +1,183 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"solarml/internal/tensor"
+)
+
+// MaxPool2D applies K×K max pooling with stride equal to K (non-overlapping),
+// the configuration used throughout the paper's search space.
+type MaxPool2D struct {
+	K int
+
+	lastArg []int // flat input index chosen per output element
+	lastIn  []int
+}
+
+// NewMaxPool2D returns a max-pooling layer with window and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
+
+// Kind implements Layer.
+func (p *MaxPool2D) Kind() LayerKind { return KindMaxPool }
+
+// OutShape implements Layer.
+func (p *MaxPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: MaxPool expects (C,H,W), got %v", in))
+	}
+	oh, ow := in[1]/p.K, in[2]/p.K
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool output collapsed for input %v window %d", in, p.K))
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Init implements Layer (no parameters).
+func (p *MaxPool2D) Init(rng *rand.Rand) {}
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/p.K, w/p.K
+	out := tensor.New(n, c, oh, ow)
+	p.lastIn = []int{c, h, w}
+	p.lastArg = make([]int, n*c*oh*ow)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best, bi := math.Inf(-1), 0
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							idx := (oy*p.K+ky)*w + ox*p.K + kx
+							if plane[idx] > best {
+								best, bi = plane[idx], idx
+							}
+						}
+					}
+					out.Data[oi] = best
+					p.lastArg[oi] = (i*c+ch)*h*w + bi
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: routes each output gradient to the argmax input.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	c, h, w := p.lastIn[0], p.lastIn[1], p.lastIn[2]
+	dx := tensor.New(n, c, h, w)
+	for oi, src := range p.lastArg {
+		dx.Data[src] += grad.Data[oi]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// MACs implements Layer: one comparison per window element per output,
+// counted as MAC-equivalents as in the paper's layer-wise model.
+func (p *MaxPool2D) MACs(in []int) int64 {
+	oh, ow := in[1]/p.K, in[2]/p.K
+	return int64(in[0]) * int64(oh) * int64(ow) * int64(p.K) * int64(p.K)
+}
+
+// AvgPool2D applies K×K average pooling with stride K.
+type AvgPool2D struct {
+	K      int
+	lastIn []int
+}
+
+// NewAvgPool2D returns an average-pooling layer with window and stride k.
+func NewAvgPool2D(k int) *AvgPool2D { return &AvgPool2D{K: k} }
+
+// Kind implements Layer.
+func (p *AvgPool2D) Kind() LayerKind { return KindAvgPool }
+
+// OutShape implements Layer.
+func (p *AvgPool2D) OutShape(in []int) []int {
+	if len(in) != 3 {
+		panic(fmt.Sprintf("nn: AvgPool expects (C,H,W), got %v", in))
+	}
+	oh, ow := in[1]/p.K, in[2]/p.K
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: AvgPool output collapsed for input %v window %d", in, p.K))
+	}
+	return []int{in[0], oh, ow}
+}
+
+// Init implements Layer (no parameters).
+func (p *AvgPool2D) Init(rng *rand.Rand) {}
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := h/p.K, w/p.K
+	out := tensor.New(n, c, oh, ow)
+	p.lastIn = []int{c, h, w}
+	inv := 1.0 / float64(p.K*p.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := x.Data[(i*c+ch)*h*w:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							s += plane[(oy*p.K+ky)*w+ox*p.K+kx]
+						}
+					}
+					out.Data[oi] = s * inv
+					oi++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer: spreads each output gradient uniformly.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Shape[0]
+	c, h, w := p.lastIn[0], p.lastIn[1], p.lastIn[2]
+	oh, ow := h/p.K, w/p.K
+	dx := tensor.New(n, c, h, w)
+	inv := 1.0 / float64(p.K*p.K)
+	oi := 0
+	for i := 0; i < n; i++ {
+		for ch := 0; ch < c; ch++ {
+			plane := dx.Data[(i*c+ch)*h*w:]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := grad.Data[oi] * inv
+					oi++
+					for ky := 0; ky < p.K; ky++ {
+						for kx := 0; kx < p.K; kx++ {
+							plane[(oy*p.K+ky)*w+ox*p.K+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// MACs implements Layer: one add per window element per output.
+func (p *AvgPool2D) MACs(in []int) int64 {
+	oh, ow := in[1]/p.K, in[2]/p.K
+	return int64(in[0]) * int64(oh) * int64(ow) * int64(p.K) * int64(p.K)
+}

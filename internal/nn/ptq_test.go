@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"solarml/internal/tensor"
+)
+
+// trainedBlobNet returns a small trained MLP plus its dataset.
+func trainedBlobNet(t *testing.T) (*Network, *tensor.Tensor, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(50))
+	const n = 240
+	x := tensor.New(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 3
+		angle := float64(cls) * 2 * math.Pi / 3
+		x.Data[i*2] = math.Cos(angle) + rng.NormFloat64()*0.25
+		x.Data[i*2+1] = math.Sin(angle) + rng.NormFloat64()*0.25
+		y[i] = cls
+	}
+	net := NewNetwork([]int{2}, NewDense(2, 16), NewReLU(), NewDense(16, 3))
+	net.Init(rng)
+	net.Fit(x, y, TrainConfig{Epochs: 40, BatchSize: 16, LR: 0.1, Momentum: 0.9, Seed: 1})
+	if acc := net.Accuracy(x, y); acc < 0.9 {
+		t.Fatalf("float model failed to train: %.2f", acc)
+	}
+	return net, x, y
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	net, x, y := trainedBlobNet(t)
+	accBefore := net.Accuracy(x, y)
+	snap := net.SnapshotParams()
+	// Wreck the weights.
+	for _, p := range net.Params() {
+		p.Value.Fill(0)
+	}
+	if net.Accuracy(x, y) >= accBefore {
+		t.Fatal("zeroed network should be broken")
+	}
+	net.RestoreParams(snap)
+	if net.Accuracy(x, y) != accBefore {
+		t.Fatal("restore must reproduce the exact model")
+	}
+}
+
+func TestRestoreRejectsWrongShape(t *testing.T) {
+	net, _, _ := trainedBlobNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched snapshot")
+		}
+	}()
+	net.RestoreParams([][]float64{{1}})
+}
+
+func TestPTQ8BitPreservesAccuracy(t *testing.T) {
+	net, x, y := trainedBlobNet(t)
+	floatAcc := net.Accuracy(x, y)
+	snap := net.SnapshotParams()
+	ptq, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 8, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qAcc := ptq.Accuracy(x, y)
+	if qAcc < floatAcc-0.03 {
+		t.Fatalf("8-bit PTQ accuracy %.3f vs float %.3f — drop too large", qAcc, floatAcc)
+	}
+	net.RestoreParams(snap)
+}
+
+func TestPTQLowBitsDegrade(t *testing.T) {
+	net, x, y := trainedBlobNet(t)
+	snap := net.SnapshotParams()
+	accAt := func(bits int) float64 {
+		net.RestoreParams(snap)
+		ptq, err := ApplyPTQ(net, x, PTQConfig{WeightBits: bits, ActBits: bits})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ptq.Accuracy(x, y)
+	}
+	a8, a2 := accAt(8), accAt(2)
+	if a2 >= a8 {
+		t.Fatalf("2-bit (%.3f) should degrade versus 8-bit (%.3f)", a2, a8)
+	}
+	net.RestoreParams(snap)
+}
+
+func TestPTQWeightsOnGrid(t *testing.T) {
+	net, x, _ := trainedBlobNet(t)
+	_, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 4, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every weight tensor must now have ≤ 2^4-1 = 15 distinct magnitudes
+	// on a uniform grid.
+	for pi, p := range net.Params() {
+		maxAbsV := 0.0
+		for _, v := range p.Value.Data {
+			if a := math.Abs(v); a > maxAbsV {
+				maxAbsV = a
+			}
+		}
+		if maxAbsV == 0 {
+			continue
+		}
+		scale := maxAbsV / 7 // 4-bit symmetric levels
+		for i, v := range p.Value.Data {
+			q := v / scale
+			if math.Abs(q-math.Round(q)) > 1e-9 {
+				t.Fatalf("param %d value %d (%v) not on the 4-bit grid", pi, i, v)
+			}
+		}
+	}
+}
+
+func TestPTQWeightBytes(t *testing.T) {
+	net, x, _ := trainedBlobNet(t)
+	count := net.ParamCount()
+	p8, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 8, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p8.WeightBytes() != count {
+		t.Fatalf("8-bit weights: %d bytes for %d params", p8.WeightBytes(), count)
+	}
+	p4, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 4, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (count*4 + 7) / 8
+	if p4.WeightBytes() != want {
+		t.Fatalf("4-bit weights: %d bytes, want %d", p4.WeightBytes(), want)
+	}
+}
+
+func TestPTQValidation(t *testing.T) {
+	net, x, _ := trainedBlobNet(t)
+	if _, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 1, ActBits: 8}); err == nil {
+		t.Fatal("1-bit weights must be rejected")
+	}
+	if _, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 8, ActBits: 40}); err == nil {
+		t.Fatal("40-bit activations must be rejected")
+	}
+	if _, err := ApplyPTQ(net, nil, PTQConfig{WeightBits: 8, ActBits: 8}); err == nil {
+		t.Fatal("missing calibration batch must be rejected")
+	}
+}
+
+func TestPTQOnConvNet(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	const n, side = 120, 8
+	x := tensor.New(n, 1, side, side)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 2
+		pos := rng.Intn(side)
+		for j := 0; j < side; j++ {
+			if cls == 0 {
+				x.Set(1, i, 0, j, pos)
+			} else {
+				x.Set(1, i, 0, pos, j)
+			}
+		}
+		y[i] = cls
+	}
+	arch := &Arch{Input: []int{1, side, side}, Body: []LayerSpec{
+		{Kind: KindConv, Out: 4, K: 3, Stride: 1, Pad: 1},
+		{Kind: KindReLU},
+		{Kind: KindMaxPool, K: 2},
+	}, Classes: 2}
+	net, err := arch.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Init(rng)
+	net.Fit(x, y, TrainConfig{Epochs: 15, BatchSize: 16, LR: 0.05, Momentum: 0.9, Seed: 2})
+	floatAcc := net.Accuracy(x, y)
+	ptq, err := ApplyPTQ(net, x, PTQConfig{WeightBits: 8, ActBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qAcc := ptq.Accuracy(x, y); qAcc < floatAcc-0.05 {
+		t.Fatalf("conv PTQ accuracy %.3f vs float %.3f", qAcc, floatAcc)
+	}
+}

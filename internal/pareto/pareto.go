@@ -1,0 +1,80 @@
+// Package pareto provides accuracy/energy Pareto-front utilities used when
+// reporting the Fig 10 search results.
+package pareto
+
+import "sort"
+
+// Point is one candidate outcome: higher Acc is better, lower Energy is
+// better. Tag carries caller context (e.g. a candidate index).
+type Point struct {
+	Acc    float64
+	Energy float64
+	Tag    int
+}
+
+// Dominates reports whether a dominates b: no worse in both objectives and
+// strictly better in at least one.
+func Dominates(a, b Point) bool {
+	if a.Acc < b.Acc || a.Energy > b.Energy {
+		return false
+	}
+	return a.Acc > b.Acc || a.Energy < b.Energy
+}
+
+// Front returns the non-dominated subset, sorted by increasing energy.
+func Front(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if Dominates(q, p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Energy != out[j].Energy {
+			return out[i].Energy < out[j].Energy
+		}
+		return out[i].Acc < out[j].Acc
+	})
+	return out
+}
+
+// BestUnderBudget returns the highest-accuracy point with Energy ≤ budget
+// and whether one exists.
+func BestUnderBudget(points []Point, budget float64) (Point, bool) {
+	best := Point{Acc: -1}
+	found := false
+	for _, p := range points {
+		if p.Energy <= budget && p.Acc > best.Acc {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// CheapestAbove returns the lowest-energy point with Acc ≥ floor and
+// whether one exists.
+func CheapestAbove(points []Point, floor float64) (Point, bool) {
+	found := false
+	var best Point
+	for _, p := range points {
+		if p.Acc < floor {
+			continue
+		}
+		if !found || p.Energy < best.Energy {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}

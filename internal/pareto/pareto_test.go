@@ -1,0 +1,119 @@
+package pareto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	a := Point{Acc: 0.9, Energy: 1}
+	b := Point{Acc: 0.8, Energy: 2}
+	if !Dominates(a, b) {
+		t.Fatal("a should dominate b")
+	}
+	if Dominates(b, a) {
+		t.Fatal("b should not dominate a")
+	}
+	if Dominates(a, a) {
+		t.Fatal("a point must not dominate itself")
+	}
+	c := Point{Acc: 0.95, Energy: 3}
+	if Dominates(a, c) || Dominates(c, a) {
+		t.Fatal("trade-off points must be incomparable")
+	}
+}
+
+func TestFrontSimple(t *testing.T) {
+	pts := []Point{
+		{0.9, 1, 0}, {0.8, 2, 1}, {0.95, 3, 2}, {0.7, 0.5, 3}, {0.85, 1.5, 4},
+	}
+	f := Front(pts)
+	if len(f) != 3 {
+		t.Fatalf("front size %d, want 3 (tags 3, 0, 2)", len(f))
+	}
+	if f[0].Tag != 3 || f[1].Tag != 0 || f[2].Tag != 2 {
+		t.Fatalf("front order %v", f)
+	}
+}
+
+// Property: no point in the front is dominated by any original point.
+func TestFrontNonDominatedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Acc: rng.Float64(), Energy: rng.Float64(), Tag: i}
+		}
+		for _, p := range Front(pts) {
+			for _, q := range pts {
+				if q.Tag != p.Tag && Dominates(q, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every excluded point is dominated by someone.
+func TestFrontCompleteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{Acc: rng.Float64(), Energy: rng.Float64(), Tag: i}
+		}
+		front := Front(pts)
+		inFront := map[int]bool{}
+		for _, p := range front {
+			inFront[p.Tag] = true
+		}
+		for _, p := range pts {
+			if inFront[p.Tag] {
+				continue
+			}
+			dominated := false
+			for _, q := range pts {
+				if q.Tag != p.Tag && Dominates(q, p) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	pts := []Point{{0.9, 10, 0}, {0.85, 5, 1}, {0.95, 20, 2}}
+	p, ok := BestUnderBudget(pts, 12)
+	if !ok || p.Tag != 0 {
+		t.Fatalf("got %+v", p)
+	}
+	if _, ok := BestUnderBudget(pts, 1); ok {
+		t.Fatal("no point fits budget 1")
+	}
+}
+
+func TestCheapestAbove(t *testing.T) {
+	pts := []Point{{0.9, 10, 0}, {0.92, 15, 1}, {0.85, 5, 2}}
+	p, ok := CheapestAbove(pts, 0.9)
+	if !ok || p.Tag != 0 {
+		t.Fatalf("got %+v", p)
+	}
+	if _, ok := CheapestAbove(pts, 0.99); ok {
+		t.Fatal("no point reaches 0.99")
+	}
+}

@@ -1,0 +1,81 @@
+package powertrace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTripPreservesEnergy(t *testing.T) {
+	orig := New()
+	orig.Record(PhaseDeepSleep, 0.5, 45e-6)
+	orig.Record(PhaseSampling, 0.2, 2e-3)
+	orig.Record(PhaseInference, 0.1, 15e-3)
+	var buf bytes.Buffer
+	const rate = 1000.0
+	if err := orig.WriteCSV(&buf, rate); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total energy must survive within a sample period's worth of error.
+	if d := math.Abs(back.TotalEnergy() - orig.TotalEnergy()); d > orig.TotalEnergy()*0.01 {
+		t.Fatalf("energy drifted by %v J through CSV", d)
+	}
+	// A couple of samples right on segment boundaries may land on either
+	// side after the float round-trip; everything else must match.
+	if diff := MeanAbsPowerDiff(orig, back, rate); diff > 5e-5 {
+		t.Fatalf("mean power diff %v W", diff)
+	}
+}
+
+func TestWriteCSVHeaderAndShape(t *testing.T) {
+	r := New()
+	r.Record(PhaseSampling, 0.01, 1e-3)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, 1000); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "t_s,power_w" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if len(lines) != 11 { // header + 10 samples
+		t.Fatalf("%d lines", len(lines))
+	}
+}
+
+func TestWriteCSVRejectsBadRate(t *testing.T) {
+	r := New()
+	r.Record(PhaseSampling, 0.01, 1e-3)
+	if err := r.WriteCSV(&bytes.Buffer{}, 0); err == nil {
+		t.Fatal("zero rate must error")
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"t_s,power_w\n",
+		"wrong,header\n0,1\n1,2\n",
+		"t_s,power_w\n0,abc\n0.1,1\n",
+		"t_s,power_w\nabc,1\n0.1,1\n",
+		"t_s,power_w\n0.2,1\n0.1,1\n", // non-increasing time
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail: %q", i, c)
+		}
+	}
+}
+
+func TestMeanAbsPowerDiffIdentical(t *testing.T) {
+	a := New()
+	a.Record(PhaseSampling, 1, 2e-3)
+	if d := MeanAbsPowerDiff(a, a, 100); d != 0 {
+		t.Fatalf("self-diff %v", d)
+	}
+}

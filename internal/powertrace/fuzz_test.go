@@ -1,0 +1,35 @@
+package powertrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the trace parser never panics on malformed input.
+func FuzzReadCSV(f *testing.F) {
+	r := New()
+	r.Record(PhaseSampling, 0.01, 1e-3)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf, 1000); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("t_s,power_w\n0,1\n")
+	f.Add("t_s,power_w\n0,1\n0,2\n")
+	f.Add("")
+	f.Add("garbage")
+	f.Add("t_s,power_w\nNaN,Inf\n1,1\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		rec, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully parsed trace must be internally consistent.
+		if rec.Duration() < 0 {
+			t.Fatal("negative duration from parsed trace")
+		}
+		_ = rec.TotalEnergy()
+	})
+}

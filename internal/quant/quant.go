@@ -1,0 +1,152 @@
+// Package quant implements the signal quantization used by the gesture
+// sensing pipeline. The eNAS search space (Table II of the paper) selects a
+// bit resolution b ∈ {int, float} and a quantization depth q, with
+// q_int ∈ [1,8] bits and q_float ∈ [9,32] bits. Integer quantization is
+// uniform over a fixed range; float quantization emulates a reduced-mantissa
+// floating-point representation, so the two regimes form one continuous
+// fidelity axis for the search.
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resolution selects the numeric representation family.
+type Resolution int
+
+const (
+	// Int selects uniform integer quantization, q ∈ [1, 8] bits.
+	Int Resolution = iota
+	// Float selects reduced-mantissa float quantization, q ∈ [9, 32] bits.
+	Float
+)
+
+// String returns the Table II name of the resolution.
+func (r Resolution) String() string {
+	if r == Int {
+		return "int"
+	}
+	return "float"
+}
+
+// Bounds returns the legal quantization depth range for the resolution.
+func (r Resolution) Bounds() (lo, hi int) {
+	if r == Int {
+		return 1, 8
+	}
+	return 9, 32
+}
+
+// Valid reports whether q is a legal depth for the resolution.
+func (r Resolution) Valid(q int) bool {
+	lo, hi := r.Bounds()
+	return q >= lo && q <= hi
+}
+
+// Config is a (resolution, depth) pair from the search space.
+type Config struct {
+	Res  Resolution
+	Bits int
+}
+
+// Validate checks the configuration against Table II.
+func (c Config) Validate() error {
+	if c.Res != Int && c.Res != Float {
+		return fmt.Errorf("quant: unknown resolution %d", c.Res)
+	}
+	if !c.Res.Valid(c.Bits) {
+		lo, hi := c.Res.Bounds()
+		return fmt.Errorf("quant: %s depth %d outside [%d,%d]", c.Res, c.Bits, lo, hi)
+	}
+	return nil
+}
+
+// String renders the configuration.
+func (c Config) String() string { return fmt.Sprintf("%s%d", c.Res, c.Bits) }
+
+// QuantizeInt quantizes v uniformly to bits levels over [lo, hi], clamping
+// out-of-range inputs. With bits=1 the output is the two range endpoints.
+func QuantizeInt(v float64, bits int, lo, hi float64) float64 {
+	if bits < 1 {
+		panic(fmt.Sprintf("quant: invalid bit depth %d", bits))
+	}
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	levels := float64(int64(1)<<uint(bits)) - 1
+	if levels == 0 {
+		return lo
+	}
+	step := (hi - lo) / levels
+	return lo + math.Round((v-lo)/step)*step
+}
+
+// QuantizeFloat emulates a floating-point value with a reduced mantissa.
+// q counts total bits; sign and an 8-bit exponent are reserved, so the
+// mantissa keeps q-9 explicit bits (q=32 ≈ float32 precision).
+func QuantizeFloat(v float64, q int) float64 {
+	if q < 9 {
+		panic(fmt.Sprintf("quant: float depth %d below 9", q))
+	}
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	mant := q - 9
+	if mant >= 52 {
+		return v
+	}
+	// Round the mantissa to mant explicit bits.
+	exp := math.Floor(math.Log2(math.Abs(v)))
+	scale := math.Pow(2, float64(mant)-exp)
+	return math.Round(v*scale) / scale
+}
+
+// Apply quantizes v under the configuration, assuming signals normalized to
+// [-1, 1] for the integer path (the ADC reference range of the platform).
+func (c Config) Apply(v float64) float64 {
+	if c.Res == Int {
+		return QuantizeInt(v, c.Bits, -1, 1)
+	}
+	return QuantizeFloat(v, c.Bits)
+}
+
+// ApplySlice quantizes each element of xs in place and returns xs.
+func (c Config) ApplySlice(xs []float64) []float64 {
+	for i, v := range xs {
+		xs[i] = c.Apply(v)
+	}
+	return xs
+}
+
+// SQNR returns the signal-to-quantization-noise ratio in dB between a clean
+// signal and its quantized version. Returns +Inf for an exact match.
+func SQNR(clean, quantized []float64) float64 {
+	if len(clean) != len(quantized) {
+		panic("quant: SQNR length mismatch")
+	}
+	var sig, noise float64
+	for i := range clean {
+		sig += clean[i] * clean[i]
+		d := clean[i] - quantized[i]
+		noise += d * d
+	}
+	if noise == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/noise)
+}
+
+// EffectiveBits maps a configuration to a scalar fidelity measure used by
+// the accuracy surrogate: integer depths map to themselves; float depths are
+// discounted because the dynamic-range bits do not add sensing fidelity for
+// signals already normalized to the ADC range.
+func (c Config) EffectiveBits() float64 {
+	if c.Res == Int {
+		return float64(c.Bits)
+	}
+	return 8.5 + float64(c.Bits-9)*0.5
+}

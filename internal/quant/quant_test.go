@@ -1,0 +1,180 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeIntEndpoints(t *testing.T) {
+	if got := QuantizeInt(-5, 4, -1, 1); got != -1 {
+		t.Fatalf("below range: %v", got)
+	}
+	if got := QuantizeInt(5, 4, -1, 1); got != 1 {
+		t.Fatalf("above range: %v", got)
+	}
+}
+
+func TestQuantizeIntOneBit(t *testing.T) {
+	// 1 bit → 2 levels: exactly lo or hi.
+	for _, v := range []float64{-0.9, -0.1, 0.1, 0.9} {
+		got := QuantizeInt(v, 1, -1, 1)
+		if got != -1 && got != 1 {
+			t.Fatalf("1-bit quantization produced %v", got)
+		}
+	}
+}
+
+func TestQuantizeIntIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 1 + rng.Intn(8)
+		v := rng.Float64()*2 - 1
+		q1 := QuantizeInt(v, bits, -1, 1)
+		q2 := QuantizeInt(q1, bits, -1, 1)
+		return math.Abs(q1-q2) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeIntErrorBound(t *testing.T) {
+	// Max error is half a step for in-range inputs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 2 + rng.Intn(7)
+		v := rng.Float64()*2 - 1
+		q := QuantizeInt(v, bits, -1, 1)
+		step := 2.0 / (math.Pow(2, float64(bits)) - 1)
+		return math.Abs(q-v) <= step/2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeFloatPreservesSpecials(t *testing.T) {
+	if QuantizeFloat(0, 9) != 0 {
+		t.Fatal("zero must survive")
+	}
+	if !math.IsInf(QuantizeFloat(math.Inf(1), 9), 1) {
+		t.Fatal("inf must survive")
+	}
+	if !math.IsNaN(QuantizeFloat(math.NaN(), 9)) {
+		t.Fatal("nan must survive")
+	}
+}
+
+func TestQuantizeFloatMonotonicPrecision(t *testing.T) {
+	// Higher depth must never increase error.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		v := rng.NormFloat64()
+		prev := math.Inf(1)
+		for q := 9; q <= 32; q++ {
+			err := math.Abs(QuantizeFloat(v, q) - v)
+			if err > prev+1e-15 {
+				t.Fatalf("error increased at q=%d for v=%v: %v > %v", q, v, err, prev)
+			}
+			prev = err
+		}
+	}
+}
+
+func TestQuantizeFloatRelativeError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := 9 + rng.Intn(24)
+		v := rng.NormFloat64()
+		if v == 0 {
+			return true
+		}
+		got := QuantizeFloat(v, q)
+		rel := math.Abs(got-v) / math.Abs(v)
+		return rel <= math.Pow(2, -float64(q-9)) // within one ulp at mantissa width
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		c  Config
+		ok bool
+	}{
+		{Config{Int, 1}, true},
+		{Config{Int, 8}, true},
+		{Config{Int, 9}, false},
+		{Config{Int, 0}, false},
+		{Config{Float, 9}, true},
+		{Config{Float, 32}, true},
+		{Config{Float, 8}, false},
+		{Config{Float, 33}, false},
+	}
+	for _, tc := range cases {
+		err := tc.c.Validate()
+		if (err == nil) != tc.ok {
+			t.Fatalf("%v: Validate err=%v, want ok=%v", tc.c, err, tc.ok)
+		}
+	}
+}
+
+func TestSQNRIncreasesWithBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	clean := make([]float64, 500)
+	for i := range clean {
+		clean[i] = math.Sin(float64(i)*0.1) * (0.5 + 0.3*rng.Float64())
+	}
+	prev := -math.Inf(1)
+	for bits := 2; bits <= 8; bits++ {
+		q := make([]float64, len(clean))
+		copy(q, clean)
+		Config{Int, bits}.ApplySlice(q)
+		s := SQNR(clean, q)
+		if s <= prev {
+			t.Fatalf("SQNR not increasing at %d bits: %.2f <= %.2f", bits, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestSQNRPerfectMatchIsInf(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if !math.IsInf(SQNR(x, x), 1) {
+		t.Fatal("identical signals must give +Inf SQNR")
+	}
+}
+
+func TestEffectiveBitsOrdering(t *testing.T) {
+	// int8 < float9 < float32, and int monotone.
+	if (Config{Int, 8}).EffectiveBits() >= (Config{Float, 9}).EffectiveBits() {
+		t.Fatal("float9 must exceed int8 fidelity")
+	}
+	prev := 0.0
+	for b := 1; b <= 8; b++ {
+		e := Config{Int, b}.EffectiveBits()
+		if e <= prev {
+			t.Fatal("int effective bits must be increasing")
+		}
+		prev = e
+	}
+	for q := 9; q <= 32; q++ {
+		e := Config{Float, q}.EffectiveBits()
+		if e <= prev {
+			t.Fatalf("float effective bits must keep increasing at q=%d", q)
+		}
+		prev = e
+	}
+}
+
+func TestResolutionString(t *testing.T) {
+	if Int.String() != "int" || Float.String() != "float" {
+		t.Fatal("resolution names must match Table II")
+	}
+	if (Config{Int, 4}).String() != "int4" {
+		t.Fatalf("Config string: %s", (Config{Int, 4}))
+	}
+}

@@ -1,0 +1,455 @@
+// Package regress implements the three regression families the paper
+// compares as energy estimators (Table I): ordinary least-squares linear
+// regression, logistic regression (included because prior work misuses it as
+// an energy proxy — it fits poorly, which Table I demonstrates), and a small
+// neural (MLP) regressor. All models share the Model interface so the
+// energy-model evaluation can sweep them uniformly.
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model is a trainable scalar regressor over fixed-width feature vectors.
+type Model interface {
+	// Fit estimates parameters from rows X and targets y.
+	Fit(X [][]float64, y []float64) error
+	// Predict evaluates the fitted model on one feature vector.
+	Predict(x []float64) float64
+	// Name identifies the model family in reports.
+	Name() string
+}
+
+// R2 returns the coefficient of determination of predictions against truth.
+// A perfect fit gives 1; predicting the mean gives 0; worse fits go negative.
+func R2(yTrue, yPred []float64) float64 {
+	if len(yTrue) != len(yPred) || len(yTrue) == 0 {
+		panic("regress: R2 length mismatch")
+	}
+	mean := 0.0
+	for _, v := range yTrue {
+		mean += v
+	}
+	mean /= float64(len(yTrue))
+	var ssRes, ssTot float64
+	for i, v := range yTrue {
+		d := v - yPred[i]
+		ssRes += d * d
+		m := v - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MeanAbsRelError returns the mean |pred-true|/|true| over samples with
+// non-zero truth, the error metric of Fig 9.
+func MeanAbsRelError(yTrue, yPred []float64) float64 {
+	var s float64
+	n := 0
+	for i, v := range yTrue {
+		if v == 0 {
+			continue
+		}
+		s += math.Abs(yPred[i]-v) / math.Abs(v)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// AbsRelErrors returns the per-sample relative errors (for CDF plots).
+func AbsRelErrors(yTrue, yPred []float64) []float64 {
+	out := make([]float64, 0, len(yTrue))
+	for i, v := range yTrue {
+		if v == 0 {
+			continue
+		}
+		out = append(out, math.Abs(yPred[i]-v)/math.Abs(v))
+	}
+	return out
+}
+
+// Linear is ordinary least squares with an intercept and a small ridge term
+// for numerical stability on collinear features.
+type Linear struct {
+	Ridge     float64
+	Coef      []float64
+	Intercept float64
+}
+
+// Name implements Model.
+func (l *Linear) Name() string { return "LR" }
+
+// Fit implements Model by solving the ridge-regularized normal equations.
+func (l *Linear) Fit(X [][]float64, y []float64) error {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return errors.New("regress: empty or mismatched training data")
+	}
+	d := len(X[0])
+	// Augment with the intercept column: solve for d+1 weights.
+	m := d + 1
+	ata := make([][]float64, m)
+	atb := make([]float64, m)
+	for i := range ata {
+		ata[i] = make([]float64, m)
+	}
+	row := make([]float64, m)
+	for i := 0; i < n; i++ {
+		if len(X[i]) != d {
+			return fmt.Errorf("regress: row %d has %d features, want %d", i, len(X[i]), d)
+		}
+		copy(row, X[i])
+		row[d] = 1
+		for a := 0; a < m; a++ {
+			atb[a] += row[a] * y[i]
+			for b := a; b < m; b++ {
+				ata[a][b] += row[a] * row[b]
+			}
+		}
+	}
+	for a := 0; a < m; a++ {
+		for b := 0; b < a; b++ {
+			ata[a][b] = ata[b][a]
+		}
+	}
+	ridge := l.Ridge
+	if ridge == 0 {
+		ridge = 1e-9
+	}
+	for a := 0; a < d; a++ { // do not penalize the intercept
+		ata[a][a] += ridge
+	}
+	w, err := solveSPD(ata, atb)
+	if err != nil {
+		return err
+	}
+	l.Coef = w[:d]
+	l.Intercept = w[d]
+	return nil
+}
+
+// Predict implements Model.
+func (l *Linear) Predict(x []float64) float64 {
+	s := l.Intercept
+	for i, c := range l.Coef {
+		s += c * x[i]
+	}
+	return s
+}
+
+// solveSPD solves Ax=b by Gaussian elimination with partial pivoting.
+func solveSPD(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+		m[i] = append(m[i], b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(m[p][col]) < 1e-14 {
+			return nil, errors.New("regress: singular normal equations")
+		}
+		m[col], m[p] = m[p], m[col]
+		pivot := m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / pivot
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := m[r][n]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * x[c]
+		}
+		x[r] = s / m[r][r]
+	}
+	return x, nil
+}
+
+// Logistic fits y ≈ ymax·σ(w·x+b) by gradient descent on raw features,
+// the way logistic regression is commonly (mis)used as an energy proxy:
+// targets are max-normalized into the sigmoid's (0,1) range and features
+// are fed unscaled. With large-magnitude features (MAC counts in the
+// hundreds of thousands) the sigmoid saturates after the first update and
+// learning stalls, which is exactly the failure mode the paper's Table I
+// demonstrates (R² 0.018 for inference, 0.48 for the moderate-scale
+// sensing features).
+type Logistic struct {
+	Iters int
+	LR    float64
+	w     []float64
+	b     float64
+	ymax  float64
+}
+
+// Name implements Model.
+func (l *Logistic) Name() string { return "LogR" }
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Fit implements Model.
+func (l *Logistic) Fit(X [][]float64, y []float64) error {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return errors.New("regress: empty or mismatched training data")
+	}
+	d := len(X[0])
+	l.ymax = y[0]
+	for _, v := range y {
+		if v > l.ymax {
+			l.ymax = v
+		}
+	}
+	if l.ymax == 0 {
+		l.ymax = 1
+	}
+	iters, lr := l.Iters, l.LR
+	if iters == 0 {
+		iters = 500
+	}
+	if lr == 0 {
+		lr = 0.5
+	}
+	l.w = make([]float64, d)
+	l.b = 0
+	xs := X
+	for it := 0; it < iters; it++ {
+		gw := make([]float64, d)
+		gb := 0.0
+		for i := 0; i < n; i++ {
+			z := l.b
+			for j, v := range xs[i] {
+				z += l.w[j] * v
+			}
+			p := sigmoid(z)
+			// MSE on max-normalized targets: d/dz = 2(p - y/ymax)·p(1-p).
+			g := 2 * (p - y[i]/l.ymax) * p * (1 - p)
+			for j, v := range xs[i] {
+				gw[j] += g * v
+			}
+			gb += g
+		}
+		inv := 1.0 / float64(n)
+		for j := range l.w {
+			l.w[j] -= lr * gw[j] * inv
+		}
+		l.b -= lr * gb * inv
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (l *Logistic) Predict(x []float64) float64 {
+	z := l.b
+	for j, v := range x {
+		z += l.w[j] * v
+	}
+	return l.ymax * sigmoid(z)
+}
+
+// Neural is a one-hidden-layer MLP regressor trained by full-batch SGD on
+// standardized features and targets.
+type Neural struct {
+	Hidden int
+	Iters  int
+	LR     float64
+	Seed   int64
+
+	w1    [][]float64 // (hidden, d)
+	b1    []float64
+	w2    []float64 // (hidden)
+	b2    float64
+	norm  *standardizer
+	yMean float64
+	yStd  float64
+}
+
+// Name implements Model.
+func (m *Neural) Name() string { return "NR" }
+
+// Fit implements Model.
+func (m *Neural) Fit(X [][]float64, y []float64) error {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return errors.New("regress: empty or mismatched training data")
+	}
+	d := len(X[0])
+	hidden, iters, lr := m.Hidden, m.Iters, m.LR
+	if hidden == 0 {
+		hidden = 12
+	}
+	if iters == 0 {
+		iters = 400
+	}
+	if lr == 0 {
+		lr = 0.02
+	}
+	m.norm = newStandardizer(X)
+	m.yMean, m.yStd = meanStd(y)
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	m.w1 = make([][]float64, hidden)
+	m.b1 = make([]float64, hidden)
+	m.w2 = make([]float64, hidden)
+	scale := math.Sqrt(2.0 / float64(d))
+	for h := 0; h < hidden; h++ {
+		m.w1[h] = make([]float64, d)
+		for j := range m.w1[h] {
+			m.w1[h][j] = rng.NormFloat64() * scale
+		}
+		m.w2[h] = rng.NormFloat64() * math.Sqrt(2.0/float64(hidden))
+	}
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range X {
+		xs[i] = m.norm.apply(X[i])
+		ys[i] = (y[i] - m.yMean) / m.yStd
+	}
+	act := make([]float64, hidden)
+	for it := 0; it < iters; it++ {
+		gw1 := make([][]float64, hidden)
+		gb1 := make([]float64, hidden)
+		gw2 := make([]float64, hidden)
+		gb2 := 0.0
+		for h := range gw1 {
+			gw1[h] = make([]float64, d)
+		}
+		for i := 0; i < n; i++ {
+			// Forward.
+			for h := 0; h < hidden; h++ {
+				z := m.b1[h]
+				for j, v := range xs[i] {
+					z += m.w1[h][j] * v
+				}
+				if z < 0 {
+					z = 0
+				}
+				act[h] = z
+			}
+			pred := m.b2
+			for h, a := range act {
+				pred += m.w2[h] * a
+			}
+			g := 2 * (pred - ys[i])
+			gb2 += g
+			for h, a := range act {
+				gw2[h] += g * a
+				if a > 0 {
+					gh := g * m.w2[h]
+					gb1[h] += gh
+					for j, v := range xs[i] {
+						gw1[h][j] += gh * v
+					}
+				}
+			}
+		}
+		inv := lr / float64(n)
+		for h := 0; h < hidden; h++ {
+			for j := range m.w1[h] {
+				m.w1[h][j] -= inv * gw1[h][j]
+			}
+			m.b1[h] -= inv * gb1[h]
+			m.w2[h] -= inv * gw2[h]
+		}
+		m.b2 -= inv * gb2
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (m *Neural) Predict(x []float64) float64 {
+	xs := m.norm.apply(x)
+	pred := m.b2
+	for h := range m.w1 {
+		z := m.b1[h]
+		for j, v := range xs {
+			z += m.w1[h][j] * v
+		}
+		if z > 0 {
+			pred += m.w2[h] * z
+		}
+	}
+	return pred*m.yStd + m.yMean
+}
+
+// standardizer removes per-feature mean and scales to unit variance.
+type standardizer struct {
+	mean, std []float64
+}
+
+func newStandardizer(X [][]float64) *standardizer {
+	d := len(X[0])
+	s := &standardizer{mean: make([]float64, d), std: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		col := make([]float64, len(X))
+		for i := range X {
+			col[i] = X[i][j]
+		}
+		s.mean[j], s.std[j] = meanStd(col)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+	return s
+}
+
+func (s *standardizer) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.std[j]
+	}
+	return out
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}
+
+// EvalR2 fits the model on a train split and returns R² on the eval split.
+func EvalR2(m Model, trainX [][]float64, trainY []float64, evalX [][]float64, evalY []float64) (float64, error) {
+	if err := m.Fit(trainX, trainY); err != nil {
+		return 0, err
+	}
+	preds := make([]float64, len(evalX))
+	for i, x := range evalX {
+		preds[i] = m.Predict(x)
+	}
+	return R2(evalY, preds), nil
+}

@@ -1,0 +1,249 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeLinearData(rng *rand.Rand, n, d int, noise float64) ([][]float64, []float64, []float64) {
+	coef := make([]float64, d)
+	for j := range coef {
+		coef[j] = rng.NormFloat64() * 3
+	}
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = make([]float64, d)
+		s := 1.5 // intercept
+		for j := 0; j < d; j++ {
+			X[i][j] = rng.NormFloat64()
+			s += coef[j] * X[i][j]
+		}
+		y[i] = s + rng.NormFloat64()*noise
+	}
+	return X, y, coef
+}
+
+func TestLinearRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y, coef := makeLinearData(rng, 400, 4, 0)
+	var lr Linear
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for j, c := range coef {
+		if math.Abs(lr.Coef[j]-c) > 1e-6 {
+			t.Fatalf("coef %d: got %v, want %v", j, lr.Coef[j], c)
+		}
+	}
+	if math.Abs(lr.Intercept-1.5) > 1e-6 {
+		t.Fatalf("intercept %v, want 1.5", lr.Intercept)
+	}
+}
+
+func TestLinearPerfectFitR2(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, y, _ := makeLinearData(rng, 100, 3, 0)
+	var lr Linear
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	preds := make([]float64, len(y))
+	for i := range X {
+		preds[i] = lr.Predict(X[i])
+	}
+	if r2 := R2(y, preds); r2 < 0.999999 {
+		t.Fatalf("noiseless linear data must give R²≈1, got %v", r2)
+	}
+}
+
+func TestLinearNoisyDataStillGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y, _ := makeLinearData(rng, 300, 5, 0.5)
+	var lr Linear
+	r2, err := EvalR2(&lr, X[:200], y[:200], X[200:], y[200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.9 {
+		t.Fatalf("held-out R² = %v, want > 0.9", r2)
+	}
+}
+
+func TestLinearRejectsEmptyData(t *testing.T) {
+	var lr Linear
+	if err := lr.Fit(nil, nil); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if err := lr.Fit([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on length mismatch")
+	}
+}
+
+func TestLinearRaggedRows(t *testing.T) {
+	var lr Linear
+	err := lr.Fit([][]float64{{1, 2}, {3}}, []float64{1, 2})
+	if err == nil {
+		t.Fatal("expected error on ragged feature rows")
+	}
+}
+
+func TestR2Properties(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := R2(y, y); r != 1 {
+		t.Fatalf("perfect prediction R² = %v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := R2(y, mean); math.Abs(r) > 1e-12 {
+		t.Fatalf("mean prediction R² = %v, want 0", r)
+	}
+	bad := []float64{4, 3, 2, 1}
+	if r := R2(y, bad); r >= 0 {
+		t.Fatalf("anti-correlated prediction should be negative, got %v", r)
+	}
+}
+
+func TestR2ConstantTruth(t *testing.T) {
+	y := []float64{5, 5, 5}
+	if r := R2(y, []float64{5, 5, 5}); r != 1 {
+		t.Fatalf("exact constant R² = %v", r)
+	}
+	if r := R2(y, []float64{4, 5, 6}); r != 0 {
+		t.Fatalf("inexact constant R² = %v", r)
+	}
+}
+
+func TestMeanAbsRelError(t *testing.T) {
+	y := []float64{10, 20, 0}
+	p := []float64{11, 18, 5}
+	// zero-truth sample skipped: (0.1 + 0.1)/2 = 0.1
+	if got := MeanAbsRelError(y, p); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("MARE = %v, want 0.1", got)
+	}
+	if errs := AbsRelErrors(y, p); len(errs) != 2 {
+		t.Fatalf("AbsRelErrors len = %d, want 2", len(errs))
+	}
+}
+
+func TestLogisticUnderperformsLinearOnWideRange(t *testing.T) {
+	// Energy-like data: strictly linear, wide dynamic range. Logistic's
+	// sigmoid saturation must lose to OLS — the Table I phenomenon.
+	rng := rand.New(rand.NewSource(4))
+	n := 300
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		X[i] = []float64{rng.Float64() * 100, rng.Float64() * 10}
+		y[i] = 3*X[i][0] + 40*X[i][1] + 5 + rng.NormFloat64()*10
+	}
+	var lr Linear
+	logr := &Logistic{}
+	r2lin, err := EvalR2(&lr, X[:200], y[:200], X[200:], y[200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2log, err := EvalR2(logr, X[:200], y[:200], X[200:], y[200:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2lin < 0.95 {
+		t.Fatalf("linear R² = %v", r2lin)
+	}
+	if r2log >= r2lin {
+		t.Fatalf("logistic (%v) should underperform linear (%v) on linear data", r2log, r2lin)
+	}
+}
+
+func TestNeuralLearnsNonlinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 400
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*2-1, rng.Float64()*2-1
+		X[i] = []float64{a, b}
+		y[i] = a*a + math.Abs(b) // nonlinear
+	}
+	nr := &Neural{Hidden: 16, Iters: 1500, LR: 0.05, Seed: 9}
+	r2, err := EvalR2(nr, X[:300], y[:300], X[300:], y[300:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0.8 {
+		t.Fatalf("neural R² on nonlinear data = %v, want > 0.8", r2)
+	}
+	// Linear regression cannot capture it as well.
+	var lr Linear
+	r2lin, err := EvalR2(&lr, X[:300], y[:300], X[300:], y[300:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2lin >= r2 {
+		t.Fatalf("linear (%v) should lose to neural (%v) on nonlinear data", r2lin, r2)
+	}
+}
+
+func TestNeuralDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	X, y, _ := makeLinearData(rng, 100, 3, 0.1)
+	a := &Neural{Seed: 42, Iters: 100}
+	b := &Neural{Seed: 42, Iters: 100}
+	if err := a.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	probe := []float64{0.3, -0.2, 0.7}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Fatal("same seed must give identical models")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if (&Linear{}).Name() != "LR" || (&Logistic{}).Name() != "LogR" || (&Neural{}).Name() != "NR" {
+		t.Fatal("model names must match Table I headers")
+	}
+}
+
+// Property: R² is invariant under affine transforms applied to both truth
+// and prediction.
+func TestR2AffineInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		y := make([]float64, n)
+		p := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+			p[i] = y[i] + rng.NormFloat64()*0.3
+		}
+		a, b := 1+rng.Float64()*5, rng.NormFloat64()*10
+		y2 := make([]float64, n)
+		p2 := make([]float64, n)
+		for i := range y {
+			y2[i] = a*y[i] + b
+			p2[i] = a*p[i] + b
+		}
+		return math.Abs(R2(y, p)-R2(y2, p2)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveSPDSingularDetected(t *testing.T) {
+	// Duplicate feature columns with zero ridge epsilon would be singular,
+	// but the default ridge keeps it solvable.
+	X := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	y := []float64{2, 4, 6, 8}
+	var lr Linear
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatalf("ridge should handle collinear columns: %v", err)
+	}
+	if p := lr.Predict([]float64{5, 5}); math.Abs(p-10) > 1e-3 {
+		t.Fatalf("collinear prediction %v, want 10", p)
+	}
+}

@@ -1,0 +1,120 @@
+package solar
+
+import "math"
+
+// The single-diode photovoltaic model: I(V) = Iph − I0·(exp(V/(n·Vt)) − 1).
+// The simplified Power() method assumes perfect maximum-power-point
+// operation; the IV methods below expose the underlying curve so the
+// harvester can implement realistic perturb-and-observe tracking with its
+// attendant efficiency loss.
+
+// ivParams returns the diode parameters consistent with the cell's
+// calibrated Voc at the given illuminance.
+func (c Cell) ivParams(lux float64) (iph, i0, nvt float64) {
+	iph = c.Photocurrent(lux)
+	if iph <= 0 {
+		return 0, 0, 1
+	}
+	// Thermal voltage with ideality factor ≈1.8 for amorphous silicon.
+	nvt = 1.8 * 0.02585
+	voc := c.Voc(lux)
+	// At open circuit: 0 = Iph − I0·(exp(Voc/nVt) − 1).
+	i0 = iph / (math.Exp(voc/nvt) - 1)
+	return iph, i0, nvt
+}
+
+// Current returns the cell output current at terminal voltage v under the
+// given illuminance (0 beyond open circuit).
+func (c Cell) Current(lux, v float64) float64 {
+	iph, i0, nvt := c.ivParams(lux)
+	if iph == 0 {
+		return 0
+	}
+	i := iph - i0*(math.Exp(v/nvt)-1)
+	if i < 0 {
+		return 0
+	}
+	return i
+}
+
+// PowerAt returns the electrical output power at terminal voltage v.
+func (c Cell) PowerAt(lux, v float64) float64 {
+	return v * c.Current(lux, v)
+}
+
+// MPP returns the maximum-power-point voltage and power found by scanning
+// the IV curve.
+func (c Cell) MPP(lux float64) (vmp, pmp float64) {
+	voc := c.Voc(lux)
+	if voc <= 0 {
+		return 0, 0
+	}
+	const steps = 200
+	for i := 1; i < steps; i++ {
+		v := voc * float64(i) / steps
+		if p := c.PowerAt(lux, v); p > pmp {
+			vmp, pmp = v, p
+		}
+	}
+	return vmp, pmp
+}
+
+// MPPTracker is a perturb-and-observe maximum-power-point tracker, the
+// algorithm the SPV1050 class of harvesters implements: it nudges the
+// operating voltage by StepV each update and keeps the direction that
+// increased power. Under steady light it oscillates within one step of the
+// true MPP; after a light change it walks there at one step per update.
+type MPPTracker struct {
+	// StepV is the perturbation step.
+	StepV float64
+	// V is the current operating voltage.
+	V float64
+
+	lastP   float64
+	dir     float64
+	started bool
+}
+
+// NewMPPTracker returns a tracker starting at the given voltage.
+func NewMPPTracker(startV float64) *MPPTracker {
+	return &MPPTracker{StepV: 0.01, V: startV, dir: 1}
+}
+
+// Update performs one perturb-and-observe step against the cell at the
+// given illuminance and returns the power now being extracted.
+func (t *MPPTracker) Update(c Cell, lux float64) float64 {
+	p := c.PowerAt(lux, t.V)
+	if t.started {
+		if p < t.lastP {
+			t.dir = -t.dir // got worse: reverse
+		}
+	}
+	t.started = true
+	t.lastP = p
+	t.V += t.dir * t.StepV
+	if t.V < 0 {
+		t.V = 0
+		t.dir = 1
+	}
+	if voc := c.Voc(lux); t.V > voc && voc > 0 {
+		t.V = voc
+		t.dir = -1
+	}
+	return p
+}
+
+// TrackingEfficiency runs the tracker for `updates` steps at constant
+// illuminance and returns the mean extracted power divided by the true MPP
+// power — the realistic harvesting efficiency of a P&O front end.
+func TrackingEfficiency(c Cell, lux float64, startV float64, updates int) float64 {
+	_, pmp := c.MPP(lux)
+	if pmp == 0 {
+		return 0
+	}
+	tr := NewMPPTracker(startV)
+	var sum float64
+	for i := 0; i < updates; i++ {
+		sum += tr.Update(c, lux)
+	}
+	return sum / float64(updates) / pmp
+}

@@ -1,0 +1,114 @@
+package solar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIVCurveEndpoints(t *testing.T) {
+	c := DefaultCell()
+	// Short circuit: I(0) = Iph.
+	if got, want := c.Current(500, 0), c.Photocurrent(500); math.Abs(got-want) > want*1e-9 {
+		t.Fatalf("Isc %v, want %v", got, want)
+	}
+	// Open circuit: I(Voc) ≈ 0.
+	if i := c.Current(500, c.Voc(500)); i > c.Photocurrent(500)*1e-6 {
+		t.Fatalf("current at Voc should vanish: %v", i)
+	}
+	// Beyond Voc: clamped at 0.
+	if i := c.Current(500, c.Voc(500)*1.2); i != 0 {
+		t.Fatalf("current beyond Voc: %v", i)
+	}
+	// Darkness.
+	if c.Current(0, 0.3) != 0 {
+		t.Fatal("dark cell must produce no current")
+	}
+}
+
+func TestIVCurveMonotoneDecreasing(t *testing.T) {
+	c := DefaultCell()
+	voc := c.Voc(500)
+	prev := math.Inf(1)
+	for i := 0; i <= 20; i++ {
+		v := voc * float64(i) / 20
+		cur := c.Current(500, v)
+		if cur > prev+1e-12 {
+			t.Fatalf("current must fall with voltage: %v at v=%v", cur, v)
+		}
+		prev = cur
+	}
+}
+
+func TestMPPConsistentWithSimplifiedPower(t *testing.T) {
+	// The scanned MPP should land near the calibrated Power() figure
+	// (which folds in the harvester's conversion loss, so the raw MPP
+	// sits somewhat above it).
+	c := DefaultCell()
+	for _, lux := range []float64{250, 500, 1000} {
+		vmp, pmp := c.MPP(lux)
+		if vmp <= 0 || vmp >= c.Voc(lux) {
+			t.Fatalf("vmp %v outside (0, Voc)", vmp)
+		}
+		simplified := c.Power(lux)
+		if pmp < simplified*0.7 || pmp > simplified*2.0 {
+			t.Fatalf("at %v lux scanned MPP %v vs calibrated %v", lux, pmp, simplified)
+		}
+	}
+}
+
+func TestMPPVoltageNearExpectedFraction(t *testing.T) {
+	// Amorphous cells run their MPP at ≈70–90% of Voc.
+	c := DefaultCell()
+	vmp, _ := c.MPP(500)
+	frac := vmp / c.Voc(500)
+	if frac < 0.6 || frac > 0.95 {
+		t.Fatalf("vmp/Voc = %.2f outside the plausible band", frac)
+	}
+}
+
+func TestTrackerConvergesToMPP(t *testing.T) {
+	c := DefaultCell()
+	vmp, _ := c.MPP(500)
+	tr := NewMPPTracker(0.1) // start far from the MPP
+	for i := 0; i < 200; i++ {
+		tr.Update(c, 500)
+	}
+	if math.Abs(tr.V-vmp) > 3*tr.StepV {
+		t.Fatalf("tracker at %v, MPP at %v", tr.V, vmp)
+	}
+}
+
+func TestTrackerRecoversFromLightChange(t *testing.T) {
+	c := DefaultCell()
+	tr := NewMPPTracker(0.1)
+	for i := 0; i < 200; i++ {
+		tr.Update(c, 800)
+	}
+	// Light drops: the tracker must walk to the new MPP.
+	for i := 0; i < 200; i++ {
+		tr.Update(c, 200)
+	}
+	vmp, _ := c.MPP(200)
+	if math.Abs(tr.V-vmp) > 3*tr.StepV {
+		t.Fatalf("after light change tracker at %v, MPP at %v", tr.V, vmp)
+	}
+}
+
+func TestTrackingEfficiencyHigh(t *testing.T) {
+	c := DefaultCell()
+	eff := TrackingEfficiency(c, 500, 0.3, 500)
+	if eff < 0.9 || eff > 1.0 {
+		t.Fatalf("P&O tracking efficiency %.3f outside (0.9, 1.0]", eff)
+	}
+}
+
+func TestTrackerVoltageStaysInRange(t *testing.T) {
+	c := DefaultCell()
+	tr := NewMPPTracker(0)
+	for i := 0; i < 500; i++ {
+		tr.Update(c, 500)
+		if tr.V < 0 || tr.V > c.Voc(500)+tr.StepV {
+			t.Fatalf("tracker voltage %v escaped the curve", tr.V)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package solar models the AM1606C-class amorphous-silicon solar cells of
+// the SolarML platform. The same cells serve three roles — energy harvesting,
+// gesture sensing, and event detection — so the model exposes both an
+// electrical view (power, photocurrent, open-circuit voltage as functions of
+// illuminance) and a sensing view (divider voltage as a function of shading).
+//
+// Calibration: the paper's platform harvests enough energy in ≈31 s at
+// 500 lux to run a 6660 µJ end-to-end digit inference with a 25-cell array,
+// which implies ≈8.6 µW per 13 mm × 13 mm cell at 500 lux.
+package solar
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cell is one indoor photovoltaic cell.
+type Cell struct {
+	// AreaMM2 is the active area in mm² (13×13 mm for AM1606C).
+	AreaMM2 float64
+	// MicroWattPerLux is the maximum-power-point output per lux.
+	MicroWattPerLux float64
+	// VocFull is the open-circuit voltage at the reference illuminance.
+	VocFull float64
+	// RefLux is the reference illuminance for VocFull.
+	RefLux float64
+}
+
+// DefaultCell returns the AM1606C-class cell used by the prototype,
+// calibrated to the paper's harvesting times (§V-D).
+func DefaultCell() Cell {
+	return Cell{
+		AreaMM2:         13 * 13,
+		MicroWattPerLux: 0.0172,
+		VocFull:         0.60,
+		RefLux:          1000,
+	}
+}
+
+// Power returns the maximum-power-point output in watts at the given
+// illuminance (lux), assuming the harvester tracks the MPP.
+func (c Cell) Power(lux float64) float64 {
+	if lux <= 0 {
+		return 0
+	}
+	return c.MicroWattPerLux * lux * 1e-6
+}
+
+// Photocurrent returns the short-circuit photocurrent in amperes. Indoor
+// amorphous cells are current-linear in illuminance; the MPP sits near
+// 0.8·Isc·0.8·Voc, which fixes the proportionality from MicroWattPerLux.
+func (c Cell) Photocurrent(lux float64) float64 {
+	if lux <= 0 {
+		return 0
+	}
+	vmp := 0.8 * c.Voc(lux)
+	if vmp <= 0 {
+		return 0
+	}
+	return c.Power(lux) / vmp / 0.8
+}
+
+// Voc returns the open-circuit voltage, logarithmic in illuminance as for a
+// photodiode, clamped at zero in darkness.
+func (c Cell) Voc(lux float64) float64 {
+	if lux <= 1 {
+		return 0
+	}
+	v := c.VocFull * (0.7 + 0.3*math.Log(lux)/math.Log(c.RefLux))
+	if v < 0 {
+		return 0
+	}
+	if lim := c.VocFull * 1.1; v > lim {
+		return lim
+	}
+	return v
+}
+
+// SenseVoltage returns the voltage sampled at the divider midpoint of a
+// sensing-configured cell (Fig 4): proportional to the photocurrent through
+// R1‖R2, so hovering (shade → less light) lowers it. shade ∈ [0,1] is the
+// fraction of light blocked.
+func (c Cell) SenseVoltage(lux, shade, dividerGain float64) float64 {
+	if shade < 0 {
+		shade = 0
+	}
+	if shade > 1 {
+		shade = 1
+	}
+	eff := lux * (1 - shade)
+	v := c.Photocurrent(eff) * dividerGain
+	if max := c.Voc(eff); v > max && max > 0 {
+		v = max
+	}
+	return v
+}
+
+// Role assigns a cell to one of the three platform functions. All cells
+// harvest; Sensing cells switch to the divider branch during gestures;
+// Detect cells feed the passive event-detection circuit.
+type Role int
+
+const (
+	// HarvestOnly cells connect straight to the supercap.
+	HarvestOnly Role = iota
+	// Sensing cells are SPDT-switched between harvesting and sensing.
+	Sensing
+	// Detect cells drive the passive event-detection circuit through
+	// blocking Schottky diodes.
+	Detect
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case HarvestOnly:
+		return "harvest"
+	case Sensing:
+		return "sensing"
+	case Detect:
+		return "detect"
+	}
+	return "unknown"
+}
+
+// Array is the platform's solar-cell array.
+type Array struct {
+	Cell  Cell
+	Roles []Role
+}
+
+// NewArray builds the paper's 25-cell array: 14 harvest-only cells, a 3×3
+// block of 9 sensing cells, and 2 event-detection cells.
+func NewArray() *Array {
+	roles := make([]Role, 25)
+	for i := 0; i < 14; i++ {
+		roles[i] = HarvestOnly
+	}
+	for i := 14; i < 23; i++ {
+		roles[i] = Sensing
+	}
+	roles[23], roles[24] = Detect, Detect
+	return &Array{Cell: DefaultCell(), Roles: roles}
+}
+
+// Count returns how many cells hold the given role.
+func (a *Array) Count(role Role) int {
+	n := 0
+	for _, r := range a.Roles {
+		if r == role {
+			n++
+		}
+	}
+	return n
+}
+
+// HarvestPower returns the total harvesting power in watts at the given
+// illuminance. Cells currently switched into the sensing branch do not
+// charge the supercap, so sensingActive removes the sensing cells.
+func (a *Array) HarvestPower(lux float64, sensingActive bool) float64 {
+	p := 0.0
+	for _, r := range a.Roles {
+		if sensingActive && r == Sensing {
+			continue
+		}
+		// Detect cells pass through Schottky diodes: ~0.2 V drop of ~0.6 V.
+		f := 1.0
+		if r == Detect {
+			f = 0.9
+		}
+		p += a.Cell.Power(lux) * f
+	}
+	return p
+}
+
+// HarvestPowerShaded returns the harvesting power while a hand hovers over
+// the array: beyond switching the sensing cells out (sensingActive), the
+// hand's shadow also covers a fraction of the harvest-only cells. Because
+// all cells are wired in parallel, a shaded cell still contributes its
+// (reduced) photocurrent rather than dragging the string down — the reason
+// the paper parallels the cells (§III-B1).
+func (a *Array) HarvestPowerShaded(lux float64, handCover, handShade float64, sensingActive bool) float64 {
+	if handCover < 0 {
+		handCover = 0
+	}
+	if handCover > 1 {
+		handCover = 1
+	}
+	if handShade < 0 {
+		handShade = 0
+	}
+	if handShade > 1 {
+		handShade = 1
+	}
+	p := 0.0
+	covered := int(handCover * float64(len(a.Roles)))
+	seen := 0
+	for _, r := range a.Roles {
+		if sensingActive && r == Sensing {
+			continue
+		}
+		f := 1.0
+		if r == Detect {
+			f = 0.9
+		}
+		cellLux := lux
+		if seen < covered {
+			cellLux *= 1 - handShade
+		}
+		seen++
+		p += a.Cell.Power(cellLux) * f
+	}
+	return p
+}
+
+// SenseChannels returns the divider voltages of the first n sensing cells
+// given per-cell shading values. len(shade) must cover the sensing cells.
+func (a *Array) SenseChannels(lux float64, shade []float64, n int) ([]float64, error) {
+	total := a.Count(Sensing)
+	if n < 1 || n > total {
+		return nil, fmt.Errorf("solar: channel count %d outside [1,%d]", n, total)
+	}
+	if len(shade) < total {
+		return nil, fmt.Errorf("solar: %d shading values for %d sensing cells", len(shade), total)
+	}
+	out := make([]float64, n)
+	const dividerGain = 1500 // R1‖R2 in ohms
+	idx := 0
+	for _, r := range a.Roles {
+		if r != Sensing {
+			continue
+		}
+		if idx < n {
+			out[idx] = a.Cell.SenseVoltage(lux, shade[idx], dividerGain)
+		}
+		idx++
+	}
+	return out, nil
+}
+
+// DetectVoltage returns the voltage at the event-detection divider (V₂ in
+// Fig 5) for a given shading of the detector cells. The detection branch is
+// lightly loaded (high divider resistance) so the unshaded voltage sits
+// near Voc and collapses steeply when hovered, which is the event trigger.
+func (a *Array) DetectVoltage(lux, shade float64) float64 {
+	return a.Cell.SenseVoltage(lux, shade, 100_000)
+}

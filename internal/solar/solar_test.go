@@ -1,0 +1,198 @@
+package solar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCellPowerLinearInLux(t *testing.T) {
+	c := DefaultCell()
+	p500 := c.Power(500)
+	p1000 := c.Power(1000)
+	if math.Abs(p1000-2*p500) > 1e-15 {
+		t.Fatalf("power not linear: %v vs %v", p1000, 2*p500)
+	}
+	if c.Power(0) != 0 || c.Power(-10) != 0 {
+		t.Fatal("darkness must produce zero power")
+	}
+}
+
+func TestCellCalibration500Lux(t *testing.T) {
+	// §V-D calibration: ≈8.6 µW per cell at 500 lux.
+	c := DefaultCell()
+	got := c.Power(500) * 1e6
+	if math.Abs(got-8.6) > 0.1 {
+		t.Fatalf("cell power at 500 lux = %.2f µW, want ≈8.6", got)
+	}
+}
+
+func TestVocMonotoneInLux(t *testing.T) {
+	c := DefaultCell()
+	prev := -1.0
+	for _, lux := range []float64{2, 10, 50, 100, 250, 500, 1000} {
+		v := c.Voc(lux)
+		if v <= prev {
+			t.Fatalf("Voc not increasing at %v lux: %v <= %v", lux, v, prev)
+		}
+		prev = v
+	}
+	if c.Voc(0.5) != 0 {
+		t.Fatal("Voc in darkness must be 0")
+	}
+}
+
+func TestSenseVoltageDropsWithShade(t *testing.T) {
+	c := DefaultCell()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lux := 100 + rng.Float64()*900
+		s1 := rng.Float64() * 0.5
+		s2 := s1 + rng.Float64()*(1-s1)
+		v1 := c.SenseVoltage(lux, s1, 1500)
+		v2 := c.SenseVoltage(lux, s2, 1500)
+		return v2 <= v1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSenseVoltageShadeClamped(t *testing.T) {
+	c := DefaultCell()
+	if v := c.SenseVoltage(500, 1.5, 1500); v != c.SenseVoltage(500, 1, 1500) {
+		t.Fatalf("shade must clamp at 1: %v", v)
+	}
+	if v := c.SenseVoltage(500, -0.5, 1500); v != c.SenseVoltage(500, 0, 1500) {
+		t.Fatal("shade must clamp at 0")
+	}
+}
+
+func TestArrayComposition(t *testing.T) {
+	a := NewArray()
+	if len(a.Roles) != 25 {
+		t.Fatalf("array has %d cells, want 25", len(a.Roles))
+	}
+	if a.Count(HarvestOnly) != 14 {
+		t.Fatalf("harvest-only cells = %d, want 14", a.Count(HarvestOnly))
+	}
+	if a.Count(Sensing) != 9 {
+		t.Fatalf("sensing cells = %d, want 9", a.Count(Sensing))
+	}
+	if a.Count(Detect) != 2 {
+		t.Fatalf("detect cells = %d, want 2", a.Count(Detect))
+	}
+}
+
+func TestHarvestPowerAllCellsAt500Lux(t *testing.T) {
+	a := NewArray()
+	p := a.HarvestPower(500, false) * 1e6
+	// ≈25 cells × 8.6 µW, slightly less for the diode-blocked detect cells.
+	if p < 200 || p > 225 {
+		t.Fatalf("harvest power at 500 lux = %.1f µW, want ≈215", p)
+	}
+}
+
+func TestHarvestPowerDropsDuringSensing(t *testing.T) {
+	a := NewArray()
+	full := a.HarvestPower(500, false)
+	sensing := a.HarvestPower(500, true)
+	if sensing >= full {
+		t.Fatal("sensing mode must reduce harvesting power")
+	}
+	// Exactly the 9 sensing cells are removed.
+	want := full - 9*a.Cell.Power(500)
+	if math.Abs(sensing-want) > 1e-15 {
+		t.Fatalf("sensing harvest power %v, want %v", sensing, want)
+	}
+}
+
+func TestSenseChannelsValidation(t *testing.T) {
+	a := NewArray()
+	shade := make([]float64, 9)
+	if _, err := a.SenseChannels(500, shade, 0); err == nil {
+		t.Fatal("0 channels must error")
+	}
+	if _, err := a.SenseChannels(500, shade, 10); err == nil {
+		t.Fatal("10 channels must error (only 9 sensing cells)")
+	}
+	if _, err := a.SenseChannels(500, shade[:5], 9); err == nil {
+		t.Fatal("insufficient shading values must error")
+	}
+	out, err := a.SenseChannels(500, shade, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d channels", len(out))
+	}
+}
+
+func TestSenseChannelsReflectShading(t *testing.T) {
+	a := NewArray()
+	shade := make([]float64, 9)
+	shade[2] = 0.9
+	out, err := a.SenseChannels(500, shade, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if i == 2 {
+			if v >= out[0] {
+				t.Fatal("shaded channel must read lower")
+			}
+		} else if math.Abs(v-out[0]) > 1e-12 {
+			t.Fatalf("unshaded channels must match: %v vs %v", v, out[0])
+		}
+	}
+}
+
+func TestDetectVoltageCollapsesOnHover(t *testing.T) {
+	a := NewArray()
+	open := a.DetectVoltage(500, 0)
+	hovered := a.DetectVoltage(500, 0.95)
+	if hovered >= open*0.3 {
+		t.Fatalf("hover must collapse V2: open %v, hovered %v", open, hovered)
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	if HarvestOnly.String() != "harvest" || Sensing.String() != "sensing" || Detect.String() != "detect" {
+		t.Fatal("role names")
+	}
+}
+
+func TestHarvestPowerShadedBounds(t *testing.T) {
+	a := NewArray()
+	full := a.HarvestPower(500, false)
+	// No hand: identical to the plain model.
+	if got := a.HarvestPowerShaded(500, 0, 0.9, false); math.Abs(got-full) > 1e-15 {
+		t.Fatalf("uncovered array should match HarvestPower: %v vs %v", got, full)
+	}
+	// A hand over half the array at 90% shade costs roughly 45%.
+	half := a.HarvestPowerShaded(500, 0.5, 0.9, false)
+	if half >= full || half < full*0.4 {
+		t.Fatalf("half-covered power %v vs full %v", half, full)
+	}
+	// Full cover at full shade kills harvesting.
+	if got := a.HarvestPowerShaded(500, 1, 1, false); got != 0 {
+		t.Fatalf("fully shaded array should produce 0, got %v", got)
+	}
+	// Cover fraction clamps.
+	if got := a.HarvestPowerShaded(500, 2, 0.5, false); got < 0 {
+		t.Fatalf("clamped cover produced %v", got)
+	}
+}
+
+func TestHarvestPowerShadedMonotone(t *testing.T) {
+	a := NewArray()
+	prev := math.Inf(1)
+	for _, cover := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		p := a.HarvestPowerShaded(500, cover, 0.8, true)
+		if p > prev {
+			t.Fatalf("more hand cover must not increase power (cover %v)", cover)
+		}
+		prev = p
+	}
+}

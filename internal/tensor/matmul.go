@@ -1,0 +1,109 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a×b for 2-D tensors.
+// a has shape (m, k) and b has shape (k, n); the result has shape (m, n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		panic("tensor: MatMul requires 2-D operands")
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %d vs %d", k, k2))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a×b, reusing dst's buffer. dst must be (m, n).
+// The kernel iterates in i-k-j order so the inner loop walks both b and dst
+// contiguously, which keeps candidate training fast enough for NAS sweeps.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if dst.Shape[0] != m || dst.Shape[1] != n {
+		panic("tensor: MatMulInto destination shape mismatch")
+	}
+	dst.Zero()
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransA computes aᵀ×b for a of shape (k, m) and b of shape (k, n),
+// producing (m, n). Used for weight-gradient accumulation in backprop.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransA inner dimension mismatch")
+	}
+	out := New(m, n)
+	for kk := 0; kk < k; kk++ {
+		arow := a.Data[kk*m : (kk+1)*m]
+		brow := b.Data[kk*n : (kk+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB computes a×bᵀ for a of shape (m, k) and b of shape (n, k),
+// producing (m, n). Used for input-gradient propagation in backprop.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Shape[0], a.Shape[1]
+	n, k2 := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic("tensor: MatMulTransB inner dimension mismatch")
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Dims() != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}

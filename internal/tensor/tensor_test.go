@@ -1,0 +1,256 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndVolume(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", tt.Len())
+	}
+	if tt.Dims() != 3 {
+		t.Fatalf("Dims = %d, want 3", tt.Dims())
+	}
+	for _, v := range tt.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on non-positive dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(3, 4)
+	tt.Set(7.5, 2, 1)
+	if got := tt.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1) = %v, want 7.5", got)
+	}
+	if got := tt.Data[2*4+1]; got != 7.5 {
+		t.Fatalf("flat layout wrong: %v", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	tt := New(3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	tt.At(3, 0)
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float64{1, 2, 3, 4}
+	tt := FromSlice(d, 2, 2)
+	tt.Set(9, 0, 0)
+	if d[0] != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+}
+
+func TestReshapeSharesBuffer(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Fatal("Reshape must share the backing buffer")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := a.Clone()
+	b.Data[0] = 5
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	a.Add(b)
+	want := []float64{5, 7, 9}
+	for i, w := range want {
+		if a.Data[i] != w {
+			t.Fatalf("Add: a[%d] = %v, want %v", i, a.Data[i], w)
+		}
+	}
+	a.Sub(b)
+	for i, w := range []float64{1, 2, 3} {
+		if a.Data[i] != w {
+			t.Fatalf("Sub: a[%d] = %v, want %v", i, a.Data[i], w)
+		}
+	}
+	a.MulElem(b)
+	for i, w := range []float64{4, 10, 18} {
+		if a.Data[i] != w {
+			t.Fatalf("MulElem: a[%d] = %v, want %v", i, a.Data[i], w)
+		}
+	}
+	a.Scale(0.5)
+	for i, w := range []float64{2, 5, 9} {
+		if a.Data[i] != w {
+			t.Fatalf("Scale: a[%d] = %v, want %v", i, a.Data[i], w)
+		}
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{-1, 3, 2, 0}, 4)
+	if a.Sum() != 4 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.Mean() != 1 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if a.Max() != 3 {
+		t.Fatalf("Max = %v", a.Max())
+	}
+	if a.Argmax() != 1 {
+		t.Fatalf("Argmax = %v", a.Argmax())
+	}
+	if got := a.L2Norm(); math.Abs(got-math.Sqrt(14)) > 1e-12 {
+		t.Fatalf("L2Norm = %v", got)
+	}
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dim mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+func TestTranspose2D(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := Transpose2D(a)
+	if at.Shape[0] != 3 || at.Shape[1] != 2 {
+		t.Fatalf("transpose shape %v", at.Shape)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatal("transpose values wrong")
+	}
+}
+
+func TestMatMulTransConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 5)
+	b := New(4, 3)
+	a.RandFill(rng, 1)
+	b.RandFill(rng, 1)
+	// aᵀ×b two ways.
+	got := MatMulTransA(a, b)
+	want := MatMul(Transpose2D(a), b)
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("MatMulTransA mismatch at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	// a×bᵀ two ways: (4,5)×(3,5)ᵀ.
+	c := New(3, 5)
+	c.RandFill(rng, 1)
+	got2 := MatMulTransB(a, c)
+	want2 := MatMul(a, Transpose2D(c))
+	for i := range want2.Data {
+		if math.Abs(got2.Data[i]-want2.Data[i]) > 1e-12 {
+			t.Fatalf("MatMulTransB mismatch at %d", i)
+		}
+	}
+}
+
+// Property: matmul distributes over addition, (a+b)×c = a×c + b×c.
+func TestMatMulDistributiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b, c := New(m, k), New(m, k), New(k, n)
+		a.RandFill(rng, 1)
+		b.RandFill(rng, 1)
+		c.RandFill(rng, 1)
+		ab := a.Clone()
+		ab.Add(b)
+		left := MatMul(ab, c)
+		right := MatMul(a, c)
+		right.Add(MatMul(b, c))
+		for i := range left.Data {
+			if math.Abs(left.Data[i]-right.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := New(m, n)
+		a.RandFill(rng, 1)
+		b := Transpose2D(Transpose2D(a))
+		if !SameShape(a, b) {
+			return false
+		}
+		for i := range a.Data {
+			if a.Data[i] != b.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAxpyInto(t *testing.T) {
+	dst := FromSlice([]float64{1, 1}, 2)
+	src := FromSlice([]float64{2, 3}, 2)
+	AxpyInto(dst, 2, src)
+	if dst.Data[0] != 5 || dst.Data[1] != 7 {
+		t.Fatalf("Axpy result %v", dst.Data)
+	}
+}
+
+func TestRandFillRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(1000)
+	a.RandFill(rng, 0.5)
+	for _, v := range a.Data {
+		if v < -0.5 || v > 0.5 {
+			t.Fatalf("RandFill out of range: %v", v)
+		}
+	}
+}

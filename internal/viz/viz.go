@@ -1,0 +1,142 @@
+// Package viz renders the evaluation's figures as ASCII charts: scatter
+// plots for the Fig 10 accuracy/energy fronts, line plots for the Fig 9
+// error CDFs, and bar charts for the Fig 1 energy distribution. Pure text
+// output keeps the whole reproduction dependency-free while still giving
+// the benchmark harness figure-shaped artifacts.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named point set.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Scatter renders one or more series into a width×height character grid
+// with axis ranges derived from the data.
+func Scatter(title, xlabel, ylabel string, width, height int, series ...Series) string {
+	if width < 20 || height < 5 {
+		panic("viz: chart too small")
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	empty := true
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			panic(fmt.Sprintf("viz: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y)))
+		}
+		for i := range s.X {
+			empty = false
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if empty {
+		return title + ": (no data)\n"
+	}
+	if minX == maxX {
+		minX, maxX = minX-1, maxX+1
+	}
+	if minY == maxY {
+		minY, maxY = minY-1, maxY+1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			cy := height - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(height-1))
+			if grid[cy][cx] != ' ' && grid[cy][cx] != m {
+				grid[cy][cx] = '+'
+			} else {
+				grid[cy][cx] = m
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "| %s\n", row)
+	}
+	fmt.Fprintf(&b, "+-%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "  %s: [%.3g .. %.3g]   %s: [%.3g .. %.3g]\n", xlabel, minX, maxX, ylabel, minY, maxY)
+	for _, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = '*'
+		}
+		fmt.Fprintf(&b, "  %c %s\n", m, s.Name)
+	}
+	return b.String()
+}
+
+// CDF renders empirical distribution curves of the sample sets, as in
+// Fig 9c.
+func CDF(title, xlabel string, width, height int, series ...Series) string {
+	// Convert each sample set (stored in X) into a step curve.
+	curves := make([]Series, 0, len(series))
+	for _, s := range series {
+		xs := append([]float64(nil), s.X...)
+		sort.Float64s(xs)
+		ys := make([]float64, len(xs))
+		for i := range xs {
+			ys[i] = float64(i+1) / float64(len(xs))
+		}
+		curves = append(curves, Series{Name: s.Name, Marker: s.Marker, X: xs, Y: ys})
+	}
+	return Scatter(title, xlabel, "CDF", width, height, curves...)
+}
+
+// Bar is one labeled stacked bar.
+type Bar struct {
+	Label string
+	// Parts are the stacked fractions (they should sum to ≈1).
+	Parts []float64
+}
+
+// StackedBars renders horizontal stacked bars (the Fig 1 layout), with one
+// rune per part.
+func StackedBars(title string, width int, partNames []string, markers []byte, bars []Bar) string {
+	if len(partNames) != len(markers) {
+		panic("viz: part names and markers must align")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, bar := range bars {
+		if len(bar.Parts) != len(partNames) {
+			panic(fmt.Sprintf("viz: bar %q has %d parts, want %d", bar.Label, len(bar.Parts), len(partNames)))
+		}
+		row := make([]byte, 0, width)
+		for pi, frac := range bar.Parts {
+			n := int(math.Round(frac * float64(width)))
+			for j := 0; j < n && len(row) < width; j++ {
+				row = append(row, markers[pi])
+			}
+		}
+		for len(row) < width {
+			row = append(row, ' ')
+		}
+		fmt.Fprintf(&b, "  %-26s |%s|\n", bar.Label, row)
+	}
+	legend := make([]string, len(partNames))
+	for i := range partNames {
+		legend[i] = fmt.Sprintf("%c=%s", markers[i], partNames[i])
+	}
+	fmt.Fprintf(&b, "  %s\n", strings.Join(legend, "  "))
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasics(t *testing.T) {
+	out := Scatter("front", "energy", "acc", 40, 10,
+		Series{Name: "eNAS", Marker: 'e', X: []float64{1, 2, 3}, Y: []float64{0.8, 0.85, 0.9}},
+		Series{Name: "µNAS", Marker: 'm', X: []float64{2, 4}, Y: []float64{0.8, 0.9}},
+	)
+	for _, want := range []string{"front", "eNAS", "µNAS", "energy", "acc", "e", "m"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	marked := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "| ") {
+			marked++
+			if len(l) != 42 { // "| " + 40
+				t.Fatalf("row width %d: %q", len(l), l)
+			}
+		}
+	}
+	if marked != 10 {
+		t.Fatalf("%d grid rows, want 10", marked)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := Scatter("t", "x", "y", 40, 10)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestScatterDegenerateRange(t *testing.T) {
+	// Constant data must not divide by zero.
+	out := Scatter("t", "x", "y", 40, 10,
+		Series{Name: "s", X: []float64{1, 1}, Y: []float64{2, 2}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("marker missing:\n%s", out)
+	}
+}
+
+func TestScatterOverlapMarker(t *testing.T) {
+	out := Scatter("t", "x", "y", 40, 10,
+		Series{Name: "a", Marker: 'a', X: []float64{1, 5}, Y: []float64{1, 5}},
+		Series{Name: "b", Marker: 'b', X: []float64{1, 5}, Y: []float64{1, 5}},
+	)
+	if !strings.Contains(out, "+") {
+		t.Fatalf("overlapping points should render '+':\n%s", out)
+	}
+}
+
+func TestScatterPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scatter("t", "x", "y", 40, 10, Series{Name: "bad", X: []float64{1}, Y: nil})
+}
+
+func TestCDFMonotone(t *testing.T) {
+	out := CDF("err cdf", "relative error", 40, 8,
+		Series{Name: "ours", Marker: 'o', X: []float64{0.3, 0.1, 0.2, 0.05}})
+	if !strings.Contains(out, "CDF") || !strings.Contains(out, "ours") {
+		t.Fatalf("cdf output:\n%s", out)
+	}
+}
+
+func TestStackedBars(t *testing.T) {
+	out := StackedBars("fig1", 40,
+		[]string{"E_E", "E_S", "E_M"}, []byte{'e', 's', 'm'},
+		[]Bar{
+			{Label: "#1 continuous", Parts: []float64{0.7, 0.2, 0.1}},
+			{Label: "#5 gesture", Parts: []float64{0.15, 0.6, 0.25}},
+		})
+	for _, want := range []string{"fig1", "#1 continuous", "e=E_E", "s=E_S"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	// The first bar should be ~70% 'e' characters: 28 of 40.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "#1") {
+			if n := strings.Count(l, "e"); n < 26 || n > 30 {
+				t.Fatalf("bar fill %d chars, want ≈28: %q", n, l)
+			}
+		}
+	}
+}
+
+func TestStackedBarsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on part mismatch")
+		}
+	}()
+	StackedBars("t", 40, []string{"a"}, []byte{'a'},
+		[]Bar{{Label: "x", Parts: []float64{0.5, 0.5}}})
+}
