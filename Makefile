@@ -1,0 +1,30 @@
+# SolarML repo checks. `make verify` is the tier-1 gate (build + full test
+# suite); `make check` adds vet and the race detector over the packages with
+# real concurrency (the obs sink and the parallel eNAS evaluator).
+
+GO ?= go
+
+.PHONY: verify vet race check bench bench-obs
+
+verify:
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/obs/... ./internal/enas/...
+
+check: verify vet race
+
+# bench regenerates every paper table/figure through the benchmark harness.
+bench:
+	$(GO) test -bench=. -benchtime=1x -benchmem
+
+# bench-obs measures the telemetry overhead of a full eNAS search:
+# recorder+registry attached (events encoded and discarded) vs the nil
+# no-op sink. The delta is the recording cost; budget <2% of search time.
+bench-obs:
+	$(GO) test -run NONE -bench 'BenchmarkSearchTelemetry' -benchtime 50x -count 3 .
+	$(GO) test -run NONE -bench 'BenchmarkNoopSpan' ./internal/obs/

@@ -8,13 +8,16 @@ package solarml
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
 	"solarml/internal/core"
+	"solarml/internal/enas"
 	"solarml/internal/experiments"
 	"solarml/internal/nas"
 	"solarml/internal/nn"
+	"solarml/internal/obs"
 )
 
 // onceEach guards the one-time printing of every benchmark's rows.
@@ -282,6 +285,41 @@ func BenchmarkSessionSimulation(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchSearchTelemetry times one complete small eNAS search with the given
+// telemetry sink so the on/off pair below measures the recording overhead.
+func benchSearchTelemetry(b *testing.B, rec *obs.Recorder, reg *obs.Registry) {
+	space := nas.GestureSpace()
+	cfg := enas.Config{
+		Lambda: 0.5, Population: 16, SampleSize: 6, Cycles: 30,
+		SensingEvery: 8, Seed: 9,
+		Constraints: nas.DefaultConstraints(nas.TaskGesture),
+		Obs:         rec, Metrics: reg,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		if _, err := enas.Search(space, eval, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchTelemetryOff is the no-op baseline for the pair: the same
+// search with a nil recorder and registry. Compare against
+// BenchmarkSearchTelemetryOn — the recording overhead budget is <2% of
+// cycle time.
+func BenchmarkSearchTelemetryOff(b *testing.B) {
+	benchSearchTelemetry(b, nil, nil)
+}
+
+// BenchmarkSearchTelemetryOn runs the same search with a live recorder
+// (events discarded after encoding) and metrics registry, so the delta over
+// BenchmarkSearchTelemetryOff is the full serialize-and-count cost.
+func BenchmarkSearchTelemetryOn(b *testing.B) {
+	benchSearchTelemetry(b, obs.NewRecorder(io.Discard), obs.NewRegistry())
 }
 
 // BenchmarkSurrogateEvaluation times one candidate evaluation — the inner

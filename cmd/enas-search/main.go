@@ -6,16 +6,26 @@
 //	enas-search [-algo enas|munas|harvnet] [-task gesture|kws]
 //	            [-lambda 0.5] [-pop 50] [-sample 20] [-cycles 150]
 //	            [-grid-every 20] [-seed 1] [-eval surrogate|train]
+//	            [-trace-out run.jsonl] [-metrics-out metrics.json]
+//	            [-pprof localhost:6060]
 //
 // With -eval train, every candidate is really trained on the synthetic
 // datasets (slow but end-to-end); with -eval surrogate the calibrated
 // analytic accuracy model is used (the Fig 10 configuration).
+//
+// -trace-out writes a JSONL obs trace (run manifest, phase spans, one
+// enas.cycle event per cycle); -metrics-out writes a final metrics
+// snapshot; -pprof serves net/http/pprof and expvar so long searches can
+// be profiled live. All three are off by default and cost nothing when
+// unset.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -24,6 +34,7 @@ import (
 	"solarml/internal/harvnet"
 	"solarml/internal/munas"
 	"solarml/internal/nas"
+	"solarml/internal/obs"
 )
 
 func main() {
@@ -39,78 +50,168 @@ func main() {
 	trainN := flag.Int("train-n", 200, "dataset size for -eval train")
 	workers := flag.Int("workers", 1, "parallel candidate evaluations (eNAS phase 1 + grid)")
 	warm := flag.Bool("warm", false, "with -eval train: children inherit parent weights (fewer epochs)")
+	traceOut := flag.String("trace-out", "", "write a JSONL obs trace to this file")
+	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	flag.Parse()
 
-	task := nas.TaskGesture
-	space := nas.GestureSpace()
-	if *taskName == "kws" {
-		task = nas.TaskKWS
-		space = nas.KWSSpace()
-	}
-
-	eval, err := buildEvaluator(*evalName, task, space, *seed, *trainN, *warm)
+	rec, reg, cleanup, err := setupObs(*traceOut, *metricsOut, *pprofAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	rec.WriteManifest(obs.Manifest{Tool: "enas-search", Seed: *seed, Config: map[string]any{
+		"algo": *algo, "task": *taskName, "lambda": *lambda,
+		"pop": *pop, "sample": *sample, "cycles": *cycles,
+		"grid_every": *gridEvery, "eval": *evalName, "workers": *workers,
+		"warm": *warm, "train_n": *trainN,
+	}})
+	if err := run(*algo, *taskName, *lambda, *pop, *sample, *cycles, *gridEvery,
+		*seed, *evalName, *trainN, *workers, *warm, rec, reg); err != nil {
+		rec.Finish(err.Error())
+		cleanup()
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	rec.FlushMetrics(reg)
+	rec.Finish("ok")
+	if err := cleanup(); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+// setupObs builds the optional telemetry sinks from the CLI flags. The
+// returned cleanup flushes and closes files and writes the metrics
+// snapshot; rec and reg are nil (disabled) when their flags are unset.
+func setupObs(traceOut, metricsOut, pprofAddr string) (*obs.Recorder, *obs.Registry, func() error, error) {
+	var rec *obs.Recorder
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		traceFile = f
+		rec = obs.NewRecorder(f)
+	}
+	var reg *obs.Registry
+	if metricsOut != "" || pprofAddr != "" || rec.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	if pprofAddr != "" {
+		reg.PublishExpvar("solarml")
+		go func() {
+			// DefaultServeMux carries /debug/pprof/* and /debug/vars.
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof+expvar listening on http://%s/debug/pprof\n", pprofAddr)
+	}
+	cleanup := func() error {
+		var first error
+		if metricsOut != "" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				first = err
+			} else {
+				if err := reg.WriteJSON(f); err != nil && first == nil {
+					first = err
+				}
+				if err := f.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		if rec != nil {
+			if err := rec.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return rec, reg, cleanup, nil
+}
+
+func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery int,
+	seed int64, evalName string, trainN, workers int, warm bool,
+	rec *obs.Recorder, reg *obs.Registry) error {
+	task := nas.TaskGesture
+	space := nas.GestureSpace()
+	if taskName == "kws" {
+		task = nas.TaskKWS
+		space = nas.KWSSpace()
+	}
+
+	eval, err := buildEvaluator(evalName, task, space, seed, trainN, warm, rec)
+	if err != nil {
+		return err
+	}
 
 	start := time.Now()
-	switch *algo {
+	switch algo {
 	case "enas":
 		cfg := enas.Config{
-			Lambda: *lambda, Population: *pop, SampleSize: *sample,
-			Cycles: *cycles, SensingEvery: *gridEvery, Seed: *seed,
+			Lambda: lambda, Population: pop, SampleSize: sample,
+			Cycles: cycles, SensingEvery: gridEvery, Seed: seed,
 			Constraints: nas.DefaultConstraints(task),
-			Workers:     *workers,
+			Workers:     workers,
+			Obs:         rec,
+			Metrics:     reg,
 		}
 		out, err := enas.Search(space, eval, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("eNAS (λ=%.2f) finished: %d evaluations in %v\n", *lambda, out.Evaluations, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("eNAS (λ=%.2f) finished: %d evaluations in %v\n", lambda, out.Evaluations, time.Since(start).Round(time.Millisecond))
 		fmt.Printf("  energy bounds: E_min %.0f µJ, E_max %.0f µJ\n", out.EMin*1e6, out.EMax*1e6)
 		printBest(out.Best.Cand, out.Best.Res)
 	case "munas":
-		sensing := space.RandomCandidate(rand.New(rand.NewSource(*seed)))
-		cfg := munas.Config{Population: *pop, SampleSize: *sample, Cycles: *cycles,
-			Seed: *seed, Constraints: nas.DefaultConstraints(task)}
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(seed)))
+		cfg := munas.Config{Population: pop, SampleSize: sample, Cycles: cycles,
+			Seed: seed, Constraints: nas.DefaultConstraints(task)}
 		out, err := munas.Search(space, sensing, eval, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("µNAS finished: %d evaluations in %v (fixed sensing: %s)\n",
 			out.Evaluations, time.Since(start).Round(time.Millisecond), sensing.SensingString())
 		printBest(out.BestAccuracy.Cand, out.BestAccuracy.Res)
 	case "harvnet":
-		sensing := space.RandomCandidate(rand.New(rand.NewSource(*seed)))
-		cfg := harvnet.Config{Population: *pop, SampleSize: *sample, Cycles: *cycles,
-			Seed: *seed, Constraints: nas.DefaultConstraints(task)}
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(seed)))
+		cfg := harvnet.Config{Population: pop, SampleSize: sample, Cycles: cycles,
+			Seed: seed, Constraints: nas.DefaultConstraints(task)}
 		out, err := harvnet.Search(space, sensing, eval, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("HarvNet finished: %d evaluations in %v (fixed sensing: %s)\n",
 			out.Evaluations, time.Since(start).Round(time.Millisecond), sensing.SensingString())
 		printBest(out.Best.Cand, out.Best.Res)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		return fmt.Errorf("unknown algorithm %q", algo)
 	}
+	return nil
 }
 
-func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, trainN int, warm bool) (nas.Evaluator, error) {
+func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, trainN int, warm bool, rec *obs.Recorder) (nas.Evaluator, error) {
 	switch name {
 	case "surrogate":
 		fitted, err := nas.CalibrateEnergy(space, 300, true, true, seed)
 		if err != nil {
 			return nil, err
 		}
-		return nas.NewSurrogateEvaluator(fitted), nil
+		ev := nas.NewSurrogateEvaluator(fitted)
+		ev.Obs = rec
+		return ev, nil
 	case "train":
-		ev := &nas.TrainEvaluator{Energy: nas.NewTruthEnergy(), Epochs: 4, LR: 0.05, Seed: seed, WarmStart: warm}
+		ev := &nas.TrainEvaluator{Energy: nas.NewTruthEnergy(), Epochs: 4, LR: 0.05, Seed: seed, WarmStart: warm, Obs: rec}
 		if task == nas.TaskGesture {
 			full := dataset.BuildGestureSet(trainN, 500, seed)
 			ev.GestureTrain, ev.GestureTest = full.Split(4)

@@ -4,21 +4,31 @@
 // Usage:
 //
 //	solarml <experiment> [-seed N] [-scale quick|paper] [-task gesture|kws]
+//	                     [-trace-out run.jsonl] [-metrics-out metrics.json]
+//	                     [-pprof localhost:6060]
 //
 // Experiments: fig1, fig2, fig6, fig7, table1, table3, fig9, fig10,
 // endtoend, ablation, all.
+//
+// -trace-out records the whole campaign as a JSONL obs trace (manifest,
+// experiments.* spans, eNAS cycle events, platform session spans, one
+// artifact event per CSV written); -metrics-out dumps the final metrics
+// snapshot; -pprof serves net/http/pprof + expvar for live profiling.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 
 	"solarml/internal/experiments"
 	"solarml/internal/nas"
 	"solarml/internal/nn"
+	"solarml/internal/obs"
 	"solarml/internal/viz"
 )
 
@@ -33,6 +43,9 @@ func main() {
 	scaleName := fs.String("scale", "quick", "search scale: quick or paper")
 	taskName := fs.String("task", "gesture", "task for fig10/ablation: gesture or kws")
 	csvDirFlag := fs.String("csv", "", "directory to write figure series as CSV (fig9, fig10)")
+	traceOut := fs.String("trace-out", "", "write a JSONL obs trace to this file")
+	metricsOut := fs.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -44,6 +57,27 @@ func main() {
 	task := nas.TaskGesture
 	if *taskName == "kws" {
 		task = nas.TaskKWS
+	}
+
+	rec, reg, cleanup, err := setupObs(*traceOut, *metricsOut, *pprofAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	obsRec = rec
+	experiments.SetObs(rec, reg)
+	rec.WriteManifest(obs.Manifest{Tool: "solarml", Seed: *seed, Config: map[string]any{
+		"experiment": cmd, "scale": *scaleName, "task": *taskName, "csv": csvDir,
+	}})
+	finish := func(outcome string) {
+		if outcome == "ok" {
+			rec.FlushMetrics(reg)
+		}
+		rec.Finish(outcome)
+		if err := cleanup(); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
 	}
 
 	run := func(name string) error {
@@ -64,8 +98,7 @@ func main() {
 			runTable3()
 			return nil
 		case "fig9":
-			runFig9(*seed)
-			return nil
+			return runFig9(*seed)
 		case "fig10":
 			return runFig10(task, scale, *seed)
 		case "endtoend":
@@ -101,16 +134,78 @@ func main() {
 		for _, name := range []string{"fig1", "fig2", "fig6", "fig7", "table1", "table3", "fig9", "fig10", "endtoend", "ablation", "multiexit", "objectives", "baseline"} {
 			fmt.Printf("\n════════ %s ════════\n", name)
 			if err := run(name); err != nil {
+				finish(err.Error())
 				fmt.Fprintln(os.Stderr, "error:", err)
 				os.Exit(1)
 			}
 		}
+		finish("ok")
 		return
 	}
 	if err := run(cmd); err != nil {
+		finish(err.Error())
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	finish("ok")
+}
+
+// setupObs builds the optional telemetry sinks from the CLI flags. The
+// returned cleanup flushes and closes files and writes the metrics
+// snapshot; rec and reg are nil (disabled) when their flags are unset.
+func setupObs(traceOut, metricsOut, pprofAddr string) (*obs.Recorder, *obs.Registry, func() error, error) {
+	var rec *obs.Recorder
+	var traceFile *os.File
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		traceFile = f
+		rec = obs.NewRecorder(f)
+	}
+	var reg *obs.Registry
+	if metricsOut != "" || pprofAddr != "" || rec.Enabled() {
+		reg = obs.NewRegistry()
+	}
+	if pprofAddr != "" {
+		reg.PublishExpvar("solarml")
+		go func() {
+			// DefaultServeMux carries /debug/pprof/* and /debug/vars.
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof+expvar listening on http://%s/debug/pprof\n", pprofAddr)
+	}
+	cleanup := func() error {
+		var first error
+		if metricsOut != "" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				first = err
+			} else {
+				if err := reg.WriteJSON(f); err != nil && first == nil {
+					first = err
+				}
+				if err := f.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		if rec != nil {
+			if err := rec.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return rec, reg, cleanup, nil
 }
 
 func usage() {
@@ -223,10 +318,17 @@ func runTable3() {
 	fmt.Print(experiments.FormatTable3(experiments.Table3()))
 }
 
-// csvDir, when set, receives figure series as CSV files.
-var csvDir string
+// csvDir, when set, receives figure series as CSV files; obsRec, when set,
+// records one artifact event per file written.
+var (
+	csvDir string
+	obsRec *obs.Recorder
+)
 
-// writeCSV writes rows (first row is the header) to csvDir/name.
+// writeCSV writes rows (first row is the header) to csvDir/name. It is the
+// single CSV path for every runFig*: all errors — mkdir, create, encode,
+// flush, close — come back to the caller, which must propagate them rather
+// than log-and-continue, so a failed artifact fails the experiment run.
 func writeCSV(name string, rows [][]string) error {
 	if csvDir == "" {
 		return nil
@@ -234,7 +336,8 @@ func writeCSV(name string, rows [][]string) error {
 	if err := os.MkdirAll(csvDir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(csvDir, name))
+	path := filepath.Join(csvDir, name)
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -248,11 +351,16 @@ func writeCSV(name string, rows [][]string) error {
 		f.Close()
 		return err
 	}
-	fmt.Printf("  wrote %s\n", filepath.Join(csvDir, name))
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	obsRec.Event("solarml.artifact", obs.Str("path", path),
+		obs.Int("rows", len(rows)-1))
+	fmt.Printf("  wrote %s\n", path)
+	return nil
 }
 
-func runFig9(seed int64) {
+func runFig9(seed int64) error {
 	res := experiments.Fig9(seed)
 	fmt.Println("Fig 9: energy model validation (60 held-out measurements each)")
 	fmt.Printf("  sensing model:    mean error %5.1f%%  (paper ≈3.1%%),  p90 %5.1f%%\n",
@@ -274,9 +382,7 @@ func runFig9(seed int64) {
 	for _, e := range res.SensingErrs {
 		rows = append(rows, []string{"sensing", fmt.Sprintf("%.6f", e)})
 	}
-	if err := writeCSV("fig9_errors.csv", rows); err != nil {
-		fmt.Fprintln(os.Stderr, "csv:", err)
-	}
+	return writeCSV("fig9_errors.csv", rows)
 }
 
 func runFig10(task nas.Task, scale experiments.Scale, seed int64) error {
@@ -330,7 +436,7 @@ func runFig10(task nas.Task, scale experiments.Scale, seed int64) error {
 	add("enas_lambda", bX, bY)
 	add("munas_best", mX, mY)
 	if err := writeCSV(fmt.Sprintf("fig10_%s.csv", task), rows); err != nil {
-		fmt.Fprintln(os.Stderr, "csv:", err)
+		return err
 	}
 	for _, floor := range []float64{0.80, 0.82, 0.85, 0.88, 0.90} {
 		if enasE, munasE, ratio, ok := res.EnergyRatioAt(floor, 0.03); ok {

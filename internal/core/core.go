@@ -18,6 +18,7 @@ import (
 	"solarml/internal/mcu"
 	"solarml/internal/nas"
 	"solarml/internal/nn"
+	"solarml/internal/obs"
 	"solarml/internal/powertrace"
 	"solarml/internal/solar"
 )
@@ -30,6 +31,10 @@ type Platform struct {
 	Detector  *detect.SolarML
 	Coeff     energymodel.Coefficients
 	Profile   mcu.PowerProfile
+	// Obs, when set, wraps every RunSession in a core.session span (name,
+	// task, idle mode, energy buckets) and replays the session's power
+	// trace into the event stream; it also propagates to the harvester.
+	Obs *obs.Recorder
 }
 
 // NewPlatform returns the calibrated prototype.
@@ -120,6 +125,24 @@ func (r *SessionReport) String() string {
 // RunSession simulates one end-to-end inference: idle wait → event
 // detection → wake-up → sampling → pre-processing → inference → standby.
 func (p *Platform) RunSession(cfg SessionConfig) (*SessionReport, error) {
+	sp := p.Obs.StartSpan("core.session",
+		obs.Str("name", cfg.Name), obs.Str("task", cfg.Task.String()),
+		obs.Str("idle", cfg.Idle.String()), obs.F64("idle_s", cfg.IdleS))
+	rep, err := p.runSession(cfg)
+	if err != nil {
+		sp.End(obs.Str("error", err.Error()))
+		return nil, err
+	}
+	if p.Obs.Enabled() {
+		rep.Trace.ExportObs(p.Obs, cfg.Name)
+	}
+	sp.End(obs.F64("e_e_j", rep.EE), obs.F64("e_s_j", rep.ES),
+		obs.F64("e_m_j", rep.EM), obs.F64("total_j", rep.Total))
+	return rep, nil
+}
+
+// runSession is the uninstrumented session simulation.
+func (p *Platform) runSession(cfg SessionConfig) (*SessionReport, error) {
 	dev := &mcu.Device{Profile: p.Profile, Trace: powertrace.New()}
 	// Idle + detection.
 	switch cfg.Idle {
@@ -197,6 +220,14 @@ func (p *Platform) RunSession(cfg SessionConfig) (*SessionReport, error) {
 	}
 	rep.Total = rep.EE + rep.ES + rep.EM
 	return rep, nil
+}
+
+// SetObs attaches the recorder to the platform and its harvester.
+func (p *Platform) SetObs(rec *obs.Recorder) {
+	p.Obs = rec
+	if p.Harvester != nil {
+		p.Harvester.Obs = rec
+	}
 }
 
 // HarvestTime returns the seconds of charging at the given illuminance

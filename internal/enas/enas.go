@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"solarml/internal/nas"
+	"solarml/internal/obs"
 )
 
 // Config holds the Algorithm 1 settings (§V-D: population 50, sample 20,
@@ -43,7 +45,24 @@ type Config struct {
 	// comparison (random scalarization, HarvNet's A/E). Closures may hold
 	// their own seeded randomness.
 	Objective func(acc, energyJ, eMin, eMax float64) float64
+	// Obs, when set, receives the search telemetry: an enas.search span
+	// wrapping enas.phase1/enas.phase2 sub-spans, one enas.cycle event per
+	// Phase 2 cycle (best objective/accuracy/energy, the E_min/E_max
+	// normalization bounds, population churn), and one enas.eval_batch
+	// span per parallel evaluation batch with its worker-pool utilization.
+	// A nil recorder costs nothing on the hot path, and telemetry never
+	// consumes random state, so a seeded search returns a byte-identical
+	// Best with recording on or off.
+	Obs *obs.Recorder
+	// Metrics, when set, accumulates search counters (evaluations,
+	// constraint rejects, evaluator errors, accepted/failed children) and
+	// timing/utilization histograms.
+	Metrics *obs.Registry
 	// Verbose, when set, receives one line per cycle.
+	//
+	// Deprecated: Verbose is kept for compatibility and is now implemented
+	// as a subscriber on the obs event stream (it fires on every
+	// enas.cycle event); new code should set Obs and consume events.
 	Verbose func(cycle int, best Entry)
 }
 
@@ -109,10 +128,46 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	out := &Outcome{}
 
+	// Telemetry setup. The deprecated Verbose hook rides on the obs event
+	// stream: when only Verbose is set, a dispatch-only recorder feeds it.
+	rec := cfg.Obs
+	var lastBest Entry // per-cycle best, snapshotted for the Verbose adapter
+	if cfg.Verbose != nil {
+		if rec == nil {
+			rec = obs.NewRecorder(nil)
+		}
+		unsub := rec.Subscribe(func(e obs.Event) {
+			if e.Kind == obs.KindEvent && e.Name == "enas.cycle" {
+				cfg.Verbose(int(e.Int("cycle")), lastBest)
+			}
+		})
+		defer unsub()
+	}
+	var (
+		mEvals    = cfg.Metrics.Counter("enas.evaluations")
+		mRejects  = cfg.Metrics.Counter("enas.constraint_rejects")
+		mErrors   = cfg.Metrics.Counter("enas.eval_errors")
+		mAccepted = cfg.Metrics.Counter("enas.children_accepted")
+		mFailed   = cfg.Metrics.Counter("enas.cycles_without_child")
+		hEval     = cfg.Metrics.Histogram("enas.eval_seconds", obs.TimeBuckets)
+		hUtil     = cfg.Metrics.Histogram("enas.worker_utilization", obs.RatioBuckets)
+	)
+	timed := rec.Enabled() || cfg.Metrics != nil
+	search := rec.StartSpan("enas.search",
+		obs.F64("lambda", cfg.Lambda), obs.Int("population", cfg.Population),
+		obs.Int("sample", cfg.SampleSize), obs.Int("cycles", cfg.Cycles),
+		obs.Int("sensing_every", cfg.SensingEvery), obs.Int64("seed", cfg.Seed),
+		obs.Int("workers", cfg.Workers))
+
 	warm, _ := eval.(nas.WarmStartEvaluator)
 	evaluateFrom := func(c, parent *nas.Candidate) (Entry, bool) {
 		if err := cfg.Constraints.CheckStatic(c); err != nil {
+			mRejects.Inc()
 			return Entry{}, false
+		}
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
 		}
 		var res nas.Result
 		var err error
@@ -121,18 +176,24 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		} else {
 			res, err = eval.Evaluate(c)
 		}
+		if timed {
+			hEval.Observe(time.Since(t0).Seconds())
+		}
 		if err != nil {
+			mErrors.Inc()
 			return Entry{}, false
 		}
 		out.Evaluations++
+		mEvals.Inc()
 		e := Entry{Cand: c, Res: res}
 		out.History = append(out.History, e)
 		return e, true
 	}
 	evaluate := func(c *nas.Candidate) (Entry, bool) { return evaluateFrom(c, nil) }
 	// evaluateAll scores a batch, in parallel when configured, recording
-	// history and returning successes in input order.
-	evaluateAll := func(cands []*nas.Candidate) []Entry {
+	// history and returning successes in input order. parent scopes the
+	// batch span in the trace hierarchy.
+	evaluateAll := func(parent *obs.Span, cands []*nas.Candidate) []Entry {
 		if cfg.Workers <= 1 || len(cands) <= 1 {
 			var ok []Entry
 			for _, c := range cands {
@@ -142,9 +203,16 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 			}
 			return ok
 		}
+		batch := parent.Child("enas.eval_batch",
+			obs.Int("n", len(cands)), obs.Int("workers", cfg.Workers))
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		type slot struct {
-			e  Entry
-			ok bool
+			e    Entry
+			ok   bool
+			busy time.Duration
 		}
 		slots := make([]slot, len(cands))
 		sem := make(chan struct{}, cfg.Workers)
@@ -153,11 +221,22 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 			go func(i int, c *nas.Candidate) {
 				sem <- struct{}{}
 				defer func() { <-sem; done <- i }()
+				var w0 time.Time
+				if timed {
+					w0 = time.Now()
+				}
+				defer func() {
+					if timed {
+						slots[i].busy = time.Since(w0)
+					}
+				}()
 				if err := cfg.Constraints.CheckStatic(c); err != nil {
+					mRejects.Inc()
 					return
 				}
 				res, err := eval.Evaluate(c)
 				if err != nil {
+					mErrors.Inc()
 					return
 				}
 				slots[i] = slot{e: Entry{Cand: c, Res: res}, ok: true}
@@ -170,17 +249,36 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		for _, s := range slots {
 			if s.ok {
 				out.Evaluations++
+				mEvals.Inc()
 				out.History = append(out.History, s.e)
 				ok = append(ok, s.e)
 			}
+		}
+		if timed {
+			// Utilization: summed worker busy time over the pool's
+			// wall-clock capacity for this batch.
+			var busy time.Duration
+			for _, s := range slots {
+				busy += s.busy
+				hEval.Observe(s.busy.Seconds())
+			}
+			util := 0.0
+			if wall := time.Since(t0).Seconds() * float64(cfg.Workers); wall > 0 {
+				util = busy.Seconds() / wall
+			}
+			hUtil.Observe(util)
+			batch.End(obs.Int("ok", len(ok)), obs.F64("utilization", util))
 		}
 		return ok
 	}
 
 	// Phase 1: broad exploration with random permutations.
+	phase1 := search.Child("enas.phase1")
 	population := make([]Entry, 0, cfg.Population)
 	for tries := 0; len(population) < cfg.Population; tries++ {
 		if tries > 200 {
+			phase1.End(obs.Str("error", "cannot fill population"))
+			search.End(obs.Str("error", "cannot fill population"))
 			return nil, fmt.Errorf("enas: cannot fill population under constraints")
 		}
 		need := cfg.Population - len(population)
@@ -188,7 +286,7 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		for i := range batch {
 			batch[i] = space.RandomCandidate(rng)
 		}
-		got := evaluateAll(batch)
+		got := evaluateAll(&phase1, batch)
 		if len(got) > need {
 			got = got[:need]
 		}
@@ -203,6 +301,10 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 			out.EMax = e.Res.EnergyJ
 		}
 	}
+	phase1.End(obs.Int("evaluations", out.Evaluations),
+		obs.F64("e_min_j", out.EMin), obs.F64("e_max_j", out.EMax))
+	cfg.Metrics.Gauge("enas.e_min_j").Set(out.EMin)
+	cfg.Metrics.Gauge("enas.e_max_j").Set(out.EMax)
 
 	// feasible applies the post-evaluation accuracy cap.
 	feasible := func(e Entry) bool {
@@ -219,6 +321,8 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 	}
 
 	// Phase 2: optimal exploration with mutations (aging evolution).
+	phase2 := search.Child("enas.phase2")
+	accepted := 0
 	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
 		// Tournament: sample S candidates, pick the best as parent.
 		best := -1
@@ -231,10 +335,11 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 
 		var child Entry
 		ok := false
-		if cycle%cfg.SensingEvery == 0 {
+		grid := cycle%cfg.SensingEvery == 0
+		if grid {
 			// GRIDMUTATE: local grid search over the sensing neighbours.
 			bestObj := math.Inf(-1)
-			for _, e := range evaluateAll(space.GridNeighbors(parent.Cand)) {
+			for _, e := range evaluateAll(&phase2, space.GridNeighbors(parent.Cand)) {
 				if o := score(e); o > bestObj {
 					bestObj, child, ok = o, e, true
 				}
@@ -249,17 +354,40 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		if ok {
 			// Aging: append the child, remove the oldest.
 			population = append(population[1:], child)
+			accepted++
+			mAccepted.Inc()
+		} else {
+			mFailed.Inc()
 		}
-		if cfg.Verbose != nil {
-			b := bestFeasible(out, cfg)
-			cfg.Verbose(cycle, b)
+		if rec.Enabled() {
+			// One event per cycle: the running best (as Verbose reported)
+			// plus the normalization bounds and population churn. The
+			// Verbose adapter fires synchronously off this emission.
+			lastBest = bestFeasible(out, cfg)
+			phase2.Event("enas.cycle",
+				obs.Int("cycle", cycle),
+				obs.Bool("grid", grid),
+				obs.Bool("replaced", ok),
+				obs.F64("best_acc", lastBest.Res.Accuracy),
+				obs.F64("best_energy_j", lastBest.Res.EnergyJ),
+				obs.F64("objective", cfg.score(lastBest, out.EMin, out.EMax)),
+				obs.F64("e_min_j", out.EMin),
+				obs.F64("e_max_j", out.EMax),
+				obs.Int("evaluations", out.Evaluations),
+				obs.Int("accepted", accepted))
 		}
 	}
+	phase2.End(obs.Int("accepted", accepted), obs.Int("evaluations", out.Evaluations))
 
 	out.Best = bestFeasible(out, cfg)
 	if out.Best.Cand == nil {
+		search.End(obs.Str("error", "no feasible candidate"))
 		return nil, fmt.Errorf("enas: no feasible candidate found in %d evaluations", out.Evaluations)
 	}
+	search.End(obs.Int("evaluations", out.Evaluations),
+		obs.F64("best_acc", out.Best.Res.Accuracy),
+		obs.F64("best_energy_j", out.Best.Res.EnergyJ),
+		obs.F64("objective", cfg.score(out.Best, out.EMin, out.EMax)))
 	return out, nil
 }
 

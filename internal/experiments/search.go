@@ -10,6 +10,7 @@ import (
 	"solarml/internal/harvnet"
 	"solarml/internal/munas"
 	"solarml/internal/nas"
+	"solarml/internal/obs"
 	"solarml/internal/pareto"
 )
 
@@ -31,7 +32,9 @@ func (s Scale) enasConfig(task nas.Task, lambda float64, seed int64) enas.Config
 	if s == ScaleQuick {
 		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.SensingEvery = 16, 6, 50, 10
 	}
-	return cfg
+	// Telemetry, when attached via SetObs, rides along; it never consumes
+	// random state, so instrumented runs stay seed-reproducible.
+	return instrument(cfg)
 }
 
 func (s Scale) munasConfig(task nas.Task, seed int64) munas.Config {
@@ -78,6 +81,9 @@ func truthPoint(truth *nas.TruthEnergy, cand *nas.Candidate, res nas.Result, tag
 // evaluator with their own fitted energy models during search, and both
 // rescored with ground truth for reporting.
 func Fig10(task nas.Task, scale Scale, seed int64) (*Fig10Result, error) {
+	sp := recorder().StartSpan("experiments.fig10",
+		obs.Str("task", task.String()), obs.Int64("seed", seed))
+	defer sp.End()
 	var space *nas.Space
 	if task == nas.TaskGesture {
 		space = nas.GestureSpace()
@@ -208,7 +214,10 @@ type EndToEndResult struct {
 // the eNAS winners into the SolarML session and pairs them against the
 // μNAS points with the closest accuracies on a PS + deep-sleep baseline.
 func EndToEnd(scale Scale, seed int64) (*EndToEndResult, error) {
+	sp := recorder().StartSpan("experiments.endtoend", obs.Int64("seed", seed))
+	defer sp.End()
 	p := core.NewPlatform()
+	p.SetObs(recorder())
 	out := &EndToEndResult{}
 	for _, task := range []nas.Task{nas.TaskGesture, nas.TaskKWS} {
 		fig10, err := Fig10(task, scale, seed)
@@ -349,6 +358,9 @@ const ablationSeeds = 3
 
 // Ablation runs the design-choice ablations of DESIGN.md §4.
 func Ablation(task nas.Task, scale Scale, seed int64) (*AblationResult, error) {
+	sp := recorder().StartSpan("experiments.ablation",
+		obs.Str("task", task.String()), obs.Int64("seed", seed))
+	defer sp.End()
 	var space *nas.Space
 	if task == nas.TaskGesture {
 		space = nas.GestureSpace()

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"solarml/internal/circuit"
+	"solarml/internal/obs"
 	"solarml/internal/solar"
 )
 
@@ -23,6 +24,11 @@ type Harvester struct {
 	Efficiency float64
 	// QuiescentW is the harvester chip's own draw.
 	QuiescentW float64
+	// Obs, when set, records charge-replay telemetry: one span per
+	// SimulateTimeToVoltage replay (steps, elapsed time, final voltage)
+	// and one harvest.time event per TimeToHarvest query. The per-step
+	// Charge path stays uninstrumented — replays run millions of steps.
+	Obs *obs.Recorder
 }
 
 // New returns a harvester over the standard 25-cell array and 1 F supercap.
@@ -82,9 +88,14 @@ func (h *Harvester) TimeToHarvest(energyJ, lux float64) float64 {
 	leak := h.Cap.LeakW * 0.5 // average leak over the charging band
 	net := p - leak
 	if net <= 0 {
+		h.Obs.Event("harvest.time", obs.F64("energy_j", energyJ),
+			obs.F64("lux", lux), obs.Bool("stalled", true))
 		return math.Inf(1)
 	}
-	return energyJ / net
+	t := energyJ / net
+	h.Obs.Event("harvest.time", obs.F64("energy_j", energyJ),
+		obs.F64("lux", lux), obs.F64("net_w", net), obs.F64("seconds", t))
+	return t
 }
 
 // SimulateTimeToVoltage charges from the current supercap state until the
@@ -94,15 +105,22 @@ func (h *Harvester) SimulateTimeToVoltage(targetV, lux, stepS float64) float64 {
 	if stepS <= 0 {
 		panic("harvest: non-positive step")
 	}
+	sp := h.Obs.StartSpan("harvest.replay",
+		obs.F64("target_v", targetV), obs.F64("lux", lux),
+		obs.F64("step_s", stepS), obs.F64("start_v", h.Cap.V))
 	t := 0.0
+	steps := 0
 	const maxT = 1e6
 	for h.Cap.V < targetV {
 		before := h.Cap.V
 		h.Charge(lux, stepS, false)
 		t += stepS
+		steps++
 		if h.Cap.V <= before || t > maxT {
+			sp.End(obs.Int("steps", steps), obs.Bool("stalled", true))
 			return math.Inf(1)
 		}
 	}
+	sp.End(obs.Int("steps", steps), obs.F64("elapsed_s", t), obs.F64("end_v", h.Cap.V))
 	return t
 }

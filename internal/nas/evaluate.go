@@ -9,6 +9,7 @@ import (
 	"solarml/internal/energymodel"
 	"solarml/internal/mcu"
 	"solarml/internal/nn"
+	"solarml/internal/obs"
 	"solarml/internal/tensor"
 )
 
@@ -161,6 +162,12 @@ type TrainEvaluator struct {
 	// train for WarmEpochs (default Epochs/2, min 1) instead of Epochs.
 	WarmStart  bool
 	WarmEpochs int
+	// Obs, when set, wraps every evaluation in a nas.evaluate span
+	// (fingerprint, warm-start, epochs, accuracy, energy) with nn.fit /
+	// nn.epoch sub-events from training and one nn.layer event per layer
+	// of a profiled test-batch forward — the timings that back the
+	// layer-wise energy model's sanity checks.
+	Obs *obs.Recorder
 
 	mu      sync.Mutex
 	cache   map[uint64]materialized
@@ -237,15 +244,22 @@ func (e *TrainEvaluator) EvaluateFrom(child, parent *Candidate) (Result, error) 
 
 func (e *TrainEvaluator) evaluate(c, parent *Candidate) (Result, error) {
 	var res Result
+	sp := e.Obs.StartSpan("nas.evaluate",
+		obs.Str("task", c.Task.String()),
+		obs.Int64("fingerprint", int64(c.Fingerprint())),
+		obs.Bool("warm", e.WarmStart && parent != nil))
 	if err := c.Validate(); err != nil {
+		sp.End(obs.Str("error", err.Error()))
 		return res, err
 	}
 	data, err := e.materializeFor(c)
 	if err != nil {
+		sp.End(obs.Str("error", err.Error()))
 		return res, err
 	}
 	net, err := c.Arch.Build()
 	if err != nil {
+		sp.End(obs.Str("error", err.Error()))
 		return res, err
 	}
 	rng := rand.New(rand.NewSource(e.Seed + int64(c.Fingerprint()%1_000_003)))
@@ -271,6 +285,7 @@ func (e *TrainEvaluator) evaluate(c, parent *Candidate) (Result, error) {
 	}
 	net.Fit(data.trainX, data.trainY, nn.TrainConfig{
 		Epochs: epochs, BatchSize: bs, LR: lr, Momentum: 0.9, Seed: e.Seed,
+		Obs: e.Obs,
 	})
 	if e.WarmStart {
 		e.store().put(c.Fingerprint(), trainedEntry{snap: net.SnapshotParams(), sigs: paramSigs(net)})
@@ -283,6 +298,24 @@ func (e *TrainEvaluator) evaluate(c, parent *Candidate) (Result, error) {
 		res.InferJ = e.Energy.InferenceEnergy(res.MACsByKind)
 		res.EnergyJ = res.SensingJ + res.InferJ
 	}
+	if e.Obs.Enabled() {
+		// Per-layer forward timings on one test batch: the wall-clock
+		// counterpart of the layer-wise energy features, kept in the trace
+		// so energy-model sanity checks can correlate time against MACs.
+		n := data.testX.Shape[0]
+		if n > 16 {
+			n = 16
+		}
+		sample := len(data.testX.Data) / data.testX.Shape[0]
+		bshape := append([]int{n}, net.InShape...)
+		bx := tensor.FromSlice(data.testX.Data[:n*sample], bshape...)
+		_, timings := net.ForwardProfiled(bx, false)
+		nn.EmitLayerTimings(e.Obs, timings, n)
+	}
+	sp.End(obs.Int("epochs", epochs),
+		obs.F64("accuracy", res.Accuracy),
+		obs.F64("energy_j", res.EnergyJ),
+		obs.Int64("macs", res.TotalMACs))
 	return res, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"solarml/internal/dataset"
+	"solarml/internal/obs"
 )
 
 // SurrogateEvaluator scores candidates with a calibrated analytic accuracy
@@ -20,6 +21,10 @@ type SurrogateEvaluator struct {
 	// NoiseSD is the accuracy jitter standard deviation (≈ training
 	// variance between runs).
 	NoiseSD float64
+	// Obs, when set, emits one nas.surrogate event per evaluation with
+	// the candidate fingerprint and its scored accuracy/energy. Noise is
+	// fingerprint-deterministic, so recording never perturbs a search.
+	Obs *obs.Recorder
 }
 
 // NewSurrogateEvaluator returns a surrogate with the given energy model and
@@ -119,5 +124,10 @@ func (s *SurrogateEvaluator) Evaluate(c *Candidate) (Result, error) {
 		res.InferJ = s.Energy.InferenceEnergy(res.MACsByKind)
 		res.EnergyJ = res.SensingJ + res.InferJ
 	}
+	s.Obs.Event("nas.surrogate",
+		obs.Int64("fingerprint", int64(c.Fingerprint())),
+		obs.F64("accuracy", res.Accuracy),
+		obs.F64("energy_j", res.EnergyJ),
+		obs.Int64("macs", res.TotalMACs))
 	return res, nil
 }

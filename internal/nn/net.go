@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
+	"solarml/internal/obs"
 	"solarml/internal/tensor"
 )
 
@@ -216,6 +218,9 @@ type TrainConfig struct {
 	Seed          int64
 	// Verbose, when set, receives one line per epoch.
 	Verbose func(epoch int, loss float64)
+	// Obs, when set, receives one nn.epoch event per epoch (index, mean
+	// loss, wall-clock seconds) and an nn.fit span wrapping the run.
+	Obs *obs.Recorder
 }
 
 // clipGradients scales all gradients so their global L2 norm is at most c.
@@ -253,8 +258,15 @@ func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) floa
 	total := inputs.Shape[0]
 	sample := len(inputs.Data) / total
 	order := rng.Perm(total)
+	fit := cfg.Obs.StartSpan("nn.fit",
+		obs.Int("samples", total), obs.Int("epochs", cfg.Epochs),
+		obs.Int("batch_size", cfg.BatchSize), obs.F64("lr", cfg.LR))
 	var lastLoss float64
 	for ep := 0; ep < cfg.Epochs; ep++ {
+		var epStart time.Time
+		if cfg.Obs.Enabled() {
+			epStart = time.Now()
+		}
 		rng.Shuffle(total, func(i, j int) { order[i], order[j] = order[j], order[i] })
 		epochLoss, batches := 0.0, 0
 		for start := 0; start < total; start += cfg.BatchSize {
@@ -297,10 +309,15 @@ func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) floa
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)
+		if cfg.Obs.Enabled() {
+			fit.Event("nn.epoch", obs.Int("epoch", ep), obs.F64("loss", lastLoss),
+				obs.F64("seconds", time.Since(epStart).Seconds()))
+		}
 		if cfg.Verbose != nil {
 			cfg.Verbose(ep, lastLoss)
 		}
 	}
+	fit.End(obs.F64("loss", lastLoss))
 	return lastLoss
 }
 

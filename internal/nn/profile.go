@@ -1,0 +1,57 @@
+package nn
+
+import (
+	"time"
+
+	"solarml/internal/obs"
+	"solarml/internal/tensor"
+)
+
+// LayerTiming is one layer's share of a profiled forward pass. The per-kind
+// MAC counts paired with wall-clock time are the observable the layer-wise
+// inference energy model (E_M = Σ aᵢ·MACsᵢ + b) abstracts, so profiled
+// forwards double as a sanity probe for the energymodel coefficients: at
+// equal MACs, kinds with heavier per-MAC energy should also run longer on
+// the scalar substrate.
+type LayerTiming struct {
+	// Index is the layer's position in the network.
+	Index int
+	// Kind is the layer type (energy-model feature).
+	Kind LayerKind
+	// MACs is the layer's per-sample MAC count.
+	MACs int64
+	// Forward is the wall-clock time of the layer's forward call.
+	Forward time.Duration
+}
+
+// ForwardProfiled runs a forward pass like Forward while timing every layer.
+// It is meant for telemetry and model-validation probes, not the training
+// hot loop — the per-layer clock reads cost a few hundred nanoseconds.
+func (n *Network) ForwardProfiled(x *tensor.Tensor, train bool) (*tensor.Tensor, []LayerTiming) {
+	timings := make([]LayerTiming, len(n.Layers))
+	s := n.InShape
+	for i, l := range n.Layers {
+		t0 := time.Now()
+		x = l.Forward(x, train)
+		timings[i] = LayerTiming{Index: i, Kind: l.Kind(), MACs: l.MACs(s), Forward: time.Since(t0)}
+		s = l.OutShape(s)
+	}
+	return x, timings
+}
+
+// EmitLayerTimings records one nn.layer event per profiled layer under the
+// given recorder (no-op when rec is nil), tagging each with its kind, MACs,
+// and forward-pass nanoseconds.
+func EmitLayerTimings(rec *obs.Recorder, timings []LayerTiming, batch int) {
+	if rec == nil {
+		return
+	}
+	for _, lt := range timings {
+		rec.Event("nn.layer",
+			obs.Int("index", lt.Index),
+			obs.Str("kind", lt.Kind.String()),
+			obs.Int64("macs", lt.MACs),
+			obs.Int("batch", batch),
+			obs.Int64("forward_ns", lt.Forward.Nanoseconds()))
+	}
+}

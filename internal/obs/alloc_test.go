@@ -1,0 +1,42 @@
+//go:build !race
+
+package obs
+
+import "testing"
+
+// TestNoopZeroAlloc pins the core contract: disabled telemetry allocates
+// nothing on the span/event/metric hot paths, so instrumented search loops
+// cost nothing when tracing is off. (Excluded under -race, whose
+// instrumentation changes allocation behaviour.)
+func TestNoopZeroAlloc(t *testing.T) {
+	var r *Recorder
+	var g *Registry
+	c := g.Counter("evals")
+	h := g.Histogram("lat", TimeBuckets)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := r.StartSpan("search", Int("population", 50), F64("lambda", 0.5))
+		child := sp.Child("cycle", Int("cycle", 1))
+		child.Set(F64("best_acc", 0.9))
+		child.Event("eval", Int64("fingerprint", 123))
+		child.End(Bool("replaced", true))
+		sp.End()
+		r.Event("cycle", Int("cycle", 1), F64("acc", 0.9))
+		c.Inc()
+		h.Observe(1e-3)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+// BenchmarkNoopSpan reports the cost of a fully disabled span + event.
+func BenchmarkNoopSpan(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("cycle", Int("cycle", i))
+		sp.Event("eval", F64("acc", 0.9))
+		sp.End(Bool("replaced", true))
+	}
+}

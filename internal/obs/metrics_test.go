@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrency hammers one registry from many goroutines; run
+// with -race this doubles as the data-race check for the instruments and
+// the snapshot path.
+func TestRegistryConcurrency(t *testing.T) {
+	g := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := g.Counter("evals")
+			ga := g.Gauge("util")
+			h := g.Histogram("lat", TimeBuckets)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				ga.Set(float64(i))
+				h.Observe(float64(i%10) * 1e-4)
+				if i%100 == 0 {
+					_ = g.Snapshot() // concurrent reads
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Counter("evals").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	s := g.Snapshot()
+	if s.Histograms["lat"].Count != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["lat"].Count, workers*perWorker)
+	}
+}
+
+// TestHistogramBucketEdges pins the "value ≤ bound" bucket semantics at the
+// exact edges.
+func TestHistogramBucketEdges(t *testing.T) {
+	g := NewRegistry()
+	h := g.Histogram("h", []float64{1, 2, 5})
+	for _, v := range []float64{0, 1, 1.0000001, 2, 2.5, 5, 5.0001, 100} {
+		h.Observe(v)
+	}
+	s := g.Snapshot().Histograms["h"]
+	// buckets: ≤1, ≤2, ≤5, overflow
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if s.Min != 0 || s.Max != 100 {
+		t.Errorf("min/max = %v/%v, want 0/100", s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-s.Sum/8) > 1e-12 {
+		t.Errorf("mean = %v, want %v", s.Mean, s.Sum/8)
+	}
+}
+
+// TestHistogramUnsortedBounds checks that bounds are sorted on creation.
+func TestHistogramUnsortedBounds(t *testing.T) {
+	g := NewRegistry()
+	h := g.Histogram("h", []float64{5, 1, 2})
+	h.Observe(1.5)
+	s := g.Snapshot().Histograms["h"]
+	if s.Bounds[0] != 1 || s.Bounds[2] != 5 {
+		t.Fatalf("bounds not sorted: %v", s.Bounds)
+	}
+	if s.Counts[1] != 1 {
+		t.Fatalf("1.5 should land in the ≤2 bucket: %v", s.Counts)
+	}
+}
+
+// TestNilRegistry checks the whole nil no-op surface.
+func TestNilRegistry(t *testing.T) {
+	var g *Registry
+	g.Counter("c").Inc()
+	g.Gauge("g").Set(3)
+	g.Histogram("h", TimeBuckets).Observe(1)
+	if v := g.Counter("c").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	if s := g.Snapshot(); s.Counters != nil || s.Histograms != nil {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+}
+
+// TestSnapshotJSON round-trips a snapshot through WriteJSON.
+func TestSnapshotJSON(t *testing.T) {
+	g := NewRegistry()
+	g.Counter("a").Add(3)
+	g.Gauge("b").Set(0.5)
+	g.Histogram("c", []float64{1}).Observe(0.5)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 3 || s.Gauges["b"] != 0.5 || s.Histograms["c"].Count != 1 {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+}

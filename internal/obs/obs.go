@@ -1,0 +1,171 @@
+// Package obs is the zero-dependency observability layer of the SolarML
+// stack: a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) with JSON snapshots, lightweight hierarchical spans with
+// wall-clock timing and key/value attributes, and a JSONL event sink
+// (Recorder) that persists one event per span end, metric flush, or explicit
+// emit, headed by a run manifest.
+//
+// Every entry point is nil-safe: a nil *Recorder, nil *Registry, or a Span
+// obtained from either is a no-op, so instrumented code carries no
+// conditionals and — critically for the eNAS search hot path — the disabled
+// path performs no allocations. Telemetry never consumes random state, so a
+// seeded search returns the identical result with recording on or off.
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// attrKind discriminates the Attr union.
+type attrKind uint8
+
+const (
+	kindNone attrKind = iota
+	kindInt
+	kindFloat
+	kindStr
+	kindBool
+)
+
+// Attr is a typed key/value attribute. The value lives in union fields
+// rather than an interface so that building attributes never boxes (and
+// therefore never allocates) on the disabled path.
+type Attr struct {
+	Key  string
+	kind attrKind
+	i    int64
+	f    float64
+	s    string
+}
+
+// Int returns an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, kind: kindInt, i: int64(v)} }
+
+// Int64 returns a 64-bit integer attribute.
+func Int64(key string, v int64) Attr { return Attr{Key: key, kind: kindInt, i: v} }
+
+// F64 returns a float attribute.
+func F64(key string, v float64) Attr { return Attr{Key: key, kind: kindFloat, f: v} }
+
+// Str returns a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: kindStr, s: v} }
+
+// Bool returns a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, kind: kindBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// Value boxes the attribute value for encoding. Only the enabled path calls
+// it.
+func (a Attr) Value() any {
+	switch a.kind {
+	case kindInt:
+		return a.i
+	case kindFloat:
+		return a.f
+	case kindStr:
+		return a.s
+	case kindBool:
+		return a.i != 0
+	}
+	return nil
+}
+
+// Event kinds written to the JSONL stream.
+const (
+	// KindManifest heads a trace with the run's identity and configuration.
+	KindManifest = "manifest"
+	// KindSpan is emitted once per span end, with its duration.
+	KindSpan = "span"
+	// KindEvent is a point-in-time emission (Recorder.Event).
+	KindEvent = "event"
+	// KindMetrics carries a registry snapshot (Recorder.FlushMetrics).
+	KindMetrics = "metrics"
+	// KindFinish closes a trace with the run outcome and total duration.
+	KindFinish = "finish"
+)
+
+// Event is one JSONL record. T is seconds since the recorder started.
+type Event struct {
+	T      float64        `json:"t"`
+	Kind   string         `json:"kind"`
+	Name   string         `json:"name,omitempty"`
+	Span   uint64         `json:"span,omitempty"`
+	Parent uint64         `json:"parent,omitempty"`
+	DurMS  float64        `json:"dur_ms,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Int returns an integer attribute of the event, tolerating the float64
+// numbers a JSON round-trip produces. Missing keys return 0.
+func (e Event) Int(key string) int64 {
+	switch v := e.Attrs[key].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	case float64:
+		return int64(v)
+	}
+	return 0
+}
+
+// Float returns a float attribute of the event (0 when missing).
+func (e Event) Float(key string) float64 {
+	switch v := e.Attrs[key].(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	}
+	return 0
+}
+
+// Str returns a string attribute of the event ("" when missing).
+func (e Event) Str(key string) string {
+	if v, ok := e.Attrs[key].(string); ok {
+		return v
+	}
+	return ""
+}
+
+// Version returns a git-describe-style identifier for the running binary:
+// the embedded VCS revision (plus "-dirty" when the tree was modified),
+// falling back to the module version or "dev". Used by run manifests so
+// traces are diffable across PRs.
+func Version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if modified == "true" {
+			rev += "-dirty"
+		}
+		return rev
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "dev"
+}
+
+// GoVersion reports the toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }

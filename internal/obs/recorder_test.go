@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestJSONLRoundTrip writes a full trace — manifest, nested spans, events,
+// metrics flush, finish — and decodes it back.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.WriteManifest(Manifest{Tool: "test", Seed: 42, Config: map[string]any{"lambda": 0.5}})
+
+	root := r.StartSpan("search", Int("population", 16))
+	child := root.Child("phase1")
+	child.Set(F64("e_min", 1e-4))
+	child.End(F64("e_max", 2e-3))
+	root.Event("cycle", Int("cycle", 1), F64("best_acc", 0.9), Bool("replaced", true))
+	root.End(Int("evaluations", 10))
+
+	g := NewRegistry()
+	g.Counter("evals").Add(10)
+	r.FlushMetrics(g)
+	r.Finish("ok", Str("note", "done"))
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("got %d events, want 6: %+v", len(events), events)
+	}
+	if events[0].Kind != KindManifest || events[0].Name != "test" {
+		t.Fatalf("first event is not the manifest: %+v", events[0])
+	}
+	if events[0].Int("seed") != 42 || events[0].Float("config.lambda") != 0.5 {
+		t.Fatalf("manifest attrs wrong: %+v", events[0].Attrs)
+	}
+	if events[0].Str("version") == "" || events[0].Str("go") == "" || events[0].Str("start") == "" {
+		t.Fatalf("manifest missing version/go/start: %+v", events[0].Attrs)
+	}
+
+	p1 := events[1]
+	if p1.Kind != KindSpan || p1.Name != "phase1" || p1.Parent == 0 {
+		t.Fatalf("phase1 span wrong: %+v", p1)
+	}
+	if p1.Float("e_min") != 1e-4 || p1.Float("e_max") != 2e-3 {
+		t.Fatalf("Set/End attrs not merged: %+v", p1.Attrs)
+	}
+	cyc := events[2]
+	if cyc.Kind != KindEvent || cyc.Int("cycle") != 1 || cyc.Attrs["replaced"] != true {
+		t.Fatalf("cycle event wrong: %+v", cyc)
+	}
+	search := events[3]
+	if search.Kind != KindSpan || search.Name != "search" || search.Parent != 0 {
+		t.Fatalf("root span wrong: %+v", search)
+	}
+	if p1.Parent != search.Span || cyc.Parent != search.Span {
+		t.Fatalf("hierarchy broken: phase1 parent %d, cycle parent %d, search id %d",
+			p1.Parent, cyc.Parent, search.Span)
+	}
+	if search.DurMS < 0 {
+		t.Fatalf("negative duration: %v", search.DurMS)
+	}
+	met := events[4]
+	if met.Kind != KindMetrics {
+		t.Fatalf("metrics event wrong: %+v", met)
+	}
+	if events[5].Kind != KindFinish || events[5].Str("outcome") != "ok" || events[5].Str("end") == "" {
+		t.Fatalf("finish event wrong: %+v", events[5])
+	}
+
+	// Every line must be standalone JSON.
+	raw := strings.TrimSpace(buf.String())
+	if raw != "" {
+		t.Fatalf("ReadTrace should have consumed the buffer, left %q", raw)
+	}
+}
+
+// TestSubscriber checks synchronous fan-out and unsubscription — the
+// mechanism the deprecated enas.Config.Verbose hook rides on.
+func TestSubscriber(t *testing.T) {
+	r := NewRecorder(nil) // dispatch-only sink
+	var got []string
+	unsub := r.Subscribe(func(e Event) { got = append(got, e.Name) })
+	r.Event("a")
+	sp := r.StartSpan("s")
+	sp.End()
+	unsub()
+	r.Event("after")
+	if len(got) != 2 || got[0] != "a" || got[1] != "s" {
+		t.Fatalf("subscriber saw %v, want [a s]", got)
+	}
+}
+
+// TestNilRecorder exercises the whole disabled surface.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder claims enabled")
+	}
+	r.WriteManifest(Manifest{Tool: "x"})
+	sp := r.StartSpan("s", Int("a", 1))
+	if sp.Enabled() || sp.ID() != 0 {
+		t.Fatal("nil span not disabled")
+	}
+	child := sp.Child("c")
+	child.Set(F64("f", 1))
+	child.Event("e")
+	child.End()
+	sp.End()
+	r.Event("e", Str("k", "v"))
+	r.FlushMetrics(NewRegistry())
+	r.Finish("ok")
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	unsub := r.Subscribe(func(Event) {})
+	unsub()
+}
+
+// TestEventAccessors covers the numeric coercions used after JSON decoding.
+func TestEventAccessors(t *testing.T) {
+	e := Event{Attrs: map[string]any{"i": float64(3), "f": int64(2), "s": "x"}}
+	if e.Int("i") != 3 || e.Float("f") != 2 || e.Str("s") != "x" {
+		t.Fatalf("accessors wrong: %+v", e)
+	}
+	if e.Int("missing") != 0 || e.Float("missing") != 0 || e.Str("missing") != "" {
+		t.Fatal("missing keys should be zero")
+	}
+}

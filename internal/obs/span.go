@@ -1,0 +1,82 @@
+package obs
+
+import "time"
+
+// Span is a timed region of work. Spans are value types obtained from a
+// Recorder (or a parent Span); the zero Span — and any span started from a
+// nil Recorder — is a disabled no-op whose methods return immediately
+// without allocating, which keeps instrumented hot paths free when
+// telemetry is off.
+//
+// A span emits exactly one KindSpan event when End is called, carrying its
+// wall-clock duration, its id/parent linkage, and the union of attributes
+// passed to StartSpan, Set, and End.
+type Span struct {
+	rec    *Recorder
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  []Attr
+}
+
+// StartSpan opens a root span.
+func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
+	if r == nil {
+		return Span{}
+	}
+	return r.newSpan(name, 0, attrs)
+}
+
+// newSpan allocates the span bookkeeping (enabled path only).
+func (r *Recorder) newSpan(name string, parent uint64, attrs []Attr) Span {
+	sp := Span{rec: r, name: name, id: r.nextSpan.Add(1), parent: parent, start: time.Now()}
+	if len(attrs) > 0 {
+		sp.attrs = append(sp.attrs, attrs...)
+	}
+	return sp
+}
+
+// Enabled reports whether the span records anything.
+func (s *Span) Enabled() bool { return s.rec != nil }
+
+// ID returns the span id (0 when disabled).
+func (s *Span) ID() uint64 { return s.id }
+
+// Child opens a sub-span.
+func (s *Span) Child(name string, attrs ...Attr) Span {
+	if s.rec == nil {
+		return Span{}
+	}
+	return s.rec.newSpan(name, s.id, attrs)
+}
+
+// Set attaches attributes to the span, reported at End.
+func (s *Span) Set(attrs ...Attr) {
+	if s.rec == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// Event emits a point-in-time event parented to this span.
+func (s *Span) Event(name string, attrs ...Attr) {
+	if s.rec == nil {
+		return
+	}
+	s.rec.emit(KindEvent, name, 0, s.id, 0, attrs)
+}
+
+// End closes the span, emitting its event with the accumulated attributes
+// plus any final ones. A span must be ended at most once; further calls
+// emit duplicate events.
+func (s *Span) End(attrs ...Attr) {
+	if s.rec == nil {
+		return
+	}
+	all := s.attrs
+	if len(attrs) > 0 {
+		all = append(all, attrs...)
+	}
+	s.rec.emit(KindSpan, s.name, s.id, s.parent, time.Since(s.start).Seconds()*1e3, all)
+}

@@ -1,0 +1,36 @@
+package powertrace
+
+import "solarml/internal/obs"
+
+// ExportObs replays the recorded trace into an obs event stream: one
+// powertrace.segment event per constant-power segment (phase, duration,
+// power, energy) followed by a powertrace.summary event carrying the
+// E_E / E_S / E_M split. name tags every event so several traces can share
+// one sink. A nil recorder is a no-op.
+func (r *Recorder) ExportObs(rec *obs.Recorder, name string) {
+	if rec == nil {
+		return
+	}
+	t := 0.0
+	for i, s := range r.segments {
+		rec.Event("powertrace.segment",
+			obs.Str("trace", name),
+			obs.Int("index", i),
+			obs.Str("phase", s.Phase.String()),
+			obs.Str("category", s.Phase.Category().String()),
+			obs.F64("start_s", t),
+			obs.F64("seconds", s.Seconds),
+			obs.F64("power_w", s.PowerW),
+			obs.F64("energy_j", s.Energy()))
+		t += s.Seconds
+	}
+	by := r.EnergyByCategory()
+	rec.Event("powertrace.summary",
+		obs.Str("trace", name),
+		obs.Int("segments", len(r.segments)),
+		obs.F64("duration_s", r.Duration()),
+		obs.F64("e_e_j", by[CatEvent]),
+		obs.F64("e_s_j", by[CatSensing]),
+		obs.F64("e_m_j", by[CatModel]),
+		obs.F64("total_j", r.TotalEnergy()))
+}
