@@ -1,6 +1,7 @@
 # SolarML repo checks. `make verify` is the tier-1 gate (build + full test
 # suite); `make check` adds vet and the race detector over the packages with
-# real concurrency (the obs sink and the parallel eNAS evaluator).
+# real concurrency (the obs sink, the parallel eNAS evaluator, and the
+# parallel compute backend).
 
 GO ?= go
 
@@ -14,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/enas/...
+	$(GO) test -race ./internal/obs/... ./internal/enas/... ./internal/compute/...
 
 check: verify vet race
 

@@ -6,6 +6,7 @@
 //	enas-search [-algo enas|munas|harvnet] [-task gesture|kws]
 //	            [-lambda 0.5] [-pop 50] [-sample 20] [-cycles 150]
 //	            [-grid-every 20] [-seed 1] [-eval surrogate|train]
+//	            [-workers 1] [-compute-workers 0]
 //	            [-trace-out run.jsonl] [-metrics-out metrics.json]
 //	            [-pprof localhost:6060]
 //
@@ -29,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"solarml/internal/compute"
 	"solarml/internal/dataset"
 	"solarml/internal/enas"
 	"solarml/internal/harvnet"
@@ -49,6 +51,7 @@ func main() {
 	evalName := flag.String("eval", "surrogate", "evaluator: surrogate or train")
 	trainN := flag.Int("train-n", 200, "dataset size for -eval train")
 	workers := flag.Int("workers", 1, "parallel candidate evaluations (eNAS phase 1 + grid)")
+	computeWorkers := flag.Int("compute-workers", 0, "kernel workers per candidate training run (0 = NumCPU/workers, 1 = serial)")
 	warm := flag.Bool("warm", false, "with -eval train: children inherit parent weights (fewer epochs)")
 	traceOut := flag.String("trace-out", "", "write a JSONL obs trace to this file")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file")
@@ -60,14 +63,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+	kw := *computeWorkers
+	if kw <= 0 {
+		kw = compute.BudgetWorkers(*workers)
+	}
+	cctx := compute.NewContextFor(kw, reg)
 	rec.WriteManifest(obs.Manifest{Tool: "enas-search", Seed: *seed, Config: map[string]any{
 		"algo": *algo, "task": *taskName, "lambda": *lambda,
 		"pop": *pop, "sample": *sample, "cycles": *cycles,
 		"grid_every": *gridEvery, "eval": *evalName, "workers": *workers,
-		"warm": *warm, "train_n": *trainN,
+		"warm": *warm, "train_n": *trainN, "compute_workers": kw,
 	}})
 	if err := run(*algo, *taskName, *lambda, *pop, *sample, *cycles, *gridEvery,
-		*seed, *evalName, *trainN, *workers, *warm, rec, reg); err != nil {
+		*seed, *evalName, *trainN, *workers, *warm, rec, reg, cctx); err != nil {
 		rec.Finish(err.Error())
 		cleanup()
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -141,7 +149,7 @@ func setupObs(traceOut, metricsOut, pprofAddr string) (*obs.Recorder, *obs.Regis
 
 func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery int,
 	seed int64, evalName string, trainN, workers int, warm bool,
-	rec *obs.Recorder, reg *obs.Registry) error {
+	rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) error {
 	task := nas.TaskGesture
 	space := nas.GestureSpace()
 	if taskName == "kws" {
@@ -149,7 +157,7 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 		space = nas.KWSSpace()
 	}
 
-	eval, err := buildEvaluator(evalName, task, space, seed, trainN, warm, rec)
+	eval, err := buildEvaluator(evalName, task, space, seed, trainN, warm, rec, cctx)
 	if err != nil {
 		return err
 	}
@@ -162,6 +170,7 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 			Cycles: cycles, SensingEvery: gridEvery, Seed: seed,
 			Constraints: nas.DefaultConstraints(task),
 			Workers:     workers,
+			Compute:     cctx,
 			Obs:         rec,
 			Metrics:     reg,
 		}
@@ -200,7 +209,7 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 	return nil
 }
 
-func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, trainN int, warm bool, rec *obs.Recorder) (nas.Evaluator, error) {
+func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, trainN int, warm bool, rec *obs.Recorder, cctx *compute.Context) (nas.Evaluator, error) {
 	switch name {
 	case "surrogate":
 		fitted, err := nas.CalibrateEnergy(space, 300, true, true, seed)
@@ -211,7 +220,7 @@ func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, tr
 		ev.Obs = rec
 		return ev, nil
 	case "train":
-		ev := &nas.TrainEvaluator{Energy: nas.NewTruthEnergy(), Epochs: 4, LR: 0.05, Seed: seed, WarmStart: warm, Obs: rec}
+		ev := &nas.TrainEvaluator{Energy: nas.NewTruthEnergy(), Epochs: 4, LR: 0.05, Seed: seed, WarmStart: warm, Obs: rec, Compute: cctx}
 		if task == nas.TaskGesture {
 			full := dataset.BuildGestureSet(trainN, 500, seed)
 			ev.GestureTrain, ev.GestureTest = full.Split(4)

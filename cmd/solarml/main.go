@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"solarml/internal/compute"
 	"solarml/internal/experiments"
 	"solarml/internal/nas"
 	"solarml/internal/nn"
@@ -43,6 +44,7 @@ func main() {
 	scaleName := fs.String("scale", "quick", "search scale: quick or paper")
 	taskName := fs.String("task", "gesture", "task for fig10/ablation: gesture or kws")
 	csvDirFlag := fs.String("csv", "", "directory to write figure series as CSV (fig9, fig10)")
+	computeWorkers := fs.Int("compute-workers", 1, "kernel workers for training GEMMs (0 = NumCPU, 1 = serial)")
 	traceOut := fs.String("trace-out", "", "write a JSONL obs trace to this file")
 	metricsOut := fs.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
@@ -66,8 +68,11 @@ func main() {
 	}
 	obsRec = rec
 	experiments.SetObs(rec, reg)
+	cctx := compute.NewContextFor(*computeWorkers, reg)
+	experiments.SetCompute(cctx)
 	rec.WriteManifest(obs.Manifest{Tool: "solarml", Seed: *seed, Config: map[string]any{
 		"experiment": cmd, "scale": *scaleName, "task": *taskName, "csv": csvDir,
+		"compute_workers": cctx.Workers(),
 	}})
 	finish := func(outcome string) {
 		if outcome == "ok" {
@@ -231,7 +236,7 @@ experiments:
   report    run the campaign and emit a markdown paper-vs-measured report
   all       run everything
 
-flags: -seed N   -scale quick|paper   -task gesture|kws`)
+flags: -seed N   -scale quick|paper   -task gesture|kws   -compute-workers N`)
 }
 
 func runFig1() error {

@@ -1,0 +1,36 @@
+package compute
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchMatMul times dst = a×b at a conv-lowering-sized shape for one backend.
+func benchMatMul(b *testing.B, be Backend) {
+	const m, k, n = 32, 288, 1080 // (OutC, InC·K², N·OH·OW) of a wide conv
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, m*k)
+	bb := make([]float64, k*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range bb {
+		bb[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, m*n)
+	b.SetBytes(int64(8 * m * k * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		be.MatMul(dst, a, bb, nil, m, k, n)
+	}
+}
+
+// BenchmarkMatMulBackend compares the serial and parallel GEMM on the batched
+// im2col shape Conv2D issues during NAS candidate training.
+func BenchmarkMatMulBackend(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchMatMul(b, Serial{}) })
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", w), func(b *testing.B) { benchMatMul(b, NewParallel(w)) })
+	}
+}

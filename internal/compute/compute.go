@@ -1,0 +1,321 @@
+// Package compute is the pluggable dense-kernel substrate beneath the
+// tensor/nn training stack. Every eNAS evaluation trains a candidate for
+// real, so search wall-clock is dominated by the GEMMs issued from
+// Conv2D/Dense forward and backward passes; this package lets the hot path
+// choose between the reference serial kernels and a cache-blocked,
+// goroutine-parallel implementation without changing a single result bit.
+//
+// Determinism contract: all backends partition work by output rows (or
+// disjoint index ranges for Axpy/For), and every kernel accumulates the
+// contributions to one output element in ascending inner-dimension order.
+// The floating-point operation sequence per output element is therefore
+// identical for every worker count, so a seeded search returns a
+// byte-identical result whether it runs on one core or sixty-four.
+package compute
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Backend performs the dense linear-algebra kernels on raw row-major
+// float64 buffers. Dimensions are passed explicitly so the package has no
+// dependency on the tensor layer above it.
+type Backend interface {
+	// Name identifies the backend in telemetry ("serial", "parallel").
+	Name() string
+	// Workers reports the kernel parallelism (1 for serial).
+	Workers() int
+	// MatMul computes dst = a×b for a (m,k) and b (k,n). When rowBias is
+	// non-nil (length m) it is fused in: dst[i][j] starts at rowBias[i]
+	// instead of 0 — the Conv2D per-output-channel bias path.
+	MatMul(dst, a, b, rowBias []float64, m, k, n int)
+	// MatMulTransA computes dst = aᵀ×b for a (k,m) and b (k,n), producing
+	// (m,n). With accumulate it computes dst += aᵀ×b, the fused
+	// weight-gradient path that avoids a temporary plus an add.
+	MatMulTransA(dst, a, b []float64, k, m, n int, accumulate bool)
+	// MatMulTransB computes dst = a×bᵀ for a (m,k) and b (n,k), producing
+	// (m,n). colBias (nil or length n) is added to every row — the Dense
+	// forward bias path. With accumulate it computes dst += a×bᵀ
+	// (colBias must then be nil).
+	MatMulTransB(dst, a, b, colBias []float64, m, k, n int, accumulate bool)
+	// Axpy computes dst += alpha·src element-wise.
+	Axpy(alpha float64, src, dst []float64)
+	// For runs fn over disjoint contiguous chunks covering [0,n). grain is
+	// the minimum chunk size worth dispatching to a worker; callers must
+	// only rely on chunks being disjoint and covering the range, never on
+	// execution order.
+	For(n, grain int, fn func(i0, i1 int))
+}
+
+// Cache blocking parameters. blockJ keeps one dst-row segment plus the
+// matching b-row segments resident in L1 (512 floats = 4 KiB per row);
+// blockK bounds the b panel walked per segment. Block loops ascend, so the
+// per-element accumulation order is exactly that of the naive i-k-j kernel.
+const (
+	blockJ = 512
+	blockK = 64
+)
+
+// parallelFlops is the work floor (m·k·n multiply-adds) below which the
+// parallel backend runs the serial kernel inline: under ~32k flops the
+// goroutine fan-out costs more than the loop.
+const parallelFlops = 32 << 10
+
+// matMulRows computes rows [i0,i1) of dst = a×b (+ rowBias).
+func matMulRows(dst, a, b, rowBias []float64, k, n, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		if rowBias != nil {
+			bv := rowBias[i]
+			for j := range drow {
+				drow[j] = bv
+			}
+		} else {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		for kb := 0; kb < k; kb += blockK {
+			ke := kb + blockK
+			if ke > k {
+				ke = k
+			}
+			for jb := 0; jb < n; jb += blockJ {
+				je := jb + blockJ
+				if je > n {
+					je = n
+				}
+				dseg := drow[jb:je]
+				for kk := kb; kk < ke; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					bseg := b[kk*n+jb : kk*n+je]
+					for j, bv := range bseg {
+						dseg[j] += av * bv
+					}
+				}
+			}
+		}
+	}
+}
+
+// matMulTransARows computes rows [i0,i1) of dst (+)= aᵀ×b. Row i of dst is
+// column i of a; for every element the k summands are added in ascending
+// order, matching the serial kernel exactly.
+func matMulTransARows(dst, a, b []float64, k, m, n, i0, i1 int, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		drow := dst[i*n : (i+1)*n]
+		if !accumulate {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+		for kk := 0; kk < k; kk++ {
+			av := a[kk*m+i]
+			if av == 0 {
+				continue
+			}
+			brow := b[kk*n : (kk+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTransBRows computes rows [i0,i1) of dst (+)= a×bᵀ (+ colBias).
+func matMulTransBRows(dst, a, b, colBias []float64, k, n, i0, i1 int, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		arow := a[i*k : (i+1)*k]
+		drow := dst[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for kk, av := range arow {
+				s += av * brow[kk]
+			}
+			if colBias != nil {
+				s += colBias[j]
+			}
+			if accumulate {
+				drow[j] += s
+			} else {
+				drow[j] = s
+			}
+		}
+	}
+}
+
+// axpyRange computes dst[i0:i1] += alpha·src[i0:i1].
+func axpyRange(alpha float64, src, dst []float64, i0, i1 int) {
+	s := src[i0:i1]
+	d := dst[i0:i1]
+	for i, v := range s {
+		d[i] += alpha * v
+	}
+}
+
+// Serial is the reference backend: the naive kernels the repo trained with
+// before the backend split, unchanged in result and operation order.
+type Serial struct{}
+
+// Name implements Backend.
+func (Serial) Name() string { return "serial" }
+
+// Workers implements Backend.
+func (Serial) Workers() int { return 1 }
+
+// MatMul implements Backend.
+func (Serial) MatMul(dst, a, b, rowBias []float64, m, k, n int) {
+	matMulRows(dst, a, b, rowBias, k, n, 0, m)
+}
+
+// MatMulTransA implements Backend.
+func (Serial) MatMulTransA(dst, a, b []float64, k, m, n int, accumulate bool) {
+	matMulTransARows(dst, a, b, k, m, n, 0, m, accumulate)
+}
+
+// MatMulTransB implements Backend.
+func (Serial) MatMulTransB(dst, a, b, colBias []float64, m, k, n int, accumulate bool) {
+	matMulTransBRows(dst, a, b, colBias, k, n, 0, m, accumulate)
+}
+
+// Axpy implements Backend.
+func (Serial) Axpy(alpha float64, src, dst []float64) {
+	axpyRange(alpha, src, dst, 0, len(dst))
+}
+
+// For implements Backend.
+func (Serial) For(n, grain int, fn func(i0, i1 int)) {
+	if n > 0 {
+		fn(0, n)
+	}
+}
+
+// Parallel is the cache-blocked, goroutine-parallel backend. Work is
+// partitioned by output rows into at most Workers contiguous chunks; each
+// worker runs the same row kernels as Serial, so results are bit-identical
+// to Serial for every worker count.
+type Parallel struct {
+	workers int
+}
+
+// NewParallel returns a parallel backend with the given worker count
+// (values ≤ 0 select GOMAXPROCS).
+func NewParallel(workers int) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Parallel{workers: workers}
+}
+
+// Name implements Backend.
+func (p *Parallel) Name() string { return "parallel" }
+
+// Workers implements Backend.
+func (p *Parallel) Workers() int { return p.workers }
+
+// rows fans fn out over [0,m) in at most p.workers contiguous chunks and
+// waits for completion.
+func (p *Parallel) rows(m int, fn func(i0, i1 int)) {
+	chunks := p.workers
+	if chunks > m {
+		chunks = m
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		i0 := c * m / chunks
+		i1 := (c + 1) * m / chunks
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// MatMul implements Backend.
+func (p *Parallel) MatMul(dst, a, b, rowBias []float64, m, k, n int) {
+	if p.workers <= 1 || m < 2 || int64(m)*int64(k)*int64(n) < parallelFlops {
+		matMulRows(dst, a, b, rowBias, k, n, 0, m)
+		return
+	}
+	p.rows(m, func(i0, i1 int) { matMulRows(dst, a, b, rowBias, k, n, i0, i1) })
+}
+
+// MatMulTransA implements Backend.
+func (p *Parallel) MatMulTransA(dst, a, b []float64, k, m, n int, accumulate bool) {
+	if p.workers <= 1 || m < 2 || int64(m)*int64(k)*int64(n) < parallelFlops {
+		matMulTransARows(dst, a, b, k, m, n, 0, m, accumulate)
+		return
+	}
+	p.rows(m, func(i0, i1 int) { matMulTransARows(dst, a, b, k, m, n, i0, i1, accumulate) })
+}
+
+// MatMulTransB implements Backend.
+func (p *Parallel) MatMulTransB(dst, a, b, colBias []float64, m, k, n int, accumulate bool) {
+	if p.workers <= 1 || m < 2 || int64(m)*int64(k)*int64(n) < parallelFlops {
+		matMulTransBRows(dst, a, b, colBias, k, n, 0, m, accumulate)
+		return
+	}
+	p.rows(m, func(i0, i1 int) { matMulTransBRows(dst, a, b, colBias, k, n, i0, i1, accumulate) })
+}
+
+// Axpy implements Backend.
+func (p *Parallel) Axpy(alpha float64, src, dst []float64) {
+	n := len(dst)
+	if p.workers <= 1 || n < parallelFlops {
+		axpyRange(alpha, src, dst, 0, n)
+		return
+	}
+	p.rows(n, func(i0, i1 int) { axpyRange(alpha, src, dst, i0, i1) })
+}
+
+// For implements Backend.
+func (p *Parallel) For(n, grain int, fn func(i0, i1 int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	if p.workers <= 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	chunks := p.workers
+	if most := (n + grain - 1) / grain; chunks > most {
+		chunks = most
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		i0 := c * n / chunks
+		i1 := (c + 1) * n / chunks
+		go func(i0, i1 int) {
+			defer wg.Done()
+			fn(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// BudgetWorkers splits the machine between outer task-level parallelism
+// (eNAS candidate workers) and inner kernel parallelism so the two never
+// oversubscribe cores: with W candidates training concurrently, each
+// candidate's kernels get NumCPU/W workers (at least 1).
+func BudgetWorkers(outer int) int {
+	if outer < 1 {
+		outer = 1
+	}
+	w := runtime.NumCPU() / outer
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

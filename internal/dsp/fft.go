@@ -143,9 +143,3 @@ func Resample(x []float64, outLen int) []float64 {
 	return out
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -138,20 +138,6 @@ func (c *Classifier) MACsPerInference(t int) int64 {
 	return perTemplate * int64(len(c.Templates))
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func abs(a int) int {
 	if a < 0 {
 		return -a

@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"time"
 
+	"solarml/internal/compute"
 	"solarml/internal/nas"
 	"solarml/internal/obs"
 )
@@ -39,6 +40,13 @@ type Config struct {
 	// order, so the search stays deterministic for a given seed as long
 	// as the evaluator itself is deterministic.
 	Workers int
+	// Compute, when set, is installed on the evaluator (if it implements
+	// nas.ComputeSettable) before Phase 1, so candidate training runs on
+	// the configured kernel backend. Budget it against Workers with
+	// compute.BudgetWorkers: Workers × kernel workers should not exceed
+	// the core count. The parallel backend is bit-identical to serial, so
+	// this never changes the search result.
+	Compute *compute.Context
 	// Objective optionally replaces the default scoring
 	// A − λ·(E−E_min)/(E_max−E_min) used for parent selection and
 	// best-candidate reporting — the hook behind the §IV-B objective
@@ -152,12 +160,19 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		hEval     = cfg.Metrics.Histogram("enas.eval_seconds", obs.TimeBuckets)
 		hUtil     = cfg.Metrics.Histogram("enas.worker_utilization", obs.RatioBuckets)
 	)
+	if cfg.Compute != nil {
+		if cs, ok := eval.(nas.ComputeSettable); ok {
+			cs.SetCompute(cfg.Compute)
+		}
+	}
 	timed := rec.Enabled() || cfg.Metrics != nil
 	search := rec.StartSpan("enas.search",
 		obs.F64("lambda", cfg.Lambda), obs.Int("population", cfg.Population),
 		obs.Int("sample", cfg.SampleSize), obs.Int("cycles", cfg.Cycles),
 		obs.Int("sensing_every", cfg.SensingEvery), obs.Int64("seed", cfg.Seed),
-		obs.Int("workers", cfg.Workers))
+		obs.Int("workers", cfg.Workers),
+		obs.Str("compute", cfg.Compute.Name()),
+		obs.Int("kernel_workers", cfg.Compute.Workers()))
 
 	warm, _ := eval.(nas.WarmStartEvaluator)
 	evaluateFrom := func(c, parent *nas.Candidate) (Entry, bool) {
@@ -189,21 +204,24 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		out.History = append(out.History, e)
 		return e, true
 	}
-	evaluate := func(c *nas.Candidate) (Entry, bool) { return evaluateFrom(c, nil) }
 	// evaluateAll scores a batch, in parallel when configured, recording
-	// history and returning successes in input order. parent scopes the
-	// batch span in the trace hierarchy.
-	evaluateAll := func(parent *obs.Span, cands []*nas.Candidate) []Entry {
+	// history and returning successes in input order. span scopes the
+	// batch in the trace hierarchy; from, when non-nil, is the lineage
+	// parent of every candidate in the batch (the grid-mutation case:
+	// sensing neighbours keep the parent architecture), so warm-start
+	// weight inheritance applies on the parallel path exactly as it does
+	// sequentially.
+	evaluateAll := func(span *obs.Span, cands []*nas.Candidate, from *nas.Candidate) []Entry {
 		if cfg.Workers <= 1 || len(cands) <= 1 {
 			var ok []Entry
 			for _, c := range cands {
-				if e, k := evaluate(c); k {
+				if e, k := evaluateFrom(c, from); k {
 					ok = append(ok, e)
 				}
 			}
 			return ok
 		}
-		batch := parent.Child("enas.eval_batch",
+		batch := span.Child("enas.eval_batch",
 			obs.Int("n", len(cands)), obs.Int("workers", cfg.Workers))
 		var t0 time.Time
 		if timed {
@@ -234,7 +252,13 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 					mRejects.Inc()
 					return
 				}
-				res, err := eval.Evaluate(c)
+				var res nas.Result
+				var err error
+				if warm != nil && from != nil {
+					res, err = warm.EvaluateFrom(c, from)
+				} else {
+					res, err = eval.Evaluate(c)
+				}
 				if err != nil {
 					mErrors.Inc()
 					return
@@ -286,7 +310,7 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		for i := range batch {
 			batch[i] = space.RandomCandidate(rng)
 		}
-		got := evaluateAll(&phase1, batch)
+		got := evaluateAll(&phase1, batch, nil)
 		if len(got) > need {
 			got = got[:need]
 		}
@@ -324,11 +348,17 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 	phase2 := search.Child("enas.phase2")
 	accepted := 0
 	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
-		// Tournament: sample S candidates, pick the best as parent.
-		best := -1
-		for _, idx := range rng.Perm(len(population))[:cfg.SampleSize] {
-			if best == -1 || score(population[idx]) > score(population[best]) {
-				best = idx
+		// Tournament: sample S candidates, pick the best as parent. Each
+		// sampled index is scored exactly once — the comparison loop used
+		// to re-score the incumbent on every step, O(S²) evaluator-objective
+		// calls per cycle. rng consumption (one Perm) is unchanged, so
+		// seeded searches return identical results.
+		sampled := rng.Perm(len(population))[:cfg.SampleSize]
+		best := sampled[0]
+		bestScore := score(population[best])
+		for _, idx := range sampled[1:] {
+			if s := score(population[idx]); s > bestScore {
+				best, bestScore = idx, s
 			}
 		}
 		parent := population[best]
@@ -338,8 +368,10 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 		grid := cycle%cfg.SensingEvery == 0
 		if grid {
 			// GRIDMUTATE: local grid search over the sensing neighbours.
+			// Neighbours keep the parent architecture, so they inherit its
+			// trained weights when the evaluator warm-starts.
 			bestObj := math.Inf(-1)
-			for _, e := range evaluateAll(&phase2, space.GridNeighbors(parent.Cand)) {
+			for _, e := range evaluateAll(&phase2, space.GridNeighbors(parent.Cand), parent.Cand) {
 				if o := score(e); o > bestObj {
 					bestObj, child, ok = o, e, true
 				}

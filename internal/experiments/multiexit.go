@@ -67,7 +67,7 @@ func MultiExit(seed int64) (*MultiExitResult, error) {
 		return nil, err
 	}
 	m.Init(rng)
-	m.Fit(trX, trY, nn.FitConfig{Epochs: 10, BatchSize: 16, LR: 0.03, Momentum: 0.9, Seed: seed})
+	m.Fit(trX, trY, nn.FitConfig{Epochs: 10, BatchSize: 16, LR: 0.03, Momentum: 0.9, Seed: seed, Compute: computeCtx()})
 
 	coeff := energymodel.DefaultCoefficients()
 	res := &MultiExitResult{}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync/atomic"
 
+	"solarml/internal/compute"
 	"solarml/internal/enas"
 	"solarml/internal/obs"
 )
@@ -15,6 +16,7 @@ import (
 var telemetry struct {
 	rec atomic.Pointer[obs.Recorder]
 	reg atomic.Pointer[obs.Registry]
+	cmp atomic.Pointer[compute.Context]
 }
 
 // SetObs attaches a recorder and metrics registry to every subsequent
@@ -32,9 +34,18 @@ func recorder() *obs.Recorder { return telemetry.rec.Load() }
 // registry returns the attached registry (nil when detached).
 func registry() *obs.Registry { return telemetry.reg.Load() }
 
+// SetCompute attaches a compute context to every subsequent experiment run:
+// training runs and eNAS searches launched by the runners use its backend
+// and scratch pool. Pass nil to restore the serial default.
+func SetCompute(ctx *compute.Context) { telemetry.cmp.Store(ctx) }
+
+// computeCtx returns the attached compute context (nil when detached).
+func computeCtx() *compute.Context { return telemetry.cmp.Load() }
+
 // instrument attaches the package sink to an eNAS search configuration.
 func instrument(cfg enas.Config) enas.Config {
 	cfg.Obs = recorder()
 	cfg.Metrics = registry()
+	cfg.Compute = computeCtx()
 	return cfg
 }

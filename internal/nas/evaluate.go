@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"solarml/internal/compute"
 	"solarml/internal/dataset"
 	"solarml/internal/energymodel"
 	"solarml/internal/mcu"
@@ -30,6 +31,14 @@ type Result struct {
 // Evaluator scores candidates.
 type Evaluator interface {
 	Evaluate(c *Candidate) (Result, error)
+}
+
+// ComputeSettable is implemented by evaluators whose candidate training can
+// run on a pluggable compute backend. Search drivers (enas.Search) install
+// their configured context through it, so kernel parallelism is budgeted in
+// one place against the candidate-level worker count.
+type ComputeSettable interface {
+	SetCompute(ctx *compute.Context)
 }
 
 // EnergyModel estimates candidate energy during search. eNAS plugs in the
@@ -162,6 +171,13 @@ type TrainEvaluator struct {
 	// train for WarmEpochs (default Epochs/2, min 1) instead of Epochs.
 	WarmStart  bool
 	WarmEpochs int
+	// Compute, when set, runs every candidate's training and accuracy
+	// kernels on its backend and scratch pool. Size it with
+	// compute.BudgetWorkers so candidate-level parallelism (the enas
+	// Workers pool sharing this evaluator) times kernel workers never
+	// oversubscribes cores. The context is shared by all evaluator
+	// goroutines; compute.Context is safe for that.
+	Compute *compute.Context
 	// Obs, when set, wraps every evaluation in a nas.evaluate span
 	// (fingerprint, warm-start, epochs, accuracy, energy) with nn.fit /
 	// nn.epoch sub-events from training and one nn.layer event per layer
@@ -230,6 +246,9 @@ func (e *TrainEvaluator) materializeFor(c *Candidate) (materialized, error) {
 	return m, nil
 }
 
+// SetCompute implements ComputeSettable.
+func (e *TrainEvaluator) SetCompute(ctx *compute.Context) { e.Compute = ctx }
+
 // Evaluate implements Evaluator (cold start).
 func (e *TrainEvaluator) Evaluate(c *Candidate) (Result, error) {
 	return e.evaluate(c, nil)
@@ -285,7 +304,8 @@ func (e *TrainEvaluator) evaluate(c, parent *Candidate) (Result, error) {
 	}
 	net.Fit(data.trainX, data.trainY, nn.TrainConfig{
 		Epochs: epochs, BatchSize: bs, LR: lr, Momentum: 0.9, Seed: e.Seed,
-		Obs: e.Obs,
+		Compute: e.Compute,
+		Obs:     e.Obs,
 	})
 	if e.WarmStart {
 		e.store().put(c.Fingerprint(), trainedEntry{snap: net.SnapshotParams(), sigs: paramSigs(net)})
@@ -327,11 +347,4 @@ func (e *TrainEvaluator) store() *paramStore {
 		e.trained = newParamStore(64)
 	}
 	return e.trained
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

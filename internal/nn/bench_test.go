@@ -1,9 +1,11 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
@@ -88,5 +90,39 @@ func BenchmarkMatMulMid(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMulInto(out, a, c)
+	}
+}
+
+// benchTrainStepWithCompute is one forward+backward+update minibatch with
+// the given compute context installed — the serial-vs-parallel pair below is
+// the backend speedup measurement at a NAS-typical network size.
+func benchTrainStepWithCompute(b *testing.B, ctx *compute.Context) {
+	net, x, y := benchConvNet(b)
+	net.SetCompute(ctx)
+	opt := &SGD{LR: 0.01, Momentum: 0.9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		_, grad := CrossEntropy(logits, y)
+		for li := len(net.Layers) - 1; li >= 0; li-- {
+			grad = net.Layers[li].Backward(grad)
+		}
+		opt.Step(net.Params())
+	}
+}
+
+// BenchmarkTrainStepCNNBackend compares the compute backends on the same
+// training step: serial is the reference, parallel-N adds kernel workers.
+// The backends are bit-identical, so the ratio is pure speedup.
+func BenchmarkTrainStepCNNBackend(b *testing.B) {
+	b.Run("serial", func(b *testing.B) {
+		benchTrainStepWithCompute(b, compute.NewContextFor(1, nil))
+	})
+	for _, workers := range []int{2, 4} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			benchTrainStepWithCompute(b, compute.NewContextFor(workers, nil))
+		})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
@@ -15,13 +16,23 @@ func convOutDim(in, k, stride, pad int) int {
 
 // Conv2D is a standard 2-D convolution with a square kernel, symmetric
 // zero padding and shared stride. Input is NCHW.
+//
+// The forward/backward kernels run batched: one im2col lowering for the
+// whole minibatch into a pooled (InC·K·K, N·OH·OW) scratch matrix and one
+// GEMM against the weights, instead of a column matrix allocated per
+// sample. The scratch lives on the layer's compute.Context pool and is
+// held between Forward and Backward (training always pairs them), so a
+// steady-state training step allocates only the output tensor.
 type Conv2D struct {
 	InC, OutC, K, Stride, Pad int
 	W                         *Param // (OutC, InC*K*K)
 	B                         *Param // (OutC)
 
-	lastCols []*tensor.Tensor // per-sample im2col matrices
-	lastIn   []int            // per-sample input shape
+	ctx            *compute.Context
+	cols           []float64 // batched im2col scratch, (InC*K*K, N*OH*OW)
+	lastIn         []int     // per-sample input shape
+	lastN          int       // batch size of the last Forward
+	lastOH, lastOW int
 }
 
 // NewConv2D returns a convolution layer; call Init before training.
@@ -35,6 +46,9 @@ func NewConv2D(inC, outC, k, stride, pad int) *Conv2D {
 
 // Kind implements Layer.
 func (c *Conv2D) Kind() LayerKind { return KindConv }
+
+// SetCompute implements ComputeUser.
+func (c *Conv2D) SetCompute(ctx *compute.Context) { c.ctx = ctx }
 
 // OutShape implements Layer.
 func (c *Conv2D) OutShape(in []int) []int {
@@ -56,21 +70,22 @@ func (c *Conv2D) Init(rng *rand.Rand) {
 	c.B.Value.Zero()
 }
 
-// im2col lowers one (C,H,W) sample to a (C*K*K, OH*OW) column matrix.
-func im2col(x []float64, cc, h, w, k, stride, pad, oh, ow int) *tensor.Tensor {
-	cols := tensor.New(cc*k*k, oh*ow)
+// im2colInto lowers one (C,H,W) sample into columns [colOff, colOff+oh·ow)
+// of a pre-zeroed (C·K·K, stride) matrix. Only in-bounds input positions
+// are written; padding entries rely on the destination being zero-filled.
+func im2colInto(dst []float64, stride, colOff int, x []float64, cc, h, w, k, cstride, pad, oh, ow int) {
 	for ch := 0; ch < cc; ch++ {
 		chOff := ch * h * w
 		for ky := 0; ky < k; ky++ {
 			for kx := 0; kx < k; kx++ {
-				row := cols.Data[((ch*k+ky)*k+kx)*oh*ow:]
+				row := dst[((ch*k+ky)*k+kx)*stride+colOff:]
 				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride + ky - pad
+					iy := oy*cstride + ky - pad
 					if iy < 0 || iy >= h {
 						continue
 					}
 					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride + kx - pad
+						ix := ox*cstride + kx - pad
 						if ix < 0 || ix >= w {
 							continue
 						}
@@ -80,23 +95,23 @@ func im2col(x []float64, cc, h, w, k, stride, pad, oh, ow int) *tensor.Tensor {
 			}
 		}
 	}
-	return cols
 }
 
-// col2im scatters a (C*K*K, OH*OW) gradient back to a (C,H,W) sample.
-func col2im(cols *tensor.Tensor, dst []float64, cc, h, w, k, stride, pad, oh, ow int) {
+// col2imFrom scatters columns [colOff, colOff+oh·ow) of a (C·K·K, stride)
+// gradient matrix back onto one (C,H,W) sample.
+func col2imFrom(src []float64, stride, colOff int, dst []float64, cc, h, w, k, cstride, pad, oh, ow int) {
 	for ch := 0; ch < cc; ch++ {
 		chOff := ch * h * w
 		for ky := 0; ky < k; ky++ {
 			for kx := 0; kx < k; kx++ {
-				row := cols.Data[((ch*k+ky)*k+kx)*oh*ow:]
+				row := src[((ch*k+ky)*k+kx)*stride+colOff:]
 				for oy := 0; oy < oh; oy++ {
-					iy := oy*stride + ky - pad
+					iy := oy*cstride + ky - pad
 					if iy < 0 || iy >= h {
 						continue
 					}
 					for ox := 0; ox < ow; ox++ {
-						ix := ox*stride + kx - pad
+						ix := ox*cstride + kx - pad
 						if ix < 0 || ix >= w {
 							continue
 						}
@@ -113,26 +128,38 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh := convOutDim(h, c.K, c.Stride, c.Pad)
 	ow := convOutDim(w, c.K, c.Stride, c.Pad)
-	out := tensor.New(n, c.OutC, oh, ow)
-	c.lastCols = make([]*tensor.Tensor, n)
+	rows := c.InC * c.K * c.K
+	span := oh * ow
+	width := n * span
+	if c.cols != nil {
+		// Inference-only forwards never reach Backward; recycle the
+		// previous batch's scratch before grabbing this one.
+		c.ctx.Put(c.cols)
+	}
+	c.cols = c.ctx.Get(rows * width)
 	c.lastIn = []int{c.InC, h, w}
+	c.lastN, c.lastOH, c.lastOW = n, oh, ow
 	sampleIn := c.InC * h * w
-	sampleOut := c.OutC * oh * ow
-	oMat := tensor.New(c.OutC, oh*ow)
+	// Batched im2col: sample i owns the disjoint column block
+	// [i·span, (i+1)·span), so the lowering parallelizes deterministically.
+	c.ctx.For(n, 1, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			im2colInto(c.cols, width, i*span, x.Data[i*sampleIn:(i+1)*sampleIn],
+				c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
+		}
+	})
+	// One GEMM for the whole batch, bias fused as the row start value.
+	oMat := c.ctx.Get(c.OutC * width)
+	c.ctx.MatMul(oMat, c.W.Value.Data, c.cols, c.B.Value.Data, c.OutC, rows, width)
+	// Scatter (OutC, N·OH·OW) back to NCHW.
+	out := tensor.New(n, c.OutC, oh, ow)
 	for i := 0; i < n; i++ {
-		cols := im2col(x.Data[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
-		c.lastCols[i] = cols
-		tensor.MatMulInto(oMat, c.W.Value, cols)
-		dst := out.Data[i*sampleOut : (i+1)*sampleOut]
-		copy(dst, oMat.Data)
 		for oc := 0; oc < c.OutC; oc++ {
-			b := c.B.Value.Data[oc]
-			row := dst[oc*oh*ow : (oc+1)*oh*ow]
-			for j := range row {
-				row[j] += b
-			}
+			copy(out.Data[(i*c.OutC+oc)*span:(i*c.OutC+oc+1)*span],
+				oMat[oc*width+i*span:oc*width+(i+1)*span])
 		}
 	}
+	c.ctx.Put(oMat)
 	return out
 }
 
@@ -140,26 +167,43 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, oh, ow := grad.Shape[0], grad.Shape[2], grad.Shape[3]
 	h, w := c.lastIn[1], c.lastIn[2]
+	rows := c.InC * c.K * c.K
+	span := oh * ow
+	width := n * span
+	// Gather grad (N, OutC, OH, OW) into (OutC, N·OH·OW), matching the
+	// column layout of the stored im2col scratch.
+	gMat := c.ctx.Get(c.OutC * width)
+	for i := 0; i < n; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			copy(gMat[oc*width+i*span:oc*width+(i+1)*span],
+				grad.Data[(i*c.OutC+oc)*span:(i*c.OutC+oc+1)*span])
+		}
+	}
+	// dW += g × colsᵀ, accumulated straight into the gradient tensor.
+	c.ctx.MatMulTransB(c.W.Grad.Data, gMat, c.cols, nil, c.OutC, width, rows, true)
+	// db += row sums of g.
+	for oc := 0; oc < c.OutC; oc++ {
+		s := 0.0
+		for _, v := range gMat[oc*width : (oc+1)*width] {
+			s += v
+		}
+		c.B.Grad.Data[oc] += s
+	}
+	// dcols = Wᵀ × g, then scatter every sample's column block back.
+	dcols := c.ctx.Get(rows * width)
+	c.ctx.MatMulTransA(dcols, c.W.Value.Data, gMat, c.OutC, rows, width, false)
 	dx := tensor.New(n, c.InC, h, w)
 	sampleIn := c.InC * h * w
-	sampleOut := c.OutC * oh * ow
-	for i := 0; i < n; i++ {
-		g := tensor.FromSlice(grad.Data[i*sampleOut:(i+1)*sampleOut], c.OutC, oh*ow)
-		// dW += g × colsᵀ
-		dW := tensor.MatMulTransB(g, c.lastCols[i])
-		c.W.Grad.Add(dW)
-		// db += row sums of g
-		for oc := 0; oc < c.OutC; oc++ {
-			s := 0.0
-			for _, v := range g.Data[oc*oh*ow : (oc+1)*oh*ow] {
-				s += v
-			}
-			c.B.Grad.Data[oc] += s
+	c.ctx.For(n, 1, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			col2imFrom(dcols, width, i*span, dx.Data[i*sampleIn:(i+1)*sampleIn],
+				c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
 		}
-		// dcols = Wᵀ × g, then scatter back.
-		dcols := tensor.MatMulTransA(c.W.Value, g)
-		col2im(dcols, dx.Data[i*sampleIn:(i+1)*sampleIn], c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
-	}
+	})
+	c.ctx.Put(dcols)
+	c.ctx.Put(gMat)
+	c.ctx.Put(c.cols)
+	c.cols = nil
 	return dx
 }
 
@@ -175,11 +219,19 @@ func (c *Conv2D) MACs(in []int) int64 {
 
 // DepthwiseConv2D convolves each channel with its own K×K filter.
 // Input is NCHW with C channels preserved.
+//
+// The direct kernel beats an im2col lowering here (each output element
+// touches only K² inputs of one channel), so instead the (sample, channel)
+// blocks fan out over the compute backend: every block writes a disjoint
+// output region in Forward, and Backward partitions by channel so each
+// worker owns its channel's weight/bias gradient accumulators — the
+// per-location accumulation order matches the serial kernel exactly.
 type DepthwiseConv2D struct {
 	C, K, Stride, Pad int
 	W                 *Param // (C, K*K)
 	B                 *Param // (C)
 
+	ctx   *compute.Context
 	lastX *tensor.Tensor
 }
 
@@ -190,6 +242,9 @@ func NewDepthwiseConv2D(c, k, stride, pad int) *DepthwiseConv2D {
 
 // Kind implements Layer.
 func (c *DepthwiseConv2D) Kind() LayerKind { return KindDWConv }
+
+// SetCompute implements ComputeUser.
+func (c *DepthwiseConv2D) SetCompute(ctx *compute.Context) { c.ctx = ctx }
 
 // OutShape implements Layer.
 func (c *DepthwiseConv2D) OutShape(in []int) []int {
@@ -217,8 +272,10 @@ func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	ow := convOutDim(w, c.K, c.Stride, c.Pad)
 	c.lastX = x
 	out := tensor.New(n, c.C, oh, ow)
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c.C; ch++ {
+	// Each (sample, channel) block writes a disjoint output slice.
+	c.ctx.For(n*c.C, 1, func(b0, b1 int) {
+		for blk := b0; blk < b1; blk++ {
+			i, ch := blk/c.C, blk%c.C
 			src := x.Data[(i*c.C+ch)*h*w:]
 			dst := out.Data[(i*c.C+ch)*oh*ow:]
 			wrow := c.W.Value.Data[ch*c.K*c.K:]
@@ -243,7 +300,7 @@ func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -253,38 +310,43 @@ func (c *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := grad.Shape[2], grad.Shape[3]
 	dx := tensor.New(n, c.C, h, w)
-	for i := 0; i < n; i++ {
-		for ch := 0; ch < c.C; ch++ {
-			src := x.Data[(i*c.C+ch)*h*w:]
-			g := grad.Data[(i*c.C+ch)*oh*ow:]
-			dsrc := dx.Data[(i*c.C+ch)*h*w:]
+	// Partition by channel: each worker owns its channels' weight and bias
+	// gradient rows, and visits samples in ascending order, so every
+	// accumulator sees the same addition sequence as the serial kernel.
+	c.ctx.For(c.C, 1, func(c0, c1 int) {
+		for ch := c0; ch < c1; ch++ {
 			wrow := c.W.Value.Data[ch*c.K*c.K:]
 			dwrow := c.W.Grad.Data[ch*c.K*c.K:]
-			for oy := 0; oy < oh; oy++ {
-				for ox := 0; ox < ow; ox++ {
-					gv := g[oy*ow+ox]
-					if gv == 0 {
-						continue
-					}
-					c.B.Grad.Data[ch] += gv
-					for ky := 0; ky < c.K; ky++ {
-						iy := oy*c.Stride + ky - c.Pad
-						if iy < 0 || iy >= h {
+			for i := 0; i < n; i++ {
+				src := x.Data[(i*c.C+ch)*h*w:]
+				g := grad.Data[(i*c.C+ch)*oh*ow:]
+				dsrc := dx.Data[(i*c.C+ch)*h*w:]
+				for oy := 0; oy < oh; oy++ {
+					for ox := 0; ox < ow; ox++ {
+						gv := g[oy*ow+ox]
+						if gv == 0 {
 							continue
 						}
-						for kx := 0; kx < c.K; kx++ {
-							ix := ox*c.Stride + kx - c.Pad
-							if ix < 0 || ix >= w {
+						c.B.Grad.Data[ch] += gv
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy*c.Stride + ky - c.Pad
+							if iy < 0 || iy >= h {
 								continue
 							}
-							dwrow[ky*c.K+kx] += gv * src[iy*w+ix]
-							dsrc[iy*w+ix] += gv * wrow[ky*c.K+kx]
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox*c.Stride + kx - c.Pad
+								if ix < 0 || ix >= w {
+									continue
+								}
+								dwrow[ky*c.K+kx] += gv * src[iy*w+ix]
+								dsrc[iy*w+ix] += gv * wrow[ky*c.K+kx]
+							}
 						}
 					}
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 

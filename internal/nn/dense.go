@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
@@ -15,6 +16,7 @@ type Dense struct {
 	W       *Param // (Out, In)
 	B       *Param // (Out)
 
+	ctx   *compute.Context
 	lastX *tensor.Tensor
 }
 
@@ -26,6 +28,9 @@ func NewDense(in, out int) *Dense {
 
 // Kind implements Layer.
 func (d *Dense) Kind() LayerKind { return KindDense }
+
+// SetCompute implements ComputeUser.
+func (d *Dense) SetCompute(ctx *compute.Context) { d.ctx = ctx }
 
 // OutShape implements Layer.
 func (d *Dense) OutShape(in []int) []int {
@@ -50,22 +55,17 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Dense input width %d, want %d", x2.Shape[1], d.In))
 	}
 	d.lastX = x2
-	out := tensor.MatMulTransB(x2, d.W.Value) // (N, Out)
-	for i := 0; i < n; i++ {
-		row := out.Data[i*d.Out : (i+1)*d.Out]
-		for j := range row {
-			row[j] += d.B.Value.Data[j]
-		}
-	}
+	out := tensor.New(n, d.Out)
+	// y = x·Wᵀ + b, bias fused into the GEMM epilogue.
+	d.ctx.MatMulTransB(out.Data, x2.Data, d.W.Value.Data, d.B.Value.Data, n, d.In, d.Out, false)
 	return out
 }
 
 // Backward implements Layer.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Shape[0]
-	// dW (Out, In) += gradᵀ × x
-	dW := tensor.MatMulTransA(grad, d.lastX)
-	d.W.Grad.Add(dW)
+	// dW (Out, In) += gradᵀ × x, accumulated straight into the gradient.
+	d.ctx.MatMulTransA(d.W.Grad.Data, grad.Data, d.lastX.Data, n, d.Out, d.In, true)
 	// db += column sums of grad
 	for i := 0; i < n; i++ {
 		row := grad.Data[i*d.Out : (i+1)*d.Out]
@@ -74,7 +74,9 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx (N, In) = grad × W
-	return tensor.MatMul(grad, d.W.Value)
+	dx := tensor.New(n, d.In)
+	d.ctx.MatMul(dx.Data, grad.Data, d.W.Value.Data, nil, n, d.Out, d.In)
+	return dx
 }
 
 // Params implements Layer.

@@ -11,6 +11,7 @@ package nn
 import (
 	"math/rand"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
@@ -102,6 +103,15 @@ type Layer interface {
 	MACs(in []int) int64
 	// Init initializes parameters from rng. No-op for parameter-free layers.
 	Init(rng *rand.Rand)
+}
+
+// ComputeUser is implemented by layers whose kernels can run on a pluggable
+// compute backend (Conv2D, DepthwiseConv2D, Dense). Network.SetCompute and
+// TrainConfig.Compute install one context on every such layer; layers with
+// no context fall back to the serial backend with fresh allocations, so the
+// zero value of every layer keeps working unchanged.
+type ComputeUser interface {
+	SetCompute(ctx *compute.Context)
 }
 
 // shapeVolume returns the product of the dimensions.

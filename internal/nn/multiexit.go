@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
@@ -74,6 +75,21 @@ func (m *MultiExitNetwork) Init(rng *rand.Rand) {
 	}
 	for _, e := range m.Exits {
 		e.Init(rng)
+	}
+}
+
+// SetCompute installs a compute context on every backbone layer and exit
+// head that supports a pluggable backend (nil restores the serial default).
+func (m *MultiExitNetwork) SetCompute(ctx *compute.Context) {
+	for _, stage := range m.Stages {
+		for _, l := range stage {
+			if cu, ok := l.(ComputeUser); ok {
+				cu.SetCompute(ctx)
+			}
+		}
+	}
+	for _, e := range m.Exits {
+		e.SetCompute(ctx)
 	}
 }
 
@@ -152,6 +168,9 @@ type FitConfig struct {
 	ExitWeights []float64
 	ClipNorm    float64
 	Seed        int64
+	// Compute, when set, is installed on backbone and exits before the
+	// first minibatch (see TrainConfig.Compute).
+	Compute *compute.Context
 }
 
 // Fit trains backbone and exits jointly with a weighted sum of per-exit
@@ -175,6 +194,9 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 	}
 	if len(weights) != len(m.Exits) {
 		panic(fmt.Sprintf("nn: %d exit weights for %d exits", len(weights), len(m.Exits)))
+	}
+	if cfg.Compute != nil {
+		m.SetCompute(cfg.Compute)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum}

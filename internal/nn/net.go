@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"solarml/internal/compute"
 	"solarml/internal/obs"
 	"solarml/internal/tensor"
 )
@@ -27,6 +28,17 @@ func NewNetwork(inShape []int, layers ...Layer) *Network {
 func (n *Network) Init(rng *rand.Rand) {
 	for _, l := range n.Layers {
 		l.Init(rng)
+	}
+}
+
+// SetCompute installs a compute context on every layer that supports a
+// pluggable backend. It governs both training and inference kernels; a nil
+// context restores the default serial, non-pooled behaviour.
+func (n *Network) SetCompute(ctx *compute.Context) {
+	for _, l := range n.Layers {
+		if cu, ok := l.(ComputeUser); ok {
+			cu.SetCompute(ctx)
+		}
 	}
 }
 
@@ -216,6 +228,11 @@ type TrainConfig struct {
 	// width with far less accuracy loss.
 	QATWeightBits int
 	Seed          int64
+	// Compute, when set, is installed on every ComputeUser layer before the
+	// first minibatch: kernels run on its backend and scratch pool. Leave
+	// nil to keep whatever context the network already carries (default:
+	// serial kernels, fresh allocations).
+	Compute *compute.Context
 	// Verbose, when set, receives one line per epoch.
 	Verbose func(epoch int, loss float64)
 	// Obs, when set, receives one nn.epoch event per epoch (index, mean
@@ -252,6 +269,9 @@ func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) floa
 	}
 	if cfg.ClipNorm == 0 {
 		cfg.ClipNorm = 5
+	}
+	if cfg.Compute != nil {
+		n.SetCompute(cfg.Compute)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum, Decay: cfg.Decay}

@@ -1,6 +1,10 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+
+	"solarml/internal/compute"
+)
 
 // MatMul returns the matrix product a×b for 2-D tensors.
 // a has shape (m, k) and b has shape (k, n); the result has shape (m, n).
@@ -19,29 +23,17 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = a×b, reusing dst's buffer. dst must be (m, n).
-// The kernel iterates in i-k-j order so the inner loop walks both b and dst
-// contiguously, which keeps candidate training fast enough for NAS sweeps.
+// The kernel delegates to the compute package's serial backend, which walks
+// b and dst contiguously in blocked i-k-j order; callers that want
+// goroutine-parallel kernels hold a compute.Context and call the backend
+// directly on the raw buffers.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n := b.Shape[1]
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic("tensor: MatMulInto destination shape mismatch")
 	}
-	dst.Zero()
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
-		}
-	}
+	compute.Serial{}.MatMul(dst.Data, a.Data, b.Data, nil, m, k, n)
 }
 
 // MatMulTransA computes aᵀ×b for a of shape (k, m) and b of shape (k, n),
@@ -53,19 +45,7 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 		panic("tensor: MatMulTransA inner dimension mismatch")
 	}
 	out := New(m, n)
-	for kk := 0; kk < k; kk++ {
-		arow := a.Data[kk*m : (kk+1)*m]
-		brow := b.Data[kk*n : (kk+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := out.Data[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
+	compute.Serial{}.MatMulTransA(out.Data, a.Data, b.Data, k, m, n, false)
 	return out
 }
 
@@ -78,18 +58,7 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 		panic("tensor: MatMulTransB inner dimension mismatch")
 	}
 	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for kk, av := range arow {
-				s += av * brow[kk]
-			}
-			orow[j] = s
-		}
-	}
+	compute.Serial{}.MatMulTransB(out.Data, a.Data, b.Data, nil, m, k, n, false)
 	return out
 }
 
