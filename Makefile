@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/enas/... ./internal/compute/...
+	$(GO) test -race ./internal/obs/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/...
 
 check: verify vet race
 

@@ -322,6 +322,40 @@ func BenchmarkSearchTelemetryOn(b *testing.B) {
 	benchSearchTelemetry(b, obs.NewRecorder(io.Discard), obs.NewRegistry())
 }
 
+// BenchmarkSurrogateSearchCached measures the internal/evo evaluation memo
+// on a grid-heavy surrogate eNAS search (R = 4, so GRIDMUTATE re-enumerates
+// the sensing neighbourhood every fourth cycle — the revisit-dominated
+// regime where aging evolution hits the same fingerprints repeatedly): the
+// same seeded search serial vs parallel, cache off vs on. The golden tests
+// pin that the variants return the identical Outcome, so the spread here is
+// pure wall-clock — a memo hit skips both the constraint-check network
+// build and the evaluator.
+func BenchmarkSurrogateSearchCached(b *testing.B) {
+	run := func(workers int, cache bool) func(*testing.B) {
+		return func(b *testing.B) {
+			space := nas.GestureSpace()
+			cfg := enas.Config{
+				Lambda: 0.5, Population: 16, SampleSize: 6, Cycles: 150,
+				SensingEvery: 4, Seed: 9,
+				Constraints: nas.DefaultConstraints(nas.TaskGesture),
+				Workers:     workers, Cache: cache,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+				if _, err := enas.Search(space, eval, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", run(0, false))
+	b.Run("serial_cache", run(0, true))
+	b.Run("workers4", run(4, false))
+	b.Run("workers4_cache", run(4, true))
+}
+
 // BenchmarkSurrogateEvaluation times one candidate evaluation — the inner
 // loop of the NAS benchmarks.
 func BenchmarkSurrogateEvaluation(b *testing.B) {

@@ -6,7 +6,7 @@
 //	enas-search [-algo enas|munas|harvnet] [-task gesture|kws]
 //	            [-lambda 0.5] [-pop 50] [-sample 20] [-cycles 150]
 //	            [-grid-every 20] [-seed 1] [-eval surrogate|train]
-//	            [-workers 1] [-compute-workers 0]
+//	            [-workers 1] [-compute-workers 0] [-cache]
 //	            [-trace-out run.jsonl] [-metrics-out metrics.json]
 //	            [-pprof localhost:6060]
 //
@@ -14,8 +14,15 @@
 // datasets (slow but end-to-end); with -eval surrogate the calibrated
 // analytic accuracy model is used (the Fig 10 configuration).
 //
+// All three algorithms run on the shared internal/evo engine, so -workers,
+// -compute-workers, and -cache apply uniformly: -workers parallelizes
+// candidate evaluation (results merge in generation order, so the search
+// result is seed-reproducible at any width), -compute-workers splits each
+// training run across kernel workers, and -cache memoizes evaluations per
+// candidate fingerprint (identical result, fewer evaluator calls).
+//
 // -trace-out writes a JSONL obs trace (run manifest, phase spans, one
-// enas.cycle event per cycle); -metrics-out writes a final metrics
+// <algo>.cycle event per cycle); -metrics-out writes a final metrics
 // snapshot; -pprof serves net/http/pprof and expvar so long searches can
 // be profiled live. All three are off by default and cost nothing when
 // unset.
@@ -50,8 +57,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	evalName := flag.String("eval", "surrogate", "evaluator: surrogate or train")
 	trainN := flag.Int("train-n", 200, "dataset size for -eval train")
-	workers := flag.Int("workers", 1, "parallel candidate evaluations (eNAS phase 1 + grid)")
+	workers := flag.Int("workers", 1, "parallel candidate evaluations (population fill + grid batches, all algorithms)")
 	computeWorkers := flag.Int("compute-workers", 0, "kernel workers per candidate training run (0 = NumCPU/workers, 1 = serial)")
+	cache := flag.Bool("cache", false, "memoize evaluations per candidate fingerprint (identical result, fewer evaluator calls)")
 	warm := flag.Bool("warm", false, "with -eval train: children inherit parent weights (fewer epochs)")
 	traceOut := flag.String("trace-out", "", "write a JSONL obs trace to this file")
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file")
@@ -72,10 +80,10 @@ func main() {
 		"algo": *algo, "task": *taskName, "lambda": *lambda,
 		"pop": *pop, "sample": *sample, "cycles": *cycles,
 		"grid_every": *gridEvery, "eval": *evalName, "workers": *workers,
-		"warm": *warm, "train_n": *trainN, "compute_workers": kw,
+		"warm": *warm, "train_n": *trainN, "compute_workers": kw, "cache": *cache,
 	}})
 	if err := run(*algo, *taskName, *lambda, *pop, *sample, *cycles, *gridEvery,
-		*seed, *evalName, *trainN, *workers, *warm, rec, reg, cctx); err != nil {
+		*seed, *evalName, *trainN, *workers, *warm, *cache, rec, reg, cctx); err != nil {
 		rec.Finish(err.Error())
 		cleanup()
 		fmt.Fprintln(os.Stderr, "error:", err)
@@ -148,7 +156,7 @@ func setupObs(traceOut, metricsOut, pprofAddr string) (*obs.Recorder, *obs.Regis
 }
 
 func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery int,
-	seed int64, evalName string, trainN, workers int, warm bool,
+	seed int64, evalName string, trainN, workers int, warm, cache bool,
 	rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) error {
 	task := nas.TaskGesture
 	space := nas.GestureSpace()
@@ -173,6 +181,7 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 			Compute:     cctx,
 			Obs:         rec,
 			Metrics:     reg,
+			Cache:       cache,
 		}
 		out, err := enas.Search(space, eval, cfg)
 		if err != nil {
@@ -184,7 +193,8 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 	case "munas":
 		sensing := space.RandomCandidate(rand.New(rand.NewSource(seed)))
 		cfg := munas.Config{Population: pop, SampleSize: sample, Cycles: cycles,
-			Seed: seed, Constraints: nas.DefaultConstraints(task)}
+			Seed: seed, Constraints: nas.DefaultConstraints(task),
+			Workers: workers, Compute: cctx, Obs: rec, Metrics: reg, Cache: cache}
 		out, err := munas.Search(space, sensing, eval, cfg)
 		if err != nil {
 			return err
@@ -195,7 +205,8 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 	case "harvnet":
 		sensing := space.RandomCandidate(rand.New(rand.NewSource(seed)))
 		cfg := harvnet.Config{Population: pop, SampleSize: sample, Cycles: cycles,
-			Seed: seed, Constraints: nas.DefaultConstraints(task)}
+			Seed: seed, Constraints: nas.DefaultConstraints(task),
+			Workers: workers, Compute: cctx, Obs: rec, Metrics: reg, Cache: cache}
 		out, err := harvnet.Search(space, sensing, eval, cfg)
 		if err != nil {
 			return err

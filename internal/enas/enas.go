@@ -12,15 +12,21 @@
 // morphisms run every cycle; every R-th cycle the sensing parameters take a
 // local grid-search step instead (GRIDMUTATE), reflecting the observation
 // that small sensing changes matter only once the model has adapted.
+//
+// The evolution mechanics — population fill, tournament, aging replacement,
+// deterministic parallel evaluation, warm-start lineage, the optional
+// evaluation cache — live in internal/evo; this package contributes the
+// joint sensing+architecture candidate source, the λ-objective, and the
+// GRIDMUTATE schedule as an evo.Policy.
 package enas
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"solarml/internal/compute"
+	"solarml/internal/evo"
 	"solarml/internal/nas"
 	"solarml/internal/obs"
 )
@@ -66,6 +72,13 @@ type Config struct {
 	// constraint rejects, evaluator errors, accepted/failed children) and
 	// timing/utilization histograms.
 	Metrics *obs.Registry
+	// Cache enables the engine's fingerprint-keyed evaluation memo: repeat
+	// visits to a configuration skip the evaluator. The Outcome is
+	// identical with the cache on or off (hits replay the memoized result
+	// and still count as evaluations); savings appear in wall-clock and
+	// the evo.cache_hits / evo.cache_misses counters. Warm-start
+	// evaluations bypass the cache.
+	Cache bool
 	// Verbose, when set, receives one line per cycle.
 	//
 	// Deprecated: Verbose is kept for compatibility and is now implemented
@@ -87,10 +100,7 @@ func DefaultConfig(task nas.Task, lambda float64) Config {
 }
 
 // Entry pairs a candidate with its evaluation.
-type Entry struct {
-	Cand *nas.Candidate
-	Res  nas.Result
-}
+type Entry = evo.Entry
 
 // Outcome is the result of one search run.
 type Outcome struct {
@@ -122,6 +132,69 @@ func (cfg Config) score(e Entry, eMin, eMax float64) float64 {
 	return objective(e, cfg.Lambda, eMin, eMax)
 }
 
+// policy adapts Algorithm 1 to the shared engine: joint-space candidates,
+// the λ-objective with a soft infeasibility penalty, GRIDMUTATE every R
+// cycles, and best-objective reporting.
+type policy struct {
+	cfg        Config
+	space      *nas.Space
+	eMin, eMax float64
+	// lastBest snapshots the per-cycle best for the deprecated Verbose
+	// adapter, which fires synchronously off the enas.cycle emission.
+	lastBest Entry
+}
+
+func (p *policy) Prefix() string { return "enas" }
+
+func (p *policy) Fill(rng *rand.Rand) *nas.Candidate { return p.space.RandomCandidate(rng) }
+
+func (p *policy) SearchAttrs() []obs.Attr {
+	return []obs.Attr{
+		obs.F64("lambda", p.cfg.Lambda),
+		obs.Int("sensing_every", p.cfg.SensingEvery),
+	}
+}
+
+func (p *policy) Init(_ []Entry, eMin, eMax float64) { p.eMin, p.eMax = eMin, eMax }
+
+// CycleScore soft-penalizes infeasible entries during parent selection so
+// evolution can escape an infeasible region but never prefers it. The
+// closure consumes no randomness, keeping the seeded stream identical to
+// the pre-engine implementation.
+func (p *policy) CycleScore(*rand.Rand, int) func(Entry) float64 {
+	return func(e Entry) float64 {
+		s := p.cfg.score(e, p.eMin, p.eMax)
+		if p.cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+			s -= 1
+		}
+		return s
+	}
+}
+
+func (p *policy) GridCycle(cycle int) bool { return cycle%p.cfg.SensingEvery == 0 }
+
+func (p *policy) Neighbors(parent *nas.Candidate) []*nas.Candidate {
+	return p.space.GridNeighbors(parent)
+}
+
+func (p *policy) Mutate(rng *rand.Rand, parent *nas.Candidate) *nas.Candidate {
+	return p.space.MutateArch(rng, parent)
+}
+
+func (p *policy) Accepted(Entry) {}
+
+func (p *policy) Report(history []Entry) (Entry, []obs.Attr) {
+	best := bestFeasible(history, p.cfg, p.eMin, p.eMax)
+	p.lastBest = best
+	return best, []obs.Attr{
+		obs.F64("best_acc", best.Res.Accuracy),
+		obs.F64("best_energy_j", best.Res.EnergyJ),
+		obs.F64("objective", p.cfg.score(best, p.eMin, p.eMax)),
+		obs.F64("e_min_j", p.eMin),
+		obs.F64("e_max_j", p.eMax),
+	}
+}
+
 // Search runs Algorithm 1.
 func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) {
 	if cfg.Population < 2 || cfg.SampleSize < 1 || cfg.SampleSize > cfg.Population {
@@ -133,313 +206,54 @@ func Search(space *nas.Space, eval nas.Evaluator, cfg Config) (*Outcome, error) 
 	if cfg.SensingEvery <= 0 {
 		cfg.SensingEvery = 20
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := &Outcome{}
+	pol := &policy{cfg: cfg, space: space}
 
-	// Telemetry setup. The deprecated Verbose hook rides on the obs event
-	// stream: when only Verbose is set, a dispatch-only recorder feeds it.
+	// The deprecated Verbose hook rides on the obs event stream: when only
+	// Verbose is set, a dispatch-only recorder feeds it.
 	rec := cfg.Obs
-	var lastBest Entry // per-cycle best, snapshotted for the Verbose adapter
 	if cfg.Verbose != nil {
 		if rec == nil {
 			rec = obs.NewRecorder(nil)
 		}
 		unsub := rec.Subscribe(func(e obs.Event) {
 			if e.Kind == obs.KindEvent && e.Name == "enas.cycle" {
-				cfg.Verbose(int(e.Int("cycle")), lastBest)
+				cfg.Verbose(int(e.Int("cycle")), pol.lastBest)
 			}
 		})
 		defer unsub()
 	}
-	var (
-		mEvals    = cfg.Metrics.Counter("enas.evaluations")
-		mRejects  = cfg.Metrics.Counter("enas.constraint_rejects")
-		mErrors   = cfg.Metrics.Counter("enas.eval_errors")
-		mAccepted = cfg.Metrics.Counter("enas.children_accepted")
-		mFailed   = cfg.Metrics.Counter("enas.cycles_without_child")
-		hEval     = cfg.Metrics.Histogram("enas.eval_seconds", obs.TimeBuckets)
-		hUtil     = cfg.Metrics.Histogram("enas.worker_utilization", obs.RatioBuckets)
-	)
-	if cfg.Compute != nil {
-		if cs, ok := eval.(nas.ComputeSettable); ok {
-			cs.SetCompute(cfg.Compute)
-		}
-	}
-	timed := rec.Enabled() || cfg.Metrics != nil
-	search := rec.StartSpan("enas.search",
-		obs.F64("lambda", cfg.Lambda), obs.Int("population", cfg.Population),
-		obs.Int("sample", cfg.SampleSize), obs.Int("cycles", cfg.Cycles),
-		obs.Int("sensing_every", cfg.SensingEvery), obs.Int64("seed", cfg.Seed),
-		obs.Int("workers", cfg.Workers),
-		obs.Str("compute", cfg.Compute.Name()),
-		obs.Int("kernel_workers", cfg.Compute.Workers()))
 
-	warm, _ := eval.(nas.WarmStartEvaluator)
-	evaluateFrom := func(c, parent *nas.Candidate) (Entry, bool) {
-		if err := cfg.Constraints.CheckStatic(c); err != nil {
-			mRejects.Inc()
-			return Entry{}, false
-		}
-		var t0 time.Time
-		if timed {
-			t0 = time.Now()
-		}
-		var res nas.Result
-		var err error
-		if warm != nil && parent != nil {
-			res, err = warm.EvaluateFrom(c, parent)
-		} else {
-			res, err = eval.Evaluate(c)
-		}
-		if timed {
-			hEval.Observe(time.Since(t0).Seconds())
-		}
-		if err != nil {
-			mErrors.Inc()
-			return Entry{}, false
-		}
-		out.Evaluations++
-		mEvals.Inc()
-		e := Entry{Cand: c, Res: res}
-		out.History = append(out.History, e)
-		return e, true
+	out, err := evo.Run(pol, eval, evo.Config{
+		Population: cfg.Population, SampleSize: cfg.SampleSize, Cycles: cfg.Cycles,
+		Seed: cfg.Seed, Constraints: cfg.Constraints, Workers: cfg.Workers,
+		Compute: cfg.Compute, Obs: rec, Metrics: cfg.Metrics, Cache: cfg.Cache,
+	})
+	if err != nil {
+		return nil, err
 	}
-	// evaluateAll scores a batch, in parallel when configured, recording
-	// history and returning successes in input order. span scopes the
-	// batch in the trace hierarchy; from, when non-nil, is the lineage
-	// parent of every candidate in the batch (the grid-mutation case:
-	// sensing neighbours keep the parent architecture), so warm-start
-	// weight inheritance applies on the parallel path exactly as it does
-	// sequentially.
-	evaluateAll := func(span *obs.Span, cands []*nas.Candidate, from *nas.Candidate) []Entry {
-		if cfg.Workers <= 1 || len(cands) <= 1 {
-			var ok []Entry
-			for _, c := range cands {
-				if e, k := evaluateFrom(c, from); k {
-					ok = append(ok, e)
-				}
-			}
-			return ok
-		}
-		batch := span.Child("enas.eval_batch",
-			obs.Int("n", len(cands)), obs.Int("workers", cfg.Workers))
-		var t0 time.Time
-		if timed {
-			t0 = time.Now()
-		}
-		type slot struct {
-			e    Entry
-			ok   bool
-			busy time.Duration
-		}
-		slots := make([]slot, len(cands))
-		sem := make(chan struct{}, cfg.Workers)
-		done := make(chan int)
-		for i, c := range cands {
-			go func(i int, c *nas.Candidate) {
-				sem <- struct{}{}
-				defer func() { <-sem; done <- i }()
-				var w0 time.Time
-				if timed {
-					w0 = time.Now()
-				}
-				defer func() {
-					if timed {
-						slots[i].busy = time.Since(w0)
-					}
-				}()
-				if err := cfg.Constraints.CheckStatic(c); err != nil {
-					mRejects.Inc()
-					return
-				}
-				var res nas.Result
-				var err error
-				if warm != nil && from != nil {
-					res, err = warm.EvaluateFrom(c, from)
-				} else {
-					res, err = eval.Evaluate(c)
-				}
-				if err != nil {
-					mErrors.Inc()
-					return
-				}
-				slots[i] = slot{e: Entry{Cand: c, Res: res}, ok: true}
-			}(i, c)
-		}
-		for range cands {
-			<-done
-		}
-		var ok []Entry
-		for _, s := range slots {
-			if s.ok {
-				out.Evaluations++
-				mEvals.Inc()
-				out.History = append(out.History, s.e)
-				ok = append(ok, s.e)
-			}
-		}
-		if timed {
-			// Utilization: summed worker busy time over the pool's
-			// wall-clock capacity for this batch.
-			var busy time.Duration
-			for _, s := range slots {
-				busy += s.busy
-				hEval.Observe(s.busy.Seconds())
-			}
-			util := 0.0
-			if wall := time.Since(t0).Seconds() * float64(cfg.Workers); wall > 0 {
-				util = busy.Seconds() / wall
-			}
-			hUtil.Observe(util)
-			batch.End(obs.Int("ok", len(ok)), obs.F64("utilization", util))
-		}
-		return ok
-	}
-
-	// Phase 1: broad exploration with random permutations.
-	phase1 := search.Child("enas.phase1")
-	population := make([]Entry, 0, cfg.Population)
-	for tries := 0; len(population) < cfg.Population; tries++ {
-		if tries > 200 {
-			phase1.End(obs.Str("error", "cannot fill population"))
-			search.End(obs.Str("error", "cannot fill population"))
-			return nil, fmt.Errorf("enas: cannot fill population under constraints")
-		}
-		need := cfg.Population - len(population)
-		batch := make([]*nas.Candidate, need)
-		for i := range batch {
-			batch[i] = space.RandomCandidate(rng)
-		}
-		got := evaluateAll(&phase1, batch, nil)
-		if len(got) > need {
-			got = got[:need]
-		}
-		population = append(population, got...)
-	}
-	out.EMin, out.EMax = math.Inf(1), math.Inf(-1)
-	for _, e := range population {
-		if e.Res.EnergyJ < out.EMin {
-			out.EMin = e.Res.EnergyJ
-		}
-		if e.Res.EnergyJ > out.EMax {
-			out.EMax = e.Res.EnergyJ
-		}
-	}
-	phase1.End(obs.Int("evaluations", out.Evaluations),
-		obs.F64("e_min_j", out.EMin), obs.F64("e_max_j", out.EMax))
-	cfg.Metrics.Gauge("enas.e_min_j").Set(out.EMin)
-	cfg.Metrics.Gauge("enas.e_max_j").Set(out.EMax)
-
-	// feasible applies the post-evaluation accuracy cap.
-	feasible := func(e Entry) bool {
-		return cfg.Constraints.CheckAccuracy(e.Res.Accuracy) == nil
-	}
-	// score soft-penalizes infeasible entries during parent selection so
-	// evolution can escape an infeasible region but never prefers it.
-	score := func(e Entry) float64 {
-		s := cfg.score(e, out.EMin, out.EMax)
-		if !feasible(e) {
-			s -= 1
-		}
-		return s
-	}
-
-	// Phase 2: optimal exploration with mutations (aging evolution).
-	phase2 := search.Child("enas.phase2")
-	accepted := 0
-	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
-		// Tournament: sample S candidates, pick the best as parent. Each
-		// sampled index is scored exactly once — the comparison loop used
-		// to re-score the incumbent on every step, O(S²) evaluator-objective
-		// calls per cycle. rng consumption (one Perm) is unchanged, so
-		// seeded searches return identical results.
-		sampled := rng.Perm(len(population))[:cfg.SampleSize]
-		best := sampled[0]
-		bestScore := score(population[best])
-		for _, idx := range sampled[1:] {
-			if s := score(population[idx]); s > bestScore {
-				best, bestScore = idx, s
-			}
-		}
-		parent := population[best]
-
-		var child Entry
-		ok := false
-		grid := cycle%cfg.SensingEvery == 0
-		if grid {
-			// GRIDMUTATE: local grid search over the sensing neighbours.
-			// Neighbours keep the parent architecture, so they inherit its
-			// trained weights when the evaluator warm-starts.
-			bestObj := math.Inf(-1)
-			for _, e := range evaluateAll(&phase2, space.GridNeighbors(parent.Cand), parent.Cand) {
-				if o := score(e); o > bestObj {
-					bestObj, child, ok = o, e, true
-				}
-			}
-		} else {
-			// RANDOMMUTATE: one architecture morphism, warm-started from
-			// the parent's trained weights when the evaluator supports it.
-			for tries := 0; tries < 16 && !ok; tries++ {
-				child, ok = evaluateFrom(space.MutateArch(rng, parent.Cand), parent.Cand)
-			}
-		}
-		if ok {
-			// Aging: append the child, remove the oldest.
-			population = append(population[1:], child)
-			accepted++
-			mAccepted.Inc()
-		} else {
-			mFailed.Inc()
-		}
-		if rec.Enabled() {
-			// One event per cycle: the running best (as Verbose reported)
-			// plus the normalization bounds and population churn. The
-			// Verbose adapter fires synchronously off this emission.
-			lastBest = bestFeasible(out, cfg)
-			phase2.Event("enas.cycle",
-				obs.Int("cycle", cycle),
-				obs.Bool("grid", grid),
-				obs.Bool("replaced", ok),
-				obs.F64("best_acc", lastBest.Res.Accuracy),
-				obs.F64("best_energy_j", lastBest.Res.EnergyJ),
-				obs.F64("objective", cfg.score(lastBest, out.EMin, out.EMax)),
-				obs.F64("e_min_j", out.EMin),
-				obs.F64("e_max_j", out.EMax),
-				obs.Int("evaluations", out.Evaluations),
-				obs.Int("accepted", accepted))
-		}
-	}
-	phase2.End(obs.Int("accepted", accepted), obs.Int("evaluations", out.Evaluations))
-
-	out.Best = bestFeasible(out, cfg)
-	if out.Best.Cand == nil {
-		search.End(obs.Str("error", "no feasible candidate"))
-		return nil, fmt.Errorf("enas: no feasible candidate found in %d evaluations", out.Evaluations)
-	}
-	search.End(obs.Int("evaluations", out.Evaluations),
-		obs.F64("best_acc", out.Best.Res.Accuracy),
-		obs.F64("best_energy_j", out.Best.Res.EnergyJ),
-		obs.F64("objective", cfg.score(out.Best, out.EMin, out.EMax)))
-	return out, nil
+	return &Outcome{
+		Best: out.Best, History: out.History,
+		EMin: out.EMin, EMax: out.EMax, Evaluations: out.Evaluations,
+	}, nil
 }
 
 // bestFeasible returns the best entry of the history under the objective,
 // honouring the accuracy cap (falling back to the best overall if nothing
 // is feasible yet).
-func bestFeasible(out *Outcome, cfg Config) Entry {
+func bestFeasible(history []Entry, cfg Config, eMin, eMax float64) Entry {
 	var best Entry
 	bestObj := math.Inf(-1)
-	for _, e := range out.History {
+	for _, e := range history {
 		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
 			continue
 		}
-		if o := cfg.score(e, out.EMin, out.EMax); o > bestObj {
+		if o := cfg.score(e, eMin, eMax); o > bestObj {
 			bestObj, best = o, e
 		}
 	}
 	if best.Cand == nil {
-		for _, e := range out.History {
-			if o := cfg.score(e, out.EMin, out.EMax); o > bestObj {
+		for _, e := range history {
+			if o := cfg.score(e, eMin, eMax); o > bestObj {
 				bestObj, best = o, e
 			}
 		}

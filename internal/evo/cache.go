@@ -1,0 +1,48 @@
+package evo
+
+import (
+	"sync"
+
+	"solarml/internal/nas"
+	"solarml/internal/obs"
+)
+
+// memoCache memoizes evaluation results per candidate fingerprint. Aging
+// evolution and grid mutation revisit configurations constantly, and both
+// repo evaluators are deterministic per candidate on the cold-start path
+// (the surrogate's noise and the trainer's init seed both derive from the
+// fingerprint), so replaying a memoized Result is indistinguishable from
+// re-evaluating — the cache changes wall-clock, never the Outcome. The
+// engine never consults it on the warm-start path.
+//
+// The map is unbounded: a search performs at most Population + Cycles ×
+// max(len(neighbors), mutateTries) evaluations and a Result is a few
+// hundred bytes, so even paper-scale sweeps stay in the low megabytes.
+type memoCache struct {
+	mu     sync.Mutex
+	res    map[uint64]nas.Result
+	hits   *obs.Counter
+	misses *obs.Counter
+}
+
+func newMemoCache(hits, misses *obs.Counter) *memoCache {
+	return &memoCache{res: make(map[uint64]nas.Result), hits: hits, misses: misses}
+}
+
+func (m *memoCache) get(fp uint64) (nas.Result, bool) {
+	m.mu.Lock()
+	r, ok := m.res[fp]
+	m.mu.Unlock()
+	if ok {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+	return r, ok
+}
+
+func (m *memoCache) put(fp uint64, r nas.Result) {
+	m.mu.Lock()
+	m.res[fp] = r
+	m.mu.Unlock()
+}

@@ -1,0 +1,234 @@
+package evo_test
+
+// Golden seeded-search tests: the values below were captured from the
+// standalone (pre-engine) implementations of enas.Search, munas.Search, and
+// harvnet.Search on the surrogate evaluator. The engine refactor must
+// reproduce every one byte-identically — fingerprint, accuracy, energy,
+// evaluation count — regardless of Workers or Cache, because the engine's
+// determinism contract says neither may touch the seeded rng stream or the
+// evaluation results.
+
+import (
+	"math/rand"
+	"testing"
+
+	"solarml/internal/enas"
+	"solarml/internal/evo"
+	"solarml/internal/harvnet"
+	"solarml/internal/munas"
+	"solarml/internal/nas"
+)
+
+// golden is one pinned pre-refactor search result.
+type golden struct {
+	fp          uint64
+	acc, energy float64
+	evals, hist int
+}
+
+func (g golden) check(t *testing.T, best evo.Entry, evals, hist int) {
+	t.Helper()
+	if fp := best.Cand.Fingerprint(); fp != g.fp {
+		t.Errorf("best fingerprint = %#016x, want %#016x", fp, g.fp)
+	}
+	if best.Res.Accuracy != g.acc {
+		t.Errorf("best accuracy = %.17g, want %.17g", best.Res.Accuracy, g.acc)
+	}
+	if best.Res.EnergyJ != g.energy {
+		t.Errorf("best energy = %.17g, want %.17g", best.Res.EnergyJ, g.energy)
+	}
+	if evals != g.evals {
+		t.Errorf("evaluations = %d, want %d", evals, g.evals)
+	}
+	if hist != g.hist {
+		t.Errorf("history length = %d, want %d", hist, g.hist)
+	}
+}
+
+// variants runs fn under every engine configuration that must not change the
+// outcome: serial, parallel, and parallel with the evaluation cache.
+func variants(t *testing.T, fn func(t *testing.T, workers int, cache bool)) {
+	t.Run("serial", func(t *testing.T) { fn(t, 0, false) })
+	t.Run("workers4", func(t *testing.T) { fn(t, 4, false) })
+	t.Run("workers4_cache", func(t *testing.T) { fn(t, 4, true) })
+}
+
+func TestGoldenENASGesture(t *testing.T) {
+	want := golden{
+		fp:     0xdfadecf0716af117,
+		acc:    0.72665438639941482,
+		energy: 0.0019313699195431936,
+		evals:  73, hist: 73,
+	}
+	const wantEMin, wantEMax = 0.001012309296562452, 0.0044064109896795886
+	variants(t, func(t *testing.T, workers int, cache bool) {
+		space := nas.GestureSpace()
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		cfg := enas.DefaultConfig(nas.TaskGesture, 0.5)
+		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.SensingEvery, cfg.Seed = 12, 5, 40, 8, 7
+		cfg.Workers, cfg.Cache = workers, cache
+		out, err := enas.Search(space, eval, cfg)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		want.check(t, out.Best, out.Evaluations, len(out.History))
+		if out.EMin != wantEMin || out.EMax != wantEMax {
+			t.Errorf("bounds = (%.17g, %.17g), want (%.17g, %.17g)",
+				out.EMin, out.EMax, wantEMin, wantEMax)
+		}
+	})
+}
+
+func TestGoldenENASKWS(t *testing.T) {
+	want := golden{
+		fp:     0x6653251c72d15d4c,
+		acc:    0.70589753447168491,
+		energy: 0.0075220272437296733,
+		evals:  72, hist: 72,
+	}
+	variants(t, func(t *testing.T, workers int, cache bool) {
+		space := nas.KWSSpace()
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		cfg := enas.DefaultConfig(nas.TaskKWS, 1)
+		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.SensingEvery, cfg.Seed = 12, 5, 40, 8, 3
+		cfg.Workers, cfg.Cache = workers, cache
+		out, err := enas.Search(space, eval, cfg)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		want.check(t, out.Best, out.Evaluations, len(out.History))
+	})
+}
+
+func TestGoldenMuNASGesture(t *testing.T) {
+	want := golden{
+		fp:     0x46b3bff9a2d30dab,
+		acc:    0.93867023869738375,
+		energy: 0.0041798926571642078,
+		evals:  52, hist: 52,
+	}
+	variants(t, func(t *testing.T, workers int, cache bool) {
+		space := nas.GestureSpace()
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(1)))
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		cfg := munas.DefaultConfig(nas.TaskGesture)
+		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.Seed = 12, 5, 40, 2
+		cfg.Workers, cfg.Cache = workers, cache
+		out, err := munas.Search(space, sensing, eval, cfg)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		want.check(t, out.BestAccuracy, out.Evaluations, len(out.History))
+	})
+}
+
+func TestGoldenMuNASKWS(t *testing.T) {
+	want := golden{
+		fp:     0xc096cf557fc4d0b2,
+		acc:    0.8929033359882208,
+		energy: 0.017230159529439792,
+		evals:  52, hist: 52,
+	}
+	variants(t, func(t *testing.T, workers int, cache bool) {
+		space := nas.KWSSpace()
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(5)))
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		cfg := munas.DefaultConfig(nas.TaskKWS)
+		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.Seed = 12, 5, 40, 6
+		cfg.Workers, cfg.Cache = workers, cache
+		out, err := munas.Search(space, sensing, eval, cfg)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		want.check(t, out.BestAccuracy, out.Evaluations, len(out.History))
+	})
+}
+
+func TestGoldenHarvNetGesture(t *testing.T) {
+	want := golden{
+		fp:     0x1ffcb5c0d0ed5779,
+		acc:    0.90335822914524744,
+		energy: 0.0037052123732975888,
+		evals:  52, hist: 52,
+	}
+	variants(t, func(t *testing.T, workers int, cache bool) {
+		space := nas.GestureSpace()
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(1)))
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		cfg := harvnet.DefaultConfig(nas.TaskGesture)
+		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.Seed = 12, 5, 40, 2
+		cfg.Workers, cfg.Cache = workers, cache
+		out, err := harvnet.Search(space, sensing, eval, cfg)
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		want.check(t, out.Best, out.Evaluations, len(out.History))
+	})
+}
+
+// TestCacheInvariantOutcome pins the cache's core guarantee: a cached run
+// returns an Outcome identical to an uncached one, entry for entry — hits
+// replay the memoized result and still land in History.
+func TestCacheInvariantOutcome(t *testing.T) {
+	run := func(cache bool) *enas.Outcome {
+		space := nas.GestureSpace()
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		cfg := enas.DefaultConfig(nas.TaskGesture, 0.5)
+		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.SensingEvery, cfg.Seed = 12, 5, 40, 8, 7
+		cfg.Cache = cache
+		out, err := enas.Search(space, eval, cfg)
+		if err != nil {
+			t.Fatalf("Search(cache=%v): %v", cache, err)
+		}
+		return out
+	}
+	cold, cached := run(false), run(true)
+	if cold.Evaluations != cached.Evaluations {
+		t.Fatalf("evaluations: cache off %d, on %d", cold.Evaluations, cached.Evaluations)
+	}
+	if len(cold.History) != len(cached.History) {
+		t.Fatalf("history: cache off %d entries, on %d", len(cold.History), len(cached.History))
+	}
+	for i := range cold.History {
+		a, b := cold.History[i], cached.History[i]
+		if a.Cand.Fingerprint() != b.Cand.Fingerprint() ||
+			a.Res.Accuracy != b.Res.Accuracy || a.Res.EnergyJ != b.Res.EnergyJ {
+			t.Fatalf("history[%d] diverges with cache on: %+v vs %+v", i, a.Res, b.Res)
+		}
+	}
+	if cold.Best.Cand.Fingerprint() != cached.Best.Cand.Fingerprint() ||
+		cold.Best.Res.Accuracy != cached.Best.Res.Accuracy ||
+		cold.Best.Res.EnergyJ != cached.Best.Res.EnergyJ {
+		t.Fatalf("best diverges with cache on")
+	}
+}
+
+// TestMuNASParallelMatchesSequential is the baselines' determinism pin:
+// Workers 4 must return the same search as Workers 1, history and all.
+func TestMuNASParallelMatchesSequential(t *testing.T) {
+	run := func(workers int) *munas.Outcome {
+		space := nas.GestureSpace()
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(1)))
+		eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+		cfg := munas.DefaultConfig(nas.TaskGesture)
+		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.Seed = 12, 5, 40, 2
+		cfg.Workers = workers
+		out, err := munas.Search(space, sensing, eval, cfg)
+		if err != nil {
+			t.Fatalf("Search(workers=%d): %v", workers, err)
+		}
+		return out
+	}
+	seq, par := run(1), run(4)
+	if seq.BestAccuracy.Cand.Fingerprint() != par.BestAccuracy.Cand.Fingerprint() {
+		t.Fatalf("best candidate differs between Workers 1 and 4")
+	}
+	if len(seq.History) != len(par.History) {
+		t.Fatalf("history: sequential %d entries, parallel %d", len(seq.History), len(par.History))
+	}
+	for i := range seq.History {
+		if seq.History[i].Cand.Fingerprint() != par.History[i].Cand.Fingerprint() {
+			t.Fatalf("history[%d] differs between Workers 1 and 4", i)
+		}
+	}
+}

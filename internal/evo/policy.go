@@ -1,0 +1,78 @@
+package evo
+
+import (
+	"math/rand"
+
+	"solarml/internal/nas"
+	"solarml/internal/obs"
+)
+
+// Policy is what distinguishes one search algorithm from another once the
+// aging-evolution mechanics are shared: where candidates come from, how they
+// are scored, how they mutate, and which entry the search reports as best.
+// A Policy instance belongs to exactly one Run — it may carry per-run state
+// (normalization bounds, a running energy scale) — and its methods are
+// called from the engine goroutine only, never from evaluation workers.
+//
+// rng discipline: only Fill, CycleScore, and Mutate may consume the rng they
+// are handed, and CycleScore runs before the cycle's tournament Perm. Any
+// other draw would shift the seeded stream and break reproducibility.
+type Policy interface {
+	// Prefix names the algorithm for spans and metrics ("enas", "munas",
+	// "harvnet"): the engine emits <prefix>.search/.phase1/.phase2 spans,
+	// <prefix>.cycle events, and <prefix>.* counters.
+	Prefix() string
+	// Fill draws one population candidate. A nil return counts as a
+	// constraint reject (the fixed-sensing baselines return nil when a
+	// random architecture does not materialize under their sensing
+	// configuration).
+	Fill(rng *rand.Rand) *nas.Candidate
+	// SearchAttrs returns algorithm-specific attributes for the root
+	// search span (eNAS: λ and the grid period).
+	SearchAttrs() []obs.Attr
+	// Init runs once after the population fill with the filled population
+	// and its energy bounds — the Phase 1 normalization bounds policies
+	// score against.
+	Init(population []Entry, eMin, eMax float64)
+	// CycleScore returns the cycle's tournament scorer. It runs before the
+	// tournament's Perm and is the one place a policy may consume per-cycle
+	// randomness (μNAS draws its scalarization weight here). The returned
+	// function also ranks grid-mutation batches, so it must embed any
+	// infeasibility penalty.
+	CycleScore(rng *rand.Rand, cycle int) func(Entry) float64
+	// GridCycle reports whether this cycle takes a sensing grid step
+	// (eNAS's GRIDMUTATE every R cycles) instead of an architecture
+	// morphism. Fixed-sensing policies always return false.
+	GridCycle(cycle int) bool
+	// Neighbors enumerates the sensing grid around the parent; called only
+	// when GridCycle is true.
+	Neighbors(parent *nas.Candidate) []*nas.Candidate
+	// Mutate applies one architecture morphism to the parent.
+	Mutate(rng *rand.Rand, parent *nas.Candidate) *nas.Candidate
+	// Accepted observes a child that survived evaluation and entered the
+	// population (μNAS updates its running energy scale here).
+	Accepted(e Entry)
+	// Report returns the policy's current best over the history — each
+	// algorithm's reporting convention: best objective for eNAS, best
+	// feasible accuracy for μNAS, best A/E for HarvNet — plus the
+	// telemetry attributes describing it. The engine calls it once per
+	// cycle while recording and once at the end of the search.
+	Report(history []Entry) (Entry, []obs.Attr)
+}
+
+// FixedSensing returns a Fill source that draws a random architecture from
+// the space but keeps the given sensing configuration — the candidate
+// source of the fixed-sensing baselines (μNAS and HarvNet search the
+// architecture only). It returns nil when the pair does not materialize,
+// which the engine counts as a reject.
+func FixedSensing(space *nas.Space, sensing *nas.Candidate) func(*rand.Rand) *nas.Candidate {
+	return func(rng *rand.Rand) *nas.Candidate {
+		c := space.RandomCandidate(rng)
+		fixed := sensing.Clone()
+		fixed.Arch = c.Arch
+		if fixed.Rebind() != nil {
+			return nil
+		}
+		return fixed
+	}
+}

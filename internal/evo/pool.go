@@ -1,0 +1,37 @@
+package evo
+
+import "sync"
+
+// ForEach runs fn(0)…fn(n-1) on up to workers goroutines and returns when
+// all calls have finished. With workers ≤ 1 (or n ≤ 1) it runs inline, so
+// callers need no separate serial path. Each index is handed to exactly one
+// worker; callers keep determinism by writing results into per-index slots
+// and merging in index order afterwards — the engine's evaluation batches
+// and the experiment sweeps share this primitive (and that discipline).
+func ForEach(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -5,6 +5,8 @@ import (
 
 	"solarml/internal/compute"
 	"solarml/internal/enas"
+	"solarml/internal/harvnet"
+	"solarml/internal/munas"
 	"solarml/internal/obs"
 )
 
@@ -44,6 +46,23 @@ func computeCtx() *compute.Context { return telemetry.cmp.Load() }
 
 // instrument attaches the package sink to an eNAS search configuration.
 func instrument(cfg enas.Config) enas.Config {
+	cfg.Obs = recorder()
+	cfg.Metrics = registry()
+	cfg.Compute = computeCtx()
+	return cfg
+}
+
+// instrumentMunas attaches the package sink to a μNAS search configuration.
+func instrumentMunas(cfg munas.Config) munas.Config {
+	cfg.Obs = recorder()
+	cfg.Metrics = registry()
+	cfg.Compute = computeCtx()
+	return cfg
+}
+
+// instrumentHarvnet attaches the package sink to a HarvNet search
+// configuration.
+func instrumentHarvnet(cfg harvnet.Config) harvnet.Config {
 	cfg.Obs = recorder()
 	cfg.Metrics = registry()
 	cfg.Compute = computeCtx()

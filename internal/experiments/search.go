@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"solarml/internal/core"
 	"solarml/internal/enas"
+	"solarml/internal/evo"
 	"solarml/internal/harvnet"
 	"solarml/internal/munas"
 	"solarml/internal/nas"
@@ -29,6 +29,7 @@ func (s Scale) enasConfig(task nas.Task, lambda float64, seed int64) enas.Config
 	cfg := enas.DefaultConfig(task, lambda)
 	cfg.Seed = seed
 	cfg.Workers = 4 // deterministic: results merge in generation order
+	cfg.Cache = true
 	if s == ScaleQuick {
 		cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.SensingEvery = 16, 6, 50, 10
 	}
@@ -40,10 +41,12 @@ func (s Scale) enasConfig(task nas.Task, lambda float64, seed int64) enas.Config
 func (s Scale) munasConfig(task nas.Task, seed int64) munas.Config {
 	cfg := munas.DefaultConfig(task)
 	cfg.Seed = seed
+	cfg.Workers = 4
+	cfg.Cache = true
 	if s == ScaleQuick {
 		cfg.Population, cfg.SampleSize, cfg.Cycles = 16, 6, 50
 	}
-	return cfg
+	return instrumentMunas(cfg)
 }
 
 func (s Scale) munasConfigs() int {
@@ -134,19 +137,10 @@ func Fig10(task nas.Task, scale Scale, seed int64) (*Fig10Result, error) {
 	}
 	outs := make([]*munas.Outcome, n)
 	errs := make([]error, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 4)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = munas.Search(space, sensings[i],
-				nas.NewSurrogateEvaluator(munasEnergy), scale.munasConfig(task, seed+int64(100+i)))
-		}(i)
-	}
-	wg.Wait()
+	evo.ForEach(4, n, func(i int) {
+		outs[i], errs[i] = munas.Search(space, sensings[i],
+			nas.NewSurrogateEvaluator(munasEnergy), scale.munasConfig(task, seed+int64(100+i)))
+	})
 	var munasAll []pareto.Point
 	for i, out := range outs {
 		if errs[i] != nil {
@@ -413,10 +407,12 @@ func Ablation(task nas.Task, scale Scale, seed int64) (*AblationResult, error) {
 		sensing := space.RandomCandidate(rng)
 		hcfg := harvnet.DefaultConfig(task)
 		hcfg.Seed = seed + 8 + s
+		hcfg.Workers = 4
+		hcfg.Cache = true
 		if scale == ScaleQuick {
 			hcfg.Population, hcfg.SampleSize, hcfg.Cycles = 16, 6, 50
 		}
-		hout, err := harvnet.Search(space, sensing, nas.NewSurrogateEvaluator(totalOnly), hcfg)
+		hout, err := harvnet.Search(space, sensing, nas.NewSurrogateEvaluator(totalOnly), instrumentHarvnet(hcfg))
 		if err != nil {
 			return nil, err
 		}

@@ -3,14 +3,20 @@
 // ratio max A/E, which needs no weight tuning but cannot steer along the
 // Pareto frontier. Like μNAS it searches the architecture only and uses the
 // total-MACs energy model; it is included for the ablation comparisons.
+//
+// The evolution loop is the shared internal/evo engine, so the A/E baseline
+// runs with the same parallel evaluation, warm-start lineage, optional
+// evaluation cache, and telemetry as eNAS.
 package harvnet
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 
+	"solarml/internal/compute"
+	"solarml/internal/evo"
 	"solarml/internal/nas"
+	"solarml/internal/obs"
 )
 
 // Config holds the HarvNet settings, matched to the eNAS run.
@@ -20,6 +26,18 @@ type Config struct {
 	Cycles      int
 	Seed        int64
 	Constraints nas.Constraints
+	// Workers sets the evaluation parallelism for the population fill
+	// (≤1 means sequential); results merge in generation order.
+	Workers int
+	// Compute, when set, is installed on the evaluator before the fill.
+	Compute *compute.Context
+	// Obs receives harvnet.search/phase1/phase2 spans and one
+	// harvnet.cycle event per cycle; Metrics accumulates harvnet.*.
+	Obs     *obs.Recorder
+	Metrics *obs.Registry
+	// Cache enables the engine's fingerprint-keyed evaluation memo; the
+	// Outcome is identical with it on or off.
+	Cache bool
 }
 
 // DefaultConfig returns settings matched to the paper's evaluation.
@@ -33,10 +51,7 @@ func DefaultConfig(task nas.Task) Config {
 }
 
 // Entry pairs a candidate with its evaluation.
-type Entry struct {
-	Cand *nas.Candidate
-	Res  nas.Result
-}
+type Entry = evo.Entry
 
 // Outcome is the result of one HarvNet run.
 type Outcome struct {
@@ -55,88 +70,77 @@ func ratio(e Entry) float64 {
 	return e.Res.Accuracy / e.Res.EnergyJ
 }
 
-// Search runs the HarvNet-style evolution from a fixed sensing
-// configuration.
-func Search(space *nas.Space, sensing *nas.Candidate, eval nas.Evaluator, cfg Config) (*Outcome, error) {
-	if cfg.Population < 2 || cfg.SampleSize < 1 || cfg.SampleSize > cfg.Population {
-		return nil, fmt.Errorf("harvnet: invalid population/sample (%d/%d)", cfg.Population, cfg.SampleSize)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := &Outcome{}
+// policy adapts the HarvNet objective to the shared engine: fixed-sensing
+// candidates, A/E scoring (infeasible candidates never win tournaments),
+// and best-ratio reporting.
+type policy struct {
+	cfg   Config
+	space *nas.Space
+	fill  func(*rand.Rand) *nas.Candidate
+}
 
-	randomArch := func() *nas.Candidate {
-		c := space.RandomCandidate(rng)
-		fixed := sensing.Clone()
-		fixed.Arch = c.Arch
-		if fixed.Rebind() != nil {
-			return nil
-		}
-		return fixed
-	}
-	evaluate := func(c *nas.Candidate) (Entry, bool) {
-		if c == nil {
-			return Entry{}, false
-		}
-		if err := cfg.Constraints.CheckStatic(c); err != nil {
-			return Entry{}, false
-		}
-		res, err := eval.Evaluate(c)
-		if err != nil {
-			return Entry{}, false
-		}
-		out.Evaluations++
-		e := Entry{Cand: c, Res: res}
-		out.History = append(out.History, e)
-		return e, true
-	}
-	score := func(e Entry) float64 {
-		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+func (p *policy) Prefix() string { return "harvnet" }
+
+func (p *policy) Fill(rng *rand.Rand) *nas.Candidate { return p.fill(rng) }
+
+func (p *policy) SearchAttrs() []obs.Attr { return nil }
+
+func (p *policy) Init([]Entry, float64, float64) {}
+
+func (p *policy) CycleScore(*rand.Rand, int) func(Entry) float64 {
+	return func(e Entry) float64 {
+		if p.cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
 			return math.Inf(-1) // infeasible candidates never win tournaments
 		}
 		return ratio(e)
 	}
+}
 
-	population := make([]Entry, 0, cfg.Population)
-	for tries := 0; len(population) < cfg.Population; tries++ {
-		if tries > cfg.Population*200 {
-			return nil, fmt.Errorf("harvnet: cannot fill population under constraints")
-		}
-		if e, ok := evaluate(randomArch()); ok {
-			population = append(population, e)
-		}
-	}
-	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
-		best := -1
-		for _, idx := range rng.Perm(len(population))[:cfg.SampleSize] {
-			if best == -1 || score(population[idx]) > score(population[best]) {
-				best = idx
-			}
-		}
-		parent := population[best]
-		var child Entry
-		ok := false
-		for tries := 0; tries < 16 && !ok; tries++ {
-			child, ok = evaluate(space.MutateArch(rng, parent.Cand))
-		}
-		if ok {
-			population = append(population[1:], child)
-		}
-	}
+func (p *policy) GridCycle(int) bool { return false }
 
-	for _, e := range out.History {
-		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+func (p *policy) Neighbors(*nas.Candidate) []*nas.Candidate { return nil }
+
+func (p *policy) Mutate(rng *rand.Rand, parent *nas.Candidate) *nas.Candidate {
+	return p.space.MutateArch(rng, parent)
+}
+
+func (p *policy) Accepted(Entry) {}
+
+func (p *policy) Report(history []Entry) (Entry, []obs.Attr) {
+	var best Entry
+	for _, e := range history {
+		if p.cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
 			continue
 		}
-		if out.Best.Cand == nil || ratio(e) > ratio(out.Best) {
-			out.Best = e
+		if best.Cand == nil || ratio(e) > ratio(best) {
+			best = e
 		}
 	}
-	if out.Best.Cand == nil {
-		for _, e := range out.History {
-			if out.Best.Cand == nil || ratio(e) > ratio(out.Best) {
-				out.Best = e
+	if best.Cand == nil {
+		for _, e := range history {
+			if best.Cand == nil || ratio(e) > ratio(best) {
+				best = e
 			}
 		}
 	}
-	return out, nil
+	return best, []obs.Attr{
+		obs.F64("best_acc", best.Res.Accuracy),
+		obs.F64("best_energy_j", best.Res.EnergyJ),
+		obs.F64("best_ratio", ratio(best)),
+	}
+}
+
+// Search runs the HarvNet-style evolution from a fixed sensing
+// configuration.
+func Search(space *nas.Space, sensing *nas.Candidate, eval nas.Evaluator, cfg Config) (*Outcome, error) {
+	pol := &policy{cfg: cfg, space: space, fill: evo.FixedSensing(space, sensing)}
+	out, err := evo.Run(pol, eval, evo.Config{
+		Population: cfg.Population, SampleSize: cfg.SampleSize, Cycles: cfg.Cycles,
+		Seed: cfg.Seed, Constraints: cfg.Constraints, Workers: cfg.Workers,
+		Compute: cfg.Compute, Obs: cfg.Obs, Metrics: cfg.Metrics, Cache: cfg.Cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Best: out.Best, History: out.History, Evaluations: out.Evaluations}, nil
 }

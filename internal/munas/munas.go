@@ -5,14 +5,20 @@
 // to combine the accuracy and energy objectives — a fresh weight vector is
 // drawn each cycle, which explores the Pareto frontier but gives the user
 // no direct control over the trade-off.
+//
+// The evolution loop is the shared internal/evo engine, so μNAS runs with
+// the same deterministic parallel evaluation, warm-start lineage, optional
+// evaluation cache, and telemetry as eNAS — keeping the Fig 10 comparison
+// an objective comparison, not a tooling one.
 package munas
 
 import (
-	"fmt"
-	"math"
 	"math/rand"
 
+	"solarml/internal/compute"
+	"solarml/internal/evo"
 	"solarml/internal/nas"
+	"solarml/internal/obs"
 )
 
 // Config holds the μNAS settings, matched to the eNAS run for fairness
@@ -23,6 +29,19 @@ type Config struct {
 	Cycles      int
 	Seed        int64
 	Constraints nas.Constraints
+	// Workers sets the evaluation parallelism for the population fill
+	// (≤1 means sequential); results merge in generation order, so the
+	// search stays deterministic for a given seed.
+	Workers int
+	// Compute, when set, is installed on the evaluator before the fill.
+	Compute *compute.Context
+	// Obs receives munas.search/phase1/phase2 spans and one munas.cycle
+	// event per cycle; Metrics accumulates the munas.* counters.
+	Obs     *obs.Recorder
+	Metrics *obs.Registry
+	// Cache enables the engine's fingerprint-keyed evaluation memo; the
+	// Outcome is identical with it on or off.
+	Cache bool
 }
 
 // DefaultConfig returns the paper's evaluation settings.
@@ -36,10 +55,7 @@ func DefaultConfig(task nas.Task) Config {
 }
 
 // Entry pairs a candidate with its evaluation.
-type Entry struct {
-	Cand *nas.Candidate
-	Res  nas.Result
-}
+type Entry = evo.Entry
 
 // Outcome is the result of one μNAS run.
 type Outcome struct {
@@ -52,107 +68,91 @@ type Outcome struct {
 	Evaluations int
 }
 
-// Search runs μNAS from a fixed sensing configuration: `seed.Cand` provides
-// the sensing half (and task); only the architecture evolves.
-func Search(space *nas.Space, sensing *nas.Candidate, eval nas.Evaluator, cfg Config) (*Outcome, error) {
-	if cfg.Population < 2 || cfg.SampleSize < 1 || cfg.SampleSize > cfg.Population {
-		return nil, fmt.Errorf("munas: invalid population/sample (%d/%d)", cfg.Population, cfg.SampleSize)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := &Outcome{}
+// policy adapts μNAS to the shared engine: fixed-sensing candidates,
+// random-scalarization scoring against a running energy scale, and
+// best-accuracy reporting.
+type policy struct {
+	cfg   Config
+	space *nas.Space
+	fill  func(*rand.Rand) *nas.Candidate
+	eMax  float64
+}
 
-	// randomArchCandidate keeps the sensing half fixed.
-	randomArch := func() *nas.Candidate {
-		c := space.RandomCandidate(rng)
-		fixed := sensing.Clone()
-		fixed.Arch = c.Arch
-		if fixed.Rebind() != nil {
-			return nil
-		}
-		return fixed
-	}
+func (p *policy) Prefix() string { return "munas" }
 
-	evaluate := func(c *nas.Candidate) (Entry, bool) {
-		if c == nil {
-			return Entry{}, false
-		}
-		if err := cfg.Constraints.CheckStatic(c); err != nil {
-			return Entry{}, false
-		}
-		res, err := eval.Evaluate(c)
-		if err != nil {
-			return Entry{}, false
-		}
-		out.Evaluations++
-		e := Entry{Cand: c, Res: res}
-		out.History = append(out.History, e)
-		return e, true
-	}
+func (p *policy) Fill(rng *rand.Rand) *nas.Candidate { return p.fill(rng) }
 
-	population := make([]Entry, 0, cfg.Population)
-	for tries := 0; len(population) < cfg.Population; tries++ {
-		if tries > cfg.Population*200 {
-			return nil, fmt.Errorf("munas: cannot fill population under constraints")
-		}
-		if e, ok := evaluate(randomArch()); ok {
-			population = append(population, e)
-		}
-	}
-	// Running energy scale for scalarization normalization.
-	eMax := math.Inf(-1)
-	for _, e := range population {
-		if e.Res.EnergyJ > eMax {
-			eMax = e.Res.EnergyJ
-		}
-	}
+func (p *policy) SearchAttrs() []obs.Attr { return nil }
 
-	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
-		// Random scalarization: fresh weights each cycle.
-		w := rng.Float64()
-		score := func(e Entry) float64 {
-			s := w*e.Res.Accuracy - (1-w)*e.Res.EnergyJ/eMax
-			if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
-				s -= 1
-			}
-			return s
-		}
-		best := -1
-		for _, idx := range rng.Perm(len(population))[:cfg.SampleSize] {
-			if best == -1 || score(population[idx]) > score(population[best]) {
-				best = idx
-			}
-		}
-		parent := population[best]
-		var child Entry
-		ok := false
-		for tries := 0; tries < 16 && !ok; tries++ {
-			child, ok = evaluate(space.MutateArch(rng, parent.Cand))
-		}
-		if ok {
-			if child.Res.EnergyJ > eMax {
-				eMax = child.Res.EnergyJ
-			}
-			population = append(population[1:], child)
-		}
-	}
+func (p *policy) Init(_ []Entry, _, eMax float64) { p.eMax = eMax }
 
-	for _, e := range out.History {
-		if cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+// CycleScore draws the cycle's fresh scalarization weight — the one place
+// μNAS consumes per-cycle randomness — and normalizes energy by the running
+// scale established so far.
+func (p *policy) CycleScore(rng *rand.Rand, _ int) func(Entry) float64 {
+	w := rng.Float64()
+	eMax := p.eMax
+	return func(e Entry) float64 {
+		s := w*e.Res.Accuracy - (1-w)*e.Res.EnergyJ/eMax
+		if p.cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
+			s -= 1
+		}
+		return s
+	}
+}
+
+func (p *policy) GridCycle(int) bool { return false }
+
+func (p *policy) Neighbors(*nas.Candidate) []*nas.Candidate { return nil }
+
+func (p *policy) Mutate(rng *rand.Rand, parent *nas.Candidate) *nas.Candidate {
+	return p.space.MutateArch(rng, parent)
+}
+
+// Accepted keeps the scalarization's energy scale tracking the population.
+func (p *policy) Accepted(e Entry) {
+	if e.Res.EnergyJ > p.eMax {
+		p.eMax = e.Res.EnergyJ
+	}
+}
+
+func (p *policy) Report(history []Entry) (Entry, []obs.Attr) {
+	var best Entry
+	for _, e := range history {
+		if p.cfg.Constraints.CheckAccuracy(e.Res.Accuracy) != nil {
 			continue
 		}
-		if out.BestAccuracy.Cand == nil || e.Res.Accuracy > out.BestAccuracy.Res.Accuracy {
-			out.BestAccuracy = e
+		if best.Cand == nil || e.Res.Accuracy > best.Res.Accuracy {
+			best = e
 		}
 	}
-	if out.BestAccuracy.Cand == nil {
+	if best.Cand == nil {
 		// Nothing feasible: report the highest-accuracy attempt.
-		for _, e := range out.History {
-			if out.BestAccuracy.Cand == nil || e.Res.Accuracy > out.BestAccuracy.Res.Accuracy {
-				out.BestAccuracy = e
+		for _, e := range history {
+			if best.Cand == nil || e.Res.Accuracy > best.Res.Accuracy {
+				best = e
 			}
 		}
 	}
-	return out, nil
+	return best, []obs.Attr{
+		obs.F64("best_acc", best.Res.Accuracy),
+		obs.F64("best_energy_j", best.Res.EnergyJ),
+	}
+}
+
+// Search runs μNAS from a fixed sensing configuration: `sensing` provides
+// the sensing half (and task); only the architecture evolves.
+func Search(space *nas.Space, sensing *nas.Candidate, eval nas.Evaluator, cfg Config) (*Outcome, error) {
+	pol := &policy{cfg: cfg, space: space, fill: evo.FixedSensing(space, sensing)}
+	out, err := evo.Run(pol, eval, evo.Config{
+		Population: cfg.Population, SampleSize: cfg.SampleSize, Cycles: cfg.Cycles,
+		Seed: cfg.Seed, Constraints: cfg.Constraints, Workers: cfg.Workers,
+		Compute: cfg.Compute, Obs: cfg.Obs, Metrics: cfg.Metrics, Cache: cfg.Cache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{BestAccuracy: out.Best, History: out.History, Evaluations: out.Evaluations}, nil
 }
 
 // ParetoEntries returns the history's accuracy/energy points for frontier

@@ -29,14 +29,24 @@ type Result struct {
 }
 
 // Evaluator scores candidates.
+//
+// Determinism contract: Evaluate must be a pure function of the candidate's
+// Fingerprint — both repo evaluators honour it (the surrogate derives its
+// noise from the fingerprint; TrainEvaluator derives its init seed from it)
+// — and must not share mutable state across concurrent calls. The search
+// engine (internal/evo) relies on both: the first for its fingerprint-keyed
+// evaluation memo, the second for its parallel evaluation batches. Only
+// EvaluateFrom (WarmStartEvaluator) may depend on more than the fingerprint,
+// which is why the engine never memoizes warm-start results.
 type Evaluator interface {
 	Evaluate(c *Candidate) (Result, error)
 }
 
 // ComputeSettable is implemented by evaluators whose candidate training can
-// run on a pluggable compute backend. Search drivers (enas.Search) install
-// their configured context through it, so kernel parallelism is budgeted in
-// one place against the candidate-level worker count.
+// run on a pluggable compute backend. Search drivers (the internal/evo
+// engine, on behalf of eNAS/μNAS/HarvNet) install their configured context
+// through it, so kernel parallelism is budgeted in one place against the
+// candidate-level worker count.
 type ComputeSettable interface {
 	SetCompute(ctx *compute.Context)
 }
