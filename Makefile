@@ -1,11 +1,11 @@
 # SolarML repo checks. `make verify` is the tier-1 gate (build + full test
 # suite); `make check` adds vet and the race detector over the packages with
-# real concurrency (the obs sink, the parallel eNAS evaluator, and the
-# parallel compute backend).
+# real concurrency (the obs sink, sampler, and report analytics, the
+# parallel eNAS evaluator, and the parallel compute backend).
 
 GO ?= go
 
-.PHONY: verify vet race check bench bench-obs
+.PHONY: verify vet race check bench bench-obs bench-json smoke-report
 
 verify:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/...
+	$(GO) test -race ./internal/obs/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/...
 
 check: verify vet race
 
@@ -29,3 +29,23 @@ bench:
 bench-obs:
 	$(GO) test -run NONE -bench 'BenchmarkSearchTelemetry' -benchtime 50x -count 3 .
 	$(GO) test -run NONE -bench 'BenchmarkNoopSpan' ./internal/obs/
+
+# bench-json runs the benchmarks and parses the output into the
+# BENCH_solarml.json perf trajectory (benchmark → ns/op, B/op, allocs/op).
+# Narrow the sweep with BENCH_PATTERN, e.g.
+#   make bench-json BENCH_PATTERN='BenchmarkMatMulBackend'
+BENCH_PATTERN ?= .
+bench-json:
+	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_solarml.json
+
+# smoke-report closes the telemetry loop end to end: record a tiny seeded
+# search trace, analyze it with obs-report, and check the rollup is
+# non-empty. CI runs this and uploads the artifacts.
+smoke-report:
+	$(GO) run ./cmd/enas-search -pop 10 -sample 4 -cycles 20 -seed 1 -cache \
+		-trace-out smoke_run.jsonl -metrics-interval 50ms
+	$(GO) run ./cmd/obs-report -trace smoke_run.jsonl \
+		-perfetto smoke_run.perfetto.json -folded smoke_run.folded -csv smoke_run.csv \
+		| tee smoke_report.txt
+	grep -q 'enas.search' smoke_report.txt
+	grep -q 'per-phase breakdown' smoke_report.txt

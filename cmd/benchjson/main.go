@@ -1,0 +1,58 @@
+// Command benchjson parses `go test -bench` output from stdin into the
+// BENCH_solarml.json perf-trajectory file, so every PR's benchmark run
+// leaves a machine-readable data point (ns/op, B/op, allocs/op per
+// benchmark) that later PRs — and the CI artifact trail — can diff.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchtime 1x -benchmem ./... | benchjson -out BENCH_solarml.json
+//
+// It exits non-zero when no benchmark lines were found, so a broken
+// pipeline cannot silently write an empty trajectory point.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"solarml/internal/obs/report"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_solarml.json", "output JSON file")
+	echo := flag.Bool("echo", true, "echo stdin to stdout while parsing (keeps the pipeline readable)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *echo {
+		in = io.TeeReader(os.Stdin, os.Stdout)
+	}
+	if err := run(in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out string) error {
+	results, err := report.ParseGoBench(in)
+	if err != nil {
+		return err
+	}
+	bf := report.NewBenchFile(results)
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := bf.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(out)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", out, len(bf.Benchmarks))
+	return nil
+}

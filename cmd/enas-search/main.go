@@ -8,7 +8,7 @@
 //	            [-grid-every 20] [-seed 1] [-eval surrogate|train]
 //	            [-workers 1] [-compute-workers 0] [-cache]
 //	            [-trace-out run.jsonl] [-metrics-out metrics.json]
-//	            [-pprof localhost:6060]
+//	            [-metrics-interval 1s] [-pprof localhost:6060]
 //
 // With -eval train, every candidate is really trained on the synthetic
 // datasets (slow but end-to-end); with -eval surrogate the calibrated
@@ -23,17 +23,18 @@
 //
 // -trace-out writes a JSONL obs trace (run manifest, phase spans, one
 // <algo>.cycle event per cycle); -metrics-out writes a final metrics
-// snapshot; -pprof serves net/http/pprof and expvar so long searches can
-// be profiled live. All three are off by default and cost nothing when
-// unset.
+// snapshot; -metrics-interval records a metrics time series (plus runtime
+// gauges) at that cadence; -pprof serves net/http/pprof, expvar, and
+// Prometheus /metrics so long searches can be profiled and scraped live.
+// All are off by default and cost nothing when unset. The trace is closed
+// with a terminal metrics flush and finish event even when the search
+// errors, so aborted runs still parse with cmd/obs-report.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"solarml/internal/munas"
 	"solarml/internal/nas"
 	"solarml/internal/obs"
+	obscli "solarml/internal/obs/cli"
 )
 
 func main() {
@@ -61,98 +63,41 @@ func main() {
 	computeWorkers := flag.Int("compute-workers", 0, "kernel workers per candidate training run (0 = NumCPU/workers, 1 = serial)")
 	cache := flag.Bool("cache", false, "memoize evaluations per candidate fingerprint (identical result, fewer evaluator calls)")
 	warm := flag.Bool("warm", false, "with -eval train: children inherit parent weights (fewer epochs)")
-	traceOut := flag.String("trace-out", "", "write a JSONL obs trace to this file")
-	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	obsFlags := obscli.AddFlags(nil)
 	flag.Parse()
 
-	rec, reg, cleanup, err := setupObs(*traceOut, *metricsOut, *pprofAddr)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	kw := *computeWorkers
-	if kw <= 0 {
-		kw = compute.BudgetWorkers(*workers)
-	}
-	cctx := compute.NewContextFor(kw, reg)
-	rec.WriteManifest(obs.Manifest{Tool: "enas-search", Seed: *seed, Config: map[string]any{
-		"algo": *algo, "task": *taskName, "lambda": *lambda,
-		"pop": *pop, "sample": *sample, "cycles": *cycles,
-		"grid_every": *gridEvery, "eval": *evalName, "workers": *workers,
-		"warm": *warm, "train_n": *trainN, "compute_workers": kw, "cache": *cache,
-	}})
-	if err := run(*algo, *taskName, *lambda, *pop, *sample, *cycles, *gridEvery,
-		*seed, *evalName, *trainN, *workers, *warm, *cache, rec, reg, cctx); err != nil {
-		rec.Finish(err.Error())
-		cleanup()
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	rec.FlushMetrics(reg)
-	rec.Finish("ok")
-	if err := cleanup(); err != nil {
+	if err := mainErr(obsFlags, *algo, *taskName, *lambda, *pop, *sample, *cycles,
+		*gridEvery, *seed, *evalName, *trainN, *workers, *computeWorkers, *warm, *cache); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-// setupObs builds the optional telemetry sinks from the CLI flags. The
-// returned cleanup flushes and closes files and writes the metrics
-// snapshot; rec and reg are nil (disabled) when their flags are unset.
-func setupObs(traceOut, metricsOut, pprofAddr string) (*obs.Recorder, *obs.Registry, func() error, error) {
-	var rec *obs.Recorder
-	var traceFile *os.File
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		traceFile = f
-		rec = obs.NewRecorder(f)
+// mainErr is the whole run behind a deferred telemetry close: whatever path
+// exits — happy, search error, evaluator construction failure — the trace
+// gets its terminal FlushMetrics + Finish and the files are flushed, so
+// obs-report can parse aborted runs.
+func mainErr(obsFlags *obscli.Flags, algo, taskName string, lambda float64,
+	pop, sample, cycles, gridEvery int, seed int64, evalName string,
+	trainN, workers, computeWorkers int, warm, cache bool) (err error) {
+	sess, err := obsFlags.Open()
+	if err != nil {
+		return err
 	}
-	var reg *obs.Registry
-	if metricsOut != "" || pprofAddr != "" || rec.Enabled() {
-		reg = obs.NewRegistry()
+	defer sess.CloseWith(&err)
+	kw := computeWorkers
+	if kw <= 0 {
+		kw = compute.BudgetWorkers(workers)
 	}
-	if pprofAddr != "" {
-		reg.PublishExpvar("solarml")
-		go func() {
-			// DefaultServeMux carries /debug/pprof/* and /debug/vars.
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof+expvar listening on http://%s/debug/pprof\n", pprofAddr)
-	}
-	cleanup := func() error {
-		var first error
-		if metricsOut != "" {
-			f, err := os.Create(metricsOut)
-			if err != nil {
-				first = err
-			} else {
-				if err := reg.WriteJSON(f); err != nil && first == nil {
-					first = err
-				}
-				if err := f.Close(); err != nil && first == nil {
-					first = err
-				}
-			}
-		}
-		if rec != nil {
-			if err := rec.Flush(); err != nil && first == nil {
-				first = err
-			}
-		}
-		if traceFile != nil {
-			if err := traceFile.Close(); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-	return rec, reg, cleanup, nil
+	cctx := compute.NewContextFor(kw, sess.Reg)
+	sess.Manifest("enas-search", seed, map[string]any{
+		"algo": algo, "task": taskName, "lambda": lambda,
+		"pop": pop, "sample": sample, "cycles": cycles,
+		"grid_every": gridEvery, "eval": evalName, "workers": workers,
+		"warm": warm, "train_n": trainN, "compute_workers": kw, "cache": cache,
+	})
+	return run(algo, taskName, lambda, pop, sample, cycles, gridEvery,
+		seed, evalName, trainN, workers, warm, cache, sess.Rec, sess.Reg, cctx)
 }
 
 func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery int,

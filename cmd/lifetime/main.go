@@ -7,6 +7,13 @@
 //
 //	lifetime [-hours 12] [-profile office|constant] [-lux 500]
 //	         [-gap 600] [-vtheta 2.0] [-v0 2.2] [-seed 1] [-trace]
+//	         [-trace-out run.jsonl] [-metrics-out metrics.json]
+//	         [-metrics-interval 1s] [-pprof localhost:6060]
+//
+// -trace-out records the run as a JSONL obs trace — manifest, a
+// lifetime.run span, one lifetime.interaction event per arrival with its
+// outcome/voltage/energy, and outcome counters in the metrics snapshots —
+// readable with cmd/obs-report like any search trace.
 package main
 
 import (
@@ -17,6 +24,8 @@ import (
 
 	"solarml/internal/firmware"
 	"solarml/internal/nn"
+	"solarml/internal/obs"
+	obscli "solarml/internal/obs/cli"
 )
 
 func main() {
@@ -29,49 +38,82 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	trace := flag.Bool("trace", false, "print every interaction")
 	ladder := flag.Bool("ladder", false, "use a 3-rung multi-exit model ladder (HarvNet-style degradation)")
+	obsFlags := obscli.AddFlags(nil)
 	flag.Parse()
 
+	if err := mainErr(obsFlags, *hours, *profile, *lux, *gap, *vtheta, *v0, *seed, *trace, *ladder); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vtheta, v0 float64,
+	seed int64, trace, ladder bool) (err error) {
+	sess, err := obsFlags.Open()
+	if err != nil {
+		return err
+	}
+	defer sess.CloseWith(&err)
+	sess.Manifest("lifetime", seed, map[string]any{
+		"hours": hours, "profile": profile, "lux": lux, "gap": gap,
+		"vtheta": vtheta, "v0": v0, "ladder": ladder,
+	})
+
 	cfg := firmware.DefaultConfig()
-	cfg.VTheta = *vtheta
-	cfg.InitialV = *v0
-	if *ladder {
+	cfg.VTheta = vtheta
+	cfg.InitialV = v0
+	if ladder {
 		cfg.ExitMACs = []map[nn.LayerKind]int64{
 			{nn.KindConv: 40_000, nn.KindDense: 5_000},
 			{nn.KindConv: 200_000, nn.KindDense: 20_000},
 			{nn.KindConv: 900_000, nn.KindDense: 60_000},
 		}
 	}
-	if *profile == "office" {
-		cfg.Lux = firmware.OfficeDay(*lux)
+	if profile == "office" {
+		cfg.Lux = firmware.OfficeDay(lux)
 	} else {
-		cfg.Lux = firmware.ConstantLux(*lux)
+		cfg.Lux = firmware.ConstantLux(lux)
 	}
 	sim, err := firmware.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		return err
 	}
-	duration := *hours * 3600
-	rng := rand.New(rand.NewSource(*seed))
-	events := firmware.PoissonArrivals(rng, duration, *gap)
+	duration := hours * 3600
+	rng := rand.New(rand.NewSource(seed))
+	events := firmware.PoissonArrivals(rng, duration, gap)
+
+	sp := sess.Rec.StartSpan("lifetime.run",
+		obs.F64("hours", hours), obs.Str("profile", profile), obs.F64("lux", lux),
+		obs.Int("arrivals", len(events)))
 	stats, err := sim.Run(duration, events)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		sp.End(obs.Str("error", err.Error()))
+		return err
 	}
+	for _, e := range stats.Events {
+		sess.Rec.Event("lifetime.interaction",
+			obs.F64("t_s", e.T), obs.F64("v", e.V),
+			obs.Str("outcome", e.Outcome.String()), obs.F64("energy_j", e.EnergyJ))
+		sess.Reg.Counter("lifetime." + e.Outcome.String()).Inc()
+	}
+	sess.Reg.Gauge("lifetime.completion_rate").Set(stats.Rate(firmware.Completed))
+	sp.End(obs.Int("interactions", len(stats.Events)),
+		obs.F64("completion_rate", stats.Rate(firmware.Completed)))
+
 	fmt.Println(stats.Summary())
 	fmt.Printf("completion rate: %.1f%%\n", stats.Rate(firmware.Completed)*100)
-	if *ladder && len(stats.ExitCounts) > 0 {
+	if ladder && len(stats.ExitCounts) > 0 {
 		fmt.Print("exit usage:")
 		for k := 0; k < len(cfg.ExitMACs); k++ {
 			fmt.Printf("  exit %d ×%d", k, stats.ExitCounts[k])
 		}
 		fmt.Println()
 	}
-	if *trace {
+	if trace {
 		for _, e := range stats.Events {
 			fmt.Printf("  t=%7.0fs  V=%.3f  %-20s %6.0f µJ\n",
 				e.T, e.V, e.Outcome, e.EnergyJ*1e6)
 		}
 	}
+	return nil
 }

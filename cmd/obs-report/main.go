@@ -1,0 +1,83 @@
+// Command obs-report is the read side of the repo's telemetry: it loads a
+// JSONL trace recorded via -trace-out (cmd/enas-search, cmd/solarml,
+// cmd/lifetime, cmd/tracegen), reconstructs the span tree, and prints
+// per-span rollups, the per-subsystem time breakdown, the critical path,
+// and cache/pool efficiency ratios. Optional exports render the same trace
+// for other tools.
+//
+// Usage:
+//
+//	obs-report -trace run.jsonl [-perfetto out.json] [-folded out.folded]
+//	           [-csv out.csv] [-quiet]
+//
+// -perfetto writes Chrome trace-event JSON (load in ui.perfetto.dev or
+// chrome://tracing), -folded writes flamegraph.pl/speedscope folded stacks,
+// -csv the per-span-name rollup. Without export flags the human-readable
+// summary goes to stdout; -quiet suppresses it when only exports are
+// wanted. Corrupt or truncated traces (killed runs) are read best-effort.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"solarml/internal/obs/report"
+)
+
+func main() {
+	tracePath := flag.String("trace", "", "JSONL trace to analyze (required)")
+	perfetto := flag.String("perfetto", "", "write Chrome/Perfetto trace-event JSON to this file")
+	folded := flag.String("folded", "", "write flamegraph folded stacks to this file")
+	csvOut := flag.String("csv", "", "write the per-span-name rollup as CSV to this file")
+	quiet := flag.Bool("quiet", false, "suppress the stdout summary")
+	flag.Parse()
+
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*tracePath, *perfetto, *folded, *csvOut, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath, perfetto, folded, csvOut string, quiet bool) error {
+	tr, err := report.ReadFile(tracePath)
+	if err != nil {
+		return err
+	}
+	if len(tr.Spans) == 0 && len(tr.Events) == 0 && tr.Manifest == nil {
+		return fmt.Errorf("%s: no recognizable obs events (%d corrupt lines)", tracePath, tr.SkippedLines)
+	}
+	exports := []struct {
+		path  string
+		write func(f *os.File) error
+	}{
+		{perfetto, func(f *os.File) error { return tr.WritePerfetto(f) }},
+		{folded, func(f *os.File) error { return tr.WriteFolded(f) }},
+		{csvOut, func(f *os.File) error { return tr.WriteCSV(f) }},
+	}
+	for _, ex := range exports {
+		if ex.path == "" {
+			continue
+		}
+		f, err := os.Create(ex.path)
+		if err != nil {
+			return err
+		}
+		if err := ex.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", ex.path)
+	}
+	if quiet {
+		return nil
+	}
+	return tr.WriteSummary(os.Stdout)
+}

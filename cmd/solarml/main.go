@@ -5,7 +5,7 @@
 //
 //	solarml <experiment> [-seed N] [-scale quick|paper] [-task gesture|kws]
 //	                     [-trace-out run.jsonl] [-metrics-out metrics.json]
-//	                     [-pprof localhost:6060]
+//	                     [-metrics-interval 1s] [-pprof localhost:6060]
 //
 // Experiments: fig1, fig2, fig6, fig7, table1, table3, fig9, fig10,
 // endtoend, ablation, all.
@@ -13,15 +13,17 @@
 // -trace-out records the whole campaign as a JSONL obs trace (manifest,
 // experiments.* spans, eNAS cycle events, platform session spans, one
 // artifact event per CSV written); -metrics-out dumps the final metrics
-// snapshot; -pprof serves net/http/pprof + expvar for live profiling.
+// snapshot; -metrics-interval adds a periodic metrics time series with
+// runtime gauges; -pprof serves net/http/pprof + expvar + Prometheus
+// /metrics for live profiling. A failing experiment still closes the trace
+// (terminal metrics flush + finish), so partial campaigns parse with
+// cmd/obs-report.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 
@@ -30,6 +32,7 @@ import (
 	"solarml/internal/nas"
 	"solarml/internal/nn"
 	"solarml/internal/obs"
+	obscli "solarml/internal/obs/cli"
 	"solarml/internal/viz"
 )
 
@@ -45,9 +48,7 @@ func main() {
 	taskName := fs.String("task", "gesture", "task for fig10/ablation: gesture or kws")
 	csvDirFlag := fs.String("csv", "", "directory to write figure series as CSV (fig9, fig10)")
 	computeWorkers := fs.Int("compute-workers", 1, "kernel workers for training GEMMs (0 = NumCPU, 1 = serial)")
-	traceOut := fs.String("trace-out", "", "write a JSONL obs trace to this file")
-	metricsOut := fs.String("metrics-out", "", "write a final metrics snapshot (JSON) to this file")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060)")
+	obsFlags := obscli.AddFlags(fs)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -60,30 +61,30 @@ func main() {
 	if *taskName == "kws" {
 		task = nas.TaskKWS
 	}
-
-	rec, reg, cleanup, err := setupObs(*traceOut, *metricsOut, *pprofAddr)
-	if err != nil {
+	if err := mainErr(obsFlags, cmd, *seed, *scaleName, *taskName, *computeWorkers, scale, task); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
-	obsRec = rec
-	experiments.SetObs(rec, reg)
-	cctx := compute.NewContextFor(*computeWorkers, reg)
-	experiments.SetCompute(cctx)
-	rec.WriteManifest(obs.Manifest{Tool: "solarml", Seed: *seed, Config: map[string]any{
-		"experiment": cmd, "scale": *scaleName, "task": *taskName, "csv": csvDir,
-		"compute_workers": cctx.Workers(),
-	}})
-	finish := func(outcome string) {
-		if outcome == "ok" {
-			rec.FlushMetrics(reg)
-		}
-		rec.Finish(outcome)
-		if err := cleanup(); err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
-		}
+}
+
+// mainErr runs the selected experiment(s) behind a deferred telemetry
+// close, so a failing experiment still leaves a finished, parseable trace.
+func mainErr(obsFlags *obscli.Flags, cmd string, seedV int64, scaleName, taskName string,
+	computeWorkers int, scale experiments.Scale, task nas.Task) (err error) {
+	sess, err := obsFlags.Open()
+	if err != nil {
+		return err
 	}
+	defer sess.CloseWith(&err)
+	seed := &seedV
+	obsRec = sess.Rec
+	experiments.SetObs(sess.Rec, sess.Reg)
+	cctx := compute.NewContextFor(computeWorkers, sess.Reg)
+	experiments.SetCompute(cctx)
+	sess.Manifest("solarml", *seed, map[string]any{
+		"experiment": cmd, "scale": scaleName, "task": taskName, "csv": csvDir,
+		"compute_workers": cctx.Workers(),
+	})
 
 	run := func(name string) error {
 		switch name {
@@ -139,78 +140,12 @@ func main() {
 		for _, name := range []string{"fig1", "fig2", "fig6", "fig7", "table1", "table3", "fig9", "fig10", "endtoend", "ablation", "multiexit", "objectives", "baseline"} {
 			fmt.Printf("\n════════ %s ════════\n", name)
 			if err := run(name); err != nil {
-				finish(err.Error())
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
+				return err
 			}
 		}
-		finish("ok")
-		return
+		return nil
 	}
-	if err := run(cmd); err != nil {
-		finish(err.Error())
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
-	}
-	finish("ok")
-}
-
-// setupObs builds the optional telemetry sinks from the CLI flags. The
-// returned cleanup flushes and closes files and writes the metrics
-// snapshot; rec and reg are nil (disabled) when their flags are unset.
-func setupObs(traceOut, metricsOut, pprofAddr string) (*obs.Recorder, *obs.Registry, func() error, error) {
-	var rec *obs.Recorder
-	var traceFile *os.File
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		traceFile = f
-		rec = obs.NewRecorder(f)
-	}
-	var reg *obs.Registry
-	if metricsOut != "" || pprofAddr != "" || rec.Enabled() {
-		reg = obs.NewRegistry()
-	}
-	if pprofAddr != "" {
-		reg.PublishExpvar("solarml")
-		go func() {
-			// DefaultServeMux carries /debug/pprof/* and /debug/vars.
-			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "pprof:", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "pprof+expvar listening on http://%s/debug/pprof\n", pprofAddr)
-	}
-	cleanup := func() error {
-		var first error
-		if metricsOut != "" {
-			f, err := os.Create(metricsOut)
-			if err != nil {
-				first = err
-			} else {
-				if err := reg.WriteJSON(f); err != nil && first == nil {
-					first = err
-				}
-				if err := f.Close(); err != nil && first == nil {
-					first = err
-				}
-			}
-		}
-		if rec != nil {
-			if err := rec.Flush(); err != nil && first == nil {
-				first = err
-			}
-		}
-		if traceFile != nil {
-			if err := traceFile.Close(); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-	return rec, reg, cleanup, nil
+	return run(cmd)
 }
 
 func usage() {

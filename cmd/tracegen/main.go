@@ -6,9 +6,13 @@
 //
 //	tracegen [-scenario gesture|kws|fig6|fig6-resume] [-sleep 60]
 //	         [-width 100] [-height 12] [-rate 0] [-lux 500]
+//	         [-trace-out run.jsonl] [-metrics-out metrics.json]
+//	         [-metrics-interval 1s] [-pprof localhost:6060]
 //
 // With -rate > 0 the discretized sample stream is printed as CSV
-// (time,power) instead of ASCII art.
+// (time,power) instead of ASCII art. -trace-out records the session as a
+// JSONL obs trace (core.session span plus one powertrace.segment event per
+// power phase), readable with cmd/obs-report.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"os"
 
 	"solarml/internal/core"
+	obscli "solarml/internal/obs/cli"
 	"solarml/internal/powertrace"
 )
 
@@ -27,49 +32,68 @@ func main() {
 	height := flag.Int("height", 12, "ASCII chart height")
 	rate := flag.Float64("rate", 0, "if > 0, emit CSV samples at this rate (Hz) instead of a chart")
 	lux := flag.Float64("lux", 500, "illuminance for the fig6 scenarios")
+	obsFlags := obscli.AddFlags(nil)
 	flag.Parse()
 
+	if err := mainErr(obsFlags, *scenario, *sleep, *width, *height, *rate, *lux); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(obsFlags *obscli.Flags, scenario string, sleep float64, width, height int, rate, lux float64) (err error) {
+	sess, err := obsFlags.Open()
+	if err != nil {
+		return err
+	}
+	defer sess.CloseWith(&err)
+	sess.Manifest("tracegen", 0, map[string]any{
+		"scenario": scenario, "sleep": sleep, "rate": rate, "lux": lux,
+	})
+
 	p := core.NewPlatform()
+	p.SetObs(sess.Rec)
 	var trace *powertrace.Recorder
-	switch *scenario {
+	switch scenario {
 	case "gesture", "kws":
 		cfgs := core.Fig2Scenarios()
 		cfg := cfgs[0]
-		if *scenario == "kws" {
+		if scenario == "kws" {
 			cfg = cfgs[1]
 		}
-		cfg.IdleS = *sleep
+		cfg.IdleS = sleep
 		rep, err := p.RunSession(cfg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Println(rep)
 		trace = rep.Trace
 	case "fig6", "fig6-resume":
-		rep, err := p.SimulateSleepMechanism(*lux, *scenario == "fig6-resume")
+		rep, err := p.SimulateSleepMechanism(lux, scenario == "fig6-resume")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		for _, e := range rep.Events {
 			fmt.Println("#", e)
 		}
 		trace = rep.Trace
-	default:
-		fatal(fmt.Errorf("unknown scenario %q", *scenario))
-	}
-
-	if *rate > 0 {
-		fmt.Println("t_s,power_w")
-		for i, pw := range trace.Samples(*rate) {
-			fmt.Printf("%.6f,%.9f\n", float64(i)/(*rate), pw)
+		// The sleep-mechanism sim bypasses RunSession, so export its power
+		// trace into the obs stream here.
+		if sess.Rec.Enabled() {
+			trace.ExportObs(sess.Rec, scenario)
 		}
-		return
+	default:
+		return fmt.Errorf("unknown scenario %q", scenario)
 	}
-	fmt.Print(trace.ASCII(*width, *height))
-	fmt.Print(trace.Summary())
-}
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "error:", err)
-	os.Exit(1)
+	if rate > 0 {
+		fmt.Println("t_s,power_w")
+		for i, pw := range trace.Samples(rate) {
+			fmt.Printf("%.6f,%.9f\n", float64(i)/rate, pw)
+		}
+		return nil
+	}
+	fmt.Print(trace.ASCII(width, height))
+	fmt.Print(trace.Summary())
+	return nil
 }

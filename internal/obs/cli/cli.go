@@ -1,0 +1,153 @@
+// Package cli is the shared telemetry bootstrap for the repo's commands.
+// It owns the four obs flags every recording-capable cmd exposes
+// (-trace-out, -metrics-out, -pprof, -metrics-interval), builds the
+// recorder/registry/sampler they imply, mounts Prometheus /metrics next to
+// /debug/pprof, and guarantees the terminal FlushMetrics + Finish runs on
+// error paths as well as happy ones — so an aborted search still leaves a
+// parseable trace for cmd/obs-report.
+//
+// Before this package, cmd/enas-search and cmd/solarml each carried their
+// own copy of this setup and cmd/lifetime and cmd/tracegen had none.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux
+	"os"
+	"time"
+
+	"solarml/internal/obs"
+)
+
+// Flags holds the parsed telemetry flag values.
+type Flags struct {
+	TraceOut        string
+	MetricsOut      string
+	PprofAddr       string
+	MetricsInterval time.Duration
+}
+
+// AddFlags registers the telemetry flags on fs (nil for flag.CommandLine)
+// and returns the destination struct. The flag names are shared across
+// every cmd so a recording recipe transfers between tools.
+func AddFlags(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Flags{}
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a JSONL obs trace to this file")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a final metrics snapshot (JSON) to this file")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve net/http/pprof, expvar, and Prometheus /metrics on this address (e.g. localhost:6060)")
+	fs.DurationVar(&f.MetricsInterval, "metrics-interval", 0, "record a metrics snapshot (plus runtime gauges) every interval, e.g. 1s (0 = final snapshot only)")
+	return f
+}
+
+// Session is an open telemetry session. Rec and Reg are nil (valid no-ops)
+// when no flag asked for them, so callers thread them through
+// unconditionally.
+type Session struct {
+	Rec *obs.Recorder
+	Reg *obs.Registry
+
+	flags     Flags
+	traceFile *os.File
+	sampler   *obs.Sampler
+	closed    bool
+}
+
+// Open builds the session the flags describe: trace recorder, metrics
+// registry (created when any consumer needs it), pprof+expvar+/metrics
+// server, and the periodic sampler.
+func (f *Flags) Open() (*Session, error) {
+	s := &Session{flags: *f}
+	if f.TraceOut != "" {
+		file, err := os.Create(f.TraceOut)
+		if err != nil {
+			return nil, err
+		}
+		s.traceFile = file
+		s.Rec = obs.NewRecorder(file)
+	}
+	if f.MetricsOut != "" || f.PprofAddr != "" || f.MetricsInterval > 0 || s.Rec.Enabled() {
+		s.Reg = obs.NewRegistry()
+	}
+	if f.PprofAddr != "" {
+		s.Reg.PublishExpvar("solarml")
+		// DefaultServeMux already carries /debug/pprof/* (imported above)
+		// and /debug/vars (expvar); add the Prometheus exposition so long
+		// runs are scrapeable live.
+		http.Handle("/metrics", s.Reg.PrometheusHandler())
+		go func(addr string) {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}(f.PprofAddr)
+		fmt.Fprintf(os.Stderr, "pprof+expvar+metrics listening on http://%s/debug/pprof and /metrics\n", f.PprofAddr)
+	}
+	if f.MetricsInterval > 0 {
+		s.sampler = obs.StartSampler(s.Rec, s.Reg, f.MetricsInterval)
+	}
+	return s, nil
+}
+
+// Manifest writes the run manifest (no-op without a recorder).
+func (s *Session) Manifest(tool string, seed int64, config map[string]any) {
+	s.Rec.WriteManifest(obs.Manifest{Tool: tool, Seed: seed, Config: config})
+}
+
+// Close finishes the session exactly once: it stops the sampler (which
+// records a terminal snapshot), emits the final FlushMetrics + Finish with
+// the given outcome, writes the -metrics-out snapshot, and flushes and
+// closes the trace file. Callers defer it so error paths and panics leave
+// the same parseable trace tail as clean exits; outcome is "ok" or the
+// error string.
+func (s *Session) Close(outcome string) error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	s.sampler.Stop()
+	s.Rec.FlushMetrics(s.Reg)
+	s.Rec.Finish(outcome)
+
+	var first error
+	if s.flags.MetricsOut != "" {
+		f, err := os.Create(s.flags.MetricsOut)
+		if err != nil {
+			first = err
+		} else {
+			if err := s.Reg.WriteJSON(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	if s.Rec != nil {
+		if err := s.Rec.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CloseWith is the deferred-close idiom shared by the cmds: it derives the
+// outcome from *err and folds a close failure into it when the run itself
+// succeeded.
+func (s *Session) CloseWith(err *error) {
+	outcome := "ok"
+	if *err != nil {
+		outcome = (*err).Error()
+	}
+	if cerr := s.Close(outcome); cerr != nil && *err == nil {
+		*err = cerr
+	}
+}

@@ -1,0 +1,110 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"solarml/internal/obs"
+	"solarml/internal/obs/report"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestSessionErrorPathTrace pins satellite behaviour: a run that fails
+// still closes its trace with FlushMetrics + Finish carrying the error
+// outcome, and the result parses with obs-report's reader.
+func TestSessionErrorPathTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	f := parse(t, "-trace-out", tracePath, "-metrics-out", metricsPath, "-metrics-interval", "5ms")
+
+	run := func() (err error) {
+		s, err := f.Open()
+		if err != nil {
+			return err
+		}
+		defer s.CloseWith(&err)
+		s.Manifest("test-tool", 3, map[string]any{"k": "v"})
+		s.Reg.Counter("test.work").Inc()
+		sp := s.Rec.StartSpan("test.step")
+		time.Sleep(10 * time.Millisecond)
+		sp.End()
+		return errors.New("boom")
+	}
+	if err := run(); err == nil || err.Error() != "boom" {
+		t.Fatalf("run error = %v, want boom", err)
+	}
+
+	tr, err := report.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Tool() != "test-tool" || tr.Outcome() != "boom" {
+		t.Fatalf("trace identity: tool %q outcome %q, want test-tool/boom", tr.Tool(), tr.Outcome())
+	}
+	if len(tr.Metrics) < 2 {
+		t.Fatalf("metrics snapshots = %d, want ≥ 2 (sampler + terminal flush)", len(tr.Metrics))
+	}
+	last := tr.Metrics[len(tr.Metrics)-1]
+	counters, _ := last.Attrs["counters"].(map[string]any)
+	if v, _ := counters["test.work"].(float64); v != 1 {
+		t.Fatalf("terminal snapshot missing workload counter: %v", last.Attrs)
+	}
+	gauges, _ := last.Attrs["gauges"].(map[string]any)
+	if v, _ := gauges[obs.GaugeGoroutines].(float64); v < 1 {
+		t.Fatalf("terminal snapshot missing runtime gauges: %v", last.Attrs)
+	}
+	if _, err := os.Stat(metricsPath); err != nil {
+		t.Fatalf("metrics snapshot file not written on error path: %v", err)
+	}
+}
+
+// TestSessionDisabled: with no flags set, everything is nil/no-op and Close
+// is free.
+func TestSessionDisabled(t *testing.T) {
+	f := parse(t)
+	s, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rec.Enabled() || s.Reg != nil {
+		t.Fatalf("flagless session not disabled: %+v", s)
+	}
+	s.Manifest("x", 1, nil)
+	if err := s.Close("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close("twice"); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+}
+
+// TestSamplerWithoutTrace: -metrics-interval alone still builds a registry
+// (for /metrics scraping) without recording anything.
+func TestSamplerWithoutTrace(t *testing.T) {
+	f := parse(t, "-metrics-interval", "5ms")
+	s, err := f.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(12 * time.Millisecond)
+	if err := s.Close("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reg.Gauge(obs.GaugeGoroutines).Value() < 1 {
+		t.Fatal("sampler did not publish runtime gauges")
+	}
+}

@@ -70,6 +70,38 @@ func TestHistogramBucketEdges(t *testing.T) {
 	}
 }
 
+// TestHistogramObserveExactBounds pins Observe at exactly each bucket
+// boundary: a value equal to a bound lands in that bound's bucket (≤
+// semantics), never the next one — the invariant the Prometheus exposition
+// and obs-report's latency rollups both rely on.
+func TestHistogramObserveExactBounds(t *testing.T) {
+	bounds := []float64{0, 0.5, 1, 2}
+	g := NewRegistry()
+	h := g.Histogram("edge", bounds)
+	for _, b := range bounds {
+		h.Observe(b)
+		h.Observe(b)
+	}
+	h.Observe(-1)           // below the lowest bound → first bucket
+	h.Observe(math.Inf(1))  // above the highest → overflow bucket
+	s := g.Snapshot().Histograms["edge"]
+	want := []uint64{3, 2, 2, 2, 1} // per-bucket (non-cumulative) counts
+	if len(s.Counts) != len(want) {
+		t.Fatalf("counts len = %d, want %d", len(s.Counts), len(want))
+	}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 10 {
+		t.Errorf("count = %d, want 10", s.Count)
+	}
+	if s.Min != -1 || !math.IsInf(s.Max, 1) {
+		t.Errorf("min/max = %v/%v, want -1/+Inf", s.Min, s.Max)
+	}
+}
+
 // TestHistogramUnsortedBounds checks that bounds are sorted on creation.
 func TestHistogramUnsortedBounds(t *testing.T) {
 	g := NewRegistry()

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus pins the exposition format: sanitized names, sorted
+// families, cumulative le buckets derived from the registry's per-interval
+// counts, and _sum/_count.
+func TestWritePrometheus(t *testing.T) {
+	g := NewRegistry()
+	g.Counter("enas.evaluations").Add(7)
+	g.Counter("compute.pool_hits").Add(3)
+	g.Gauge("runtime.goroutines").Set(12)
+	h := g.Histogram("enas.eval_seconds", []float64{0.1, 1})
+	h.Observe(0.05) // ≤0.1 bucket
+	h.Observe(0.5)  // ≤1 bucket
+	h.Observe(5)    // overflow
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE compute_pool_hits counter\ncompute_pool_hits 3\n",
+		"# TYPE enas_evaluations counter\nenas_evaluations 7\n",
+		"# TYPE runtime_goroutines gauge\nruntime_goroutines 12\n",
+		"# TYPE enas_eval_seconds histogram\n",
+		`enas_eval_seconds_bucket{le="0.1"} 1`,
+		`enas_eval_seconds_bucket{le="1"} 2`,
+		`enas_eval_seconds_bucket{le="+Inf"} 3`,
+		"enas_eval_seconds_sum 5.55",
+		"enas_eval_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Counters come sorted: compute before enas.
+	if strings.Index(out, "compute_pool_hits") > strings.Index(out, "enas_evaluations") {
+		t.Error("counter families not sorted")
+	}
+}
+
+// TestPrometheusHandler checks the /metrics handler contract, including the
+// nil-registry case serving empty-but-valid exposition.
+func TestPrometheusHandler(t *testing.T) {
+	g := NewRegistry()
+	g.Counter("c").Inc()
+	rr := httptest.NewRecorder()
+	g.PrometheusHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rr.Body.String(), "c 1\n") {
+		t.Fatalf("body = %q", rr.Body.String())
+	}
+
+	var nilReg *Registry
+	rr = httptest.NewRecorder()
+	nilReg.PrometheusHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	if rr.Code != 200 || rr.Body.Len() != 0 {
+		t.Fatalf("nil registry: code %d body %q", rr.Code, rr.Body.String())
+	}
+}
+
+// TestPromName pins the name sanitizer.
+func TestPromName(t *testing.T) {
+	for in, want := range map[string]string{
+		"enas.eval_seconds": "enas_eval_seconds",
+		"9lives":            "_lives",
+		"a-b c":             "a_b_c",
+		"ok_name:x9":        "ok_name:x9",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

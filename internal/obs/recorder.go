@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"math"
@@ -314,18 +315,45 @@ func (r *Recorder) Flush() error {
 	return r.err
 }
 
-// ReadTrace decodes a JSONL trace produced by a Recorder.
+// ReadTrace decodes a JSONL trace produced by a Recorder. It is tolerant
+// by design — see ScanTrace, which it wraps discarding the skip count —
+// because the primary consumer (obs-report) must make sense of traces left
+// behind by crashed or killed runs.
 func ReadTrace(rd io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(rd)
-	var out []Event
-	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return out, nil
-			}
-			return out, err
+	events, _, err := ScanTrace(rd)
+	return events, err
+}
+
+// maxTraceLine bounds one JSONL line (a metrics snapshot with many
+// histograms is the largest realistic event).
+const maxTraceLine = 16 << 20
+
+// ScanTrace decodes a JSONL trace line by line, skipping lines that are not
+// valid JSON objects instead of failing the whole read. The contract the
+// report layer relies on:
+//
+//   - Each line is decoded independently; blank lines are ignored.
+//   - A line that fails to decode — non-JSON garbage, or the partial final
+//     line of a killed process — is skipped and counted in skipped. Every
+//     well-formed line before and after it is still returned.
+//   - Events with unknown kind values are returned as-is (forward
+//     compatibility: consumers filter on the kinds they understand).
+//   - err reports only I/O failures (and a line exceeding the 16 MiB
+//     bound), never malformed content.
+func ScanTrace(rd io.Reader) (events []Event, skipped int, err error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64<<10), maxTraceLine)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
 		}
-		out = append(out, e)
+		var e Event
+		if json.Unmarshal(line, &e) != nil {
+			skipped++
+			continue
+		}
+		events = append(events, e)
 	}
+	return events, skipped, sc.Err()
 }

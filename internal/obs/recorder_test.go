@@ -124,6 +124,84 @@ func TestNilRecorder(t *testing.T) {
 	unsub()
 }
 
+// TestScanTraceCorruptLines pins the skip behaviour obs-report relies on:
+// garbage and truncated lines are dropped (and counted) without losing the
+// well-formed events around them.
+func TestScanTraceCorruptLines(t *testing.T) {
+	trace := `{"t":0,"kind":"manifest","name":"test"}
+this line is not JSON at all
+{"t":0.1,"kind":"span","name":"a","span":1,"dur_ms":5}
+
+{"t":0.2,"kind":"span","name":"b","span":2,"dur_ms":`
+	events, skipped, err := ScanTrace(strings.NewReader(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (garbage + truncated final line)", skipped)
+	}
+	if len(events) != 2 || events[0].Kind != KindManifest || events[1].Name != "a" {
+		t.Fatalf("events = %+v, want manifest + span a", events)
+	}
+	// ReadTrace is the same read, discarding the count.
+	events, err = ReadTrace(strings.NewReader(trace))
+	if err != nil || len(events) != 2 {
+		t.Fatalf("ReadTrace = %d events, %v; want 2, nil", len(events), err)
+	}
+}
+
+// TestScanTracePartialFinalLine simulates a killed process: a well-formed
+// trace whose last line was cut mid-write at every possible byte offset.
+// The intact prefix must always come back, the stub never.
+func TestScanTracePartialFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	sp := r.StartSpan("work", Int("n", 3))
+	sp.End()
+	r.Event("tick", F64("v", 1.5))
+	r.Flush()
+	full := buf.String()
+	lines := strings.SplitAfter(strings.TrimSuffix(full, "\n"), "\n")
+	last := lines[len(lines)-1]
+	prefix := full[:len(full)-len(last)-1] // intact lines incl. trailing \n
+	for cut := 1; cut < len(last); cut++ {
+		events, skipped, err := ScanTrace(strings.NewReader(prefix + last[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(events) != len(lines)-1 {
+			t.Fatalf("cut %d: %d events, want %d", cut, len(events), len(lines)-1)
+		}
+		if skipped != 1 {
+			t.Fatalf("cut %d: skipped = %d, want 1", cut, skipped)
+		}
+	}
+}
+
+// TestScanTraceUnknownKind checks forward compatibility: events with kinds
+// this version does not know are passed through, not dropped.
+func TestScanTraceUnknownKind(t *testing.T) {
+	trace := `{"t":0,"kind":"manifest","name":"m"}
+{"t":1,"kind":"hologram","name":"future","attrs":{"x":1}}
+{"t":2,"kind":"finish","name":"finish"}
+`
+	events, skipped, err := ScanTrace(strings.NewReader(trace))
+	if err != nil || skipped != 0 {
+		t.Fatalf("err %v skipped %d, want nil/0", err, skipped)
+	}
+	if len(events) != 3 || events[1].Kind != "hologram" || events[1].Int("x") != 1 {
+		t.Fatalf("unknown-kind event not preserved: %+v", events)
+	}
+}
+
+// TestScanTraceEmpty: an empty reader is an empty trace, not an error.
+func TestScanTraceEmpty(t *testing.T) {
+	events, skipped, err := ScanTrace(strings.NewReader(""))
+	if err != nil || skipped != 0 || len(events) != 0 {
+		t.Fatalf("empty trace: events %v skipped %d err %v", events, skipped, err)
+	}
+}
+
 // TestEventAccessors covers the numeric coercions used after JSON decoding.
 func TestEventAccessors(t *testing.T) {
 	e := Event{Attrs: map[string]any{"i": float64(3), "f": int64(2), "s": "x"}}

@@ -1,0 +1,135 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"solarml/internal/obs"
+)
+
+// BenchResult is one parsed `go test -bench` line.
+type BenchResult struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (stable across machines); Pkg the package it ran in.
+	Name string `json:"-"`
+	Pkg  string `json:"pkg,omitempty"`
+	// Procs is the stripped GOMAXPROCS suffix (0 when absent).
+	Procs int `json:"procs,omitempty"`
+	// Runs is b.N for the reported measurement.
+	Runs    int64   `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// BPerOp/AllocsPerOp are present only under -benchmem (MemReported).
+	BPerOp      int64 `json:"b_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	MemReported bool  `json:"-"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFoo-8   	 1000	   1234 ns/op	  56 B/op	   7 allocs/op
+//
+// with the B/op and allocs/op fields optional (absent without -benchmem).
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+var benchPkgLine = regexp.MustCompile(`^pkg:\s+(\S+)`)
+
+// ParseGoBench extracts benchmark results from `go test -bench` output,
+// tracking the `pkg:` header lines so the same benchmark name in two
+// packages stays distinguishable. Non-benchmark lines (PASS, ok, custom
+// metrics, compiler noise) are ignored.
+func ParseGoBench(r io.Reader) ([]BenchResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	var out []BenchResult
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if m := benchPkgLine.FindStringSubmatch(line); m != nil {
+			pkg = m[1]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		res := BenchResult{Name: m[1], Pkg: pkg}
+		res.Procs, _ = strconv.Atoi(m[2])
+		res.Runs, _ = strconv.ParseInt(m[3], 10, 64)
+		res.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		if m[5] != "" {
+			res.BPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			res.MemReported = true
+		}
+		if m[6] != "" {
+			res.AllocsPerOp, _ = strconv.ParseInt(m[6], 10, 64)
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// BenchFile is the BENCH_solarml.json schema: one entry per benchmark name
+// (package-qualified on collision), keyed for easy diffing across PRs.
+type BenchFile struct {
+	Schema     string                 `json:"schema"`
+	Go         string                 `json:"go"`
+	Version    string                 `json:"version"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// BenchSchema identifies the emitter format.
+const BenchSchema = "solarml-bench/v1"
+
+// NewBenchFile assembles the trajectory file from parsed results. When two
+// packages define the same benchmark name, both keys are qualified with
+// their package path so neither silently wins.
+func NewBenchFile(results []BenchResult) BenchFile {
+	f := BenchFile{
+		Schema:     BenchSchema,
+		Go:         obs.GoVersion(),
+		Version:    obs.Version(),
+		Benchmarks: make(map[string]BenchResult, len(results)),
+	}
+	byName := make(map[string][]BenchResult, len(results))
+	for _, r := range results {
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	for name, rs := range byName {
+		if len(rs) == 1 {
+			f.Benchmarks[name] = rs[0]
+			continue
+		}
+		for _, r := range rs {
+			f.Benchmarks[r.Pkg+"/"+name] = r
+		}
+	}
+	return f
+}
+
+// WriteJSON writes the file as stable, indented JSON (encoding/json sorts
+// map keys, so reruns diff cleanly).
+func (f BenchFile) WriteJSON(w io.Writer) error {
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("bench: no benchmark results to write")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// Names returns the sorted benchmark keys (for summaries and tests).
+func (f BenchFile) Names() []string {
+	names := make([]string, 0, len(f.Benchmarks))
+	for n := range f.Benchmarks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,98 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"solarml/internal/obs/report"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: solarml
+cpu: Example CPU @ 2.00GHz
+BenchmarkFig1EnergyDistribution-8   	       1	   1520042 ns/op	  123456 B/op	     789 allocs/op
+BenchmarkSearchTelemetryOff-8       	      50	  98765.4 ns/op
+PASS
+ok  	solarml	1.234s
+pkg: solarml/internal/compute
+BenchmarkMatMulBackend/serial-8     	      10	    54321 ns/op	     100 B/op	       2 allocs/op
+BenchmarkShared-8                   	       5	      111 ns/op	       0 B/op	       0 allocs/op
+ok  	solarml/internal/compute	0.5s
+pkg: solarml/internal/nn
+BenchmarkShared-8                   	       5	      222 ns/op	       8 B/op	       1 allocs/op
+this line is noise and must be ignored
+`
+
+// TestParseGoBench pins the parser: ns/op with and without -benchmem,
+// fractional ns/op, subbenchmark names, pkg tracking, noise tolerance.
+func TestParseGoBench(t *testing.T) {
+	results, err := report.ParseGoBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkFig1EnergyDistribution" || r.Procs != 8 || r.Runs != 1 ||
+		r.NsPerOp != 1520042 || r.BPerOp != 123456 || r.AllocsPerOp != 789 || !r.MemReported {
+		t.Fatalf("first result wrong: %+v", r)
+	}
+	if r.Pkg != "solarml" {
+		t.Fatalf("pkg tracking wrong: %+v", r)
+	}
+	if results[1].NsPerOp != 98765.4 || results[1].MemReported {
+		t.Fatalf("benchmem-less result wrong: %+v", results[1])
+	}
+	if results[2].Name != "BenchmarkMatMulBackend/serial" || results[2].Pkg != "solarml/internal/compute" {
+		t.Fatalf("subbenchmark wrong: %+v", results[2])
+	}
+}
+
+// TestBenchFileJSON checks the emitted BENCH_solarml.json: schema header,
+// name keys, package-qualification of colliding names, and a clean
+// encoding/json round trip.
+func TestBenchFileJSON(t *testing.T) {
+	results, err := report.ParseGoBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf := report.NewBenchFile(results)
+	var buf bytes.Buffer
+	if err := bf.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded report.BenchFile
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("BENCH json does not round-trip: %v", err)
+	}
+	if decoded.Schema != report.BenchSchema || decoded.Go == "" || decoded.Version == "" {
+		t.Fatalf("header wrong: %+v", decoded)
+	}
+	if len(decoded.Benchmarks) != 5 {
+		t.Fatalf("got %d benchmarks, want 5: %v", len(decoded.Benchmarks), bf.Names())
+	}
+	b, ok := decoded.Benchmarks["BenchmarkFig1EnergyDistribution"]
+	if !ok || b.NsPerOp != 1520042 || b.BPerOp != 123456 || b.AllocsPerOp != 789 {
+		t.Fatalf("entry wrong: %+v (names %v)", b, bf.Names())
+	}
+	// BenchmarkShared exists in two packages: both must survive, qualified.
+	if _, ok := decoded.Benchmarks["solarml/internal/compute/BenchmarkShared"]; !ok {
+		t.Fatalf("colliding name not package-qualified: %v", bf.Names())
+	}
+	if _, ok := decoded.Benchmarks["solarml/internal/nn/BenchmarkShared"]; !ok {
+		t.Fatalf("colliding name not package-qualified: %v", bf.Names())
+	}
+}
+
+// TestBenchFileEmpty: writing an empty trajectory point must fail loudly.
+func TestBenchFileEmpty(t *testing.T) {
+	bf := report.NewBenchFile(nil)
+	if err := bf.WriteJSON(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty bench file should refuse to write")
+	}
+}

@@ -1,0 +1,282 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"solarml/internal/enas"
+	"solarml/internal/nas"
+	"solarml/internal/obs"
+	"solarml/internal/obs/report"
+)
+
+// record runs a small seeded eNAS surrogate search (the cmd/enas-search
+// configuration at test scale) with a recorder and sampler attached, and
+// returns the raw JSONL trace.
+func record(t testing.TB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	reg := obs.NewRegistry()
+	rec.WriteManifest(obs.Manifest{Tool: "enas-search", Seed: 7, Config: map[string]any{
+		"algo": "enas", "task": "gesture", "eval": "surrogate",
+	}})
+	sampler := obs.StartSampler(rec, reg, 2*time.Millisecond)
+
+	space := nas.GestureSpace()
+	eval := nas.NewSurrogateEvaluator(nas.NewTruthEnergy())
+	eval.Obs = rec
+	cfg := enas.DefaultConfig(nas.TaskGesture, 0.5)
+	cfg.Population, cfg.SampleSize, cfg.Cycles, cfg.SensingEvery, cfg.Seed = 12, 5, 40, 8, 7
+	cfg.Obs, cfg.Metrics, cfg.Cache = rec, reg, true
+	if _, err := enas.Search(space, eval, cfg); err != nil {
+		t.Fatalf("Search: %v", err)
+	}
+
+	sampler.Stop()
+	rec.FlushMetrics(reg)
+	rec.Finish("ok")
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReportOverSeededSearch is the acceptance check: per-phase rollups of
+// a recorded seeded search account for the root span's duration within 5%,
+// and the identity/efficiency reads come back populated.
+func TestReportOverSeededSearch(t *testing.T) {
+	raw := record(t)
+	tr, err := report.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SkippedLines != 0 {
+		t.Fatalf("recorder-produced trace has %d corrupt lines", tr.SkippedLines)
+	}
+	if tr.Tool() != "enas-search" || tr.Outcome() != "ok" {
+		t.Fatalf("identity wrong: tool %q outcome %q", tr.Tool(), tr.Outcome())
+	}
+
+	root := tr.MainRoot()
+	if root == nil || root.Name != "enas.search" {
+		t.Fatalf("main root = %+v, want enas.search", root)
+	}
+	// The engine's phase spans must hang off the search root.
+	names := map[string]bool{}
+	for _, c := range root.Children {
+		names[c.Name] = true
+	}
+	if !names["enas.phase1"] || !names["enas.phase2"] {
+		t.Fatalf("root children %v, want enas.phase1 + enas.phase2", names)
+	}
+
+	// Per-phase self times must account for the root duration within 5%.
+	// (With a serial search they partition it exactly; the tolerance is the
+	// acceptance bound.)
+	selfMS, rootMS := tr.PhaseSelfTotalMS(), tr.RootTotalMS()
+	if rootMS <= 0 {
+		t.Fatal("no root time")
+	}
+	if rel := math.Abs(selfMS-rootMS) / rootMS; rel > 0.05 {
+		t.Fatalf("phase self total %.3f ms vs root total %.3f ms: off by %.1f%% (> 5%%)",
+			selfMS, rootMS, rel*100)
+	}
+
+	rollup := tr.Rollup()
+	if len(rollup) == 0 || rollup[0].Name != "enas.search" {
+		t.Fatalf("rollup %v, want enas.search first (largest total)", rollup)
+	}
+	for _, st := range rollup {
+		if st.Count <= 0 || st.P95MS < st.P50MS || st.MaxMS < st.MinMS {
+			t.Fatalf("inconsistent stat: %+v", st)
+		}
+	}
+
+	// The cycle events and the memo's efficiency counters must surface.
+	if tr.CountEvents()["enas.cycle"] != 40 {
+		t.Fatalf("enas.cycle events = %d, want 40", tr.CountEvents()["enas.cycle"])
+	}
+	eff := tr.Efficiency()
+	if eff.EvoCache.Hits+eff.EvoCache.Misses == 0 {
+		t.Fatal("cache ratio empty despite Cache=true")
+	}
+	if eff.Counters["enas.evaluations"] == 0 {
+		t.Fatal("evaluations counter missing from last snapshot")
+	}
+
+	// Sampler contract: ≥2 snapshots carrying runtime gauges.
+	if len(tr.Metrics) < 2 {
+		t.Fatalf("metrics snapshots = %d, want ≥ 2", len(tr.Metrics))
+	}
+	gauges, _ := tr.Metrics[0].Attrs["gauges"].(map[string]any)
+	if v, _ := gauges[obs.GaugeGoroutines].(float64); v < 1 {
+		t.Fatalf("first snapshot lacks runtime gauges: %v", tr.Metrics[0].Attrs)
+	}
+
+	// Critical path starts at the root and descends monotonically.
+	path := tr.CriticalPath()
+	if len(path) < 2 || path[0] != root {
+		t.Fatalf("critical path %v", path)
+	}
+	for i := 1; i < len(path); i++ {
+		if path[i].DurMS > path[i-1].DurMS {
+			t.Fatalf("critical path not monotone at %d: %v", i, path)
+		}
+	}
+
+	// The summary must render and mention the key sections.
+	var sum strings.Builder
+	if err := tr.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"enas.search", "per-phase breakdown", "critical path", "coverage", "enas.cycle"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Errorf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// TestPerfettoRoundTrip pins the acceptance criterion that the Perfetto
+// export is valid trace-event JSON: it re-decodes through encoding/json and
+// checks the structural invariants viewers rely on.
+func TestPerfettoRoundTrip(t *testing.T) {
+	raw := record(t)
+	tr, err := report.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("perfetto export is not valid JSON: %v", err)
+	}
+	if decoded.DisplayTimeUnit != "ms" || len(decoded.TraceEvents) == 0 {
+		t.Fatalf("unexpected export shape: unit %q, %d events", decoded.DisplayTimeUnit, len(decoded.TraceEvents))
+	}
+	counts := map[string]int{}
+	sawSearch := false
+	for _, e := range decoded.TraceEvents {
+		counts[e.Ph]++
+		switch e.Ph {
+		case "X":
+			if e.Dur < 0 || e.TS < 0 || e.PID != 1 || e.TID < 1 {
+				t.Fatalf("bad complete event: %+v", e)
+			}
+			if e.Name == "enas.search" {
+				sawSearch = true
+			}
+		case "C":
+			if _, ok := e.Args["value"]; !ok {
+				t.Fatalf("counter event without value: %+v", e)
+			}
+		}
+	}
+	if counts["X"] == 0 || counts["i"] == 0 || counts["C"] == 0 {
+		t.Fatalf("export missing event phases: %v", counts)
+	}
+	if !sawSearch {
+		t.Fatal("enas.search span missing from export")
+	}
+}
+
+// TestFoldedStacks checks the folded-stack export on a hand-built tree.
+func TestFoldedStacks(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	root := rec.StartSpan("a.root")
+	c1 := root.Child("a.work")
+	time.Sleep(2 * time.Millisecond)
+	c1.End()
+	c2 := root.Child("a.work") // same path, must aggregate
+	time.Sleep(2 * time.Millisecond)
+	c2.End()
+	root.End()
+	rec.Flush()
+
+	tr, err := report.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := tr.WriteFolded(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("folded output = %q, want 2 aggregated stacks", out.String())
+	}
+	if !strings.HasPrefix(lines[0], "a.root ") || !strings.HasPrefix(lines[1], "a.root;a.work ") {
+		t.Fatalf("folded stacks wrong: %q", lines)
+	}
+}
+
+// TestTruncatedTraceStillReports: a trace cut off mid-run (no finish, open
+// root span) must still yield rollups from the spans that did end.
+func TestTruncatedTraceStillReports(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	rec.WriteManifest(obs.Manifest{Tool: "crashy", Seed: 1})
+	root := rec.StartSpan("x.search")
+	child := root.Child("x.phase1")
+	child.End()
+	// root never ends; process "dies" mid-line:
+	rec.Flush()
+	buf.WriteString(`{"t":9,"kind":"span","name":"x.pha`)
+
+	tr, err := report.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.SkippedLines != 1 || tr.Finish != nil {
+		t.Fatalf("skipped %d, finish %v; want 1, nil", tr.SkippedLines, tr.Finish)
+	}
+	if tr.Outcome() != "(no finish event)" {
+		t.Fatalf("outcome = %q", tr.Outcome())
+	}
+	// The ended child, whose parent never emitted, surfaces as a root.
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "x.phase1" {
+		t.Fatalf("roots = %+v, want orphaned x.phase1", tr.Roots)
+	}
+	if tr.Rollup()[0].Name != "x.phase1" {
+		t.Fatalf("rollup = %+v", tr.Rollup())
+	}
+}
+
+// TestCSVExport sanity-checks the rollup CSV shape.
+func TestCSVExport(t *testing.T) {
+	raw := record(t)
+	tr, err := report.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := tr.WriteCSV(&out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "name,count,total_ms,self_ms,min_ms,p50_ms,p95_ms,max_ms" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != len(tr.Rollup())+1 {
+		t.Fatalf("csv rows = %d, want %d", len(lines)-1, len(tr.Rollup()))
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime gauge names published by SampleRuntime. They sit in the same
+// registry namespace as the workload metrics so one metrics snapshot (or
+// one Prometheus scrape) carries both.
+const (
+	GaugeGoroutines    = "runtime.goroutines"
+	GaugeHeapAlloc     = "runtime.heap_alloc_bytes"
+	GaugeHeapSys       = "runtime.heap_sys_bytes"
+	GaugeTotalAlloc    = "runtime.total_alloc_bytes"
+	GaugeGCPauseTotal  = "runtime.gc_pause_total_seconds"
+	GaugeNumGC         = "runtime.num_gc"
+	GaugeLastSampleSec = "runtime.sample_t_seconds"
+)
+
+// SampleRuntime publishes the Go runtime's health gauges — goroutine count,
+// heap bytes, cumulative allocation, GC pause totals — into the registry.
+// It calls runtime.ReadMemStats, which briefly stops the world, so callers
+// should keep the cadence at tens of milliseconds or slower.
+func SampleRuntime(g *Registry) {
+	if g == nil {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	g.Gauge(GaugeGoroutines).Set(float64(runtime.NumGoroutine()))
+	g.Gauge(GaugeHeapAlloc).Set(float64(m.HeapAlloc))
+	g.Gauge(GaugeHeapSys).Set(float64(m.HeapSys))
+	g.Gauge(GaugeTotalAlloc).Set(float64(m.TotalAlloc))
+	g.Gauge(GaugeGCPauseTotal).Set(float64(m.PauseTotalNs) / 1e9)
+	g.Gauge(GaugeNumGC).Set(float64(m.NumGC))
+}
+
+// Sampler periodically publishes runtime gauges and flushes a metrics
+// snapshot into the trace, turning the one final-snapshot-at-exit of PR 1
+// into a time series: obs-report (and any Prometheus scraper hitting
+// /metrics) then sees counters and gauges evolve across the run instead of
+// only their terminal values.
+//
+// A nil *Sampler is a valid disabled sampler: Stop returns immediately.
+type Sampler struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSampler begins sampling every interval: each tick publishes runtime
+// gauges into reg and — when rec records — appends one KindMetrics snapshot
+// to the trace. A non-positive interval defaults to 1s. With a nil reg
+// there is nothing to sample and the returned Sampler is nil (disabled);
+// rec may be nil, in which case gauges still update for live scraping but
+// no snapshots are recorded.
+func StartSampler(rec *Recorder, reg *Registry, interval time.Duration) *Sampler {
+	if reg == nil {
+		return nil
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
+	start := time.Now()
+	sample := func() {
+		reg.Gauge(GaugeLastSampleSec).Set(time.Since(start).Seconds())
+		SampleRuntime(reg)
+		rec.FlushMetrics(reg)
+	}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-s.stop:
+				// Terminal sample: short runs still get a closing data
+				// point even when no full interval elapsed.
+				sample()
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Stop takes one final sample, flushes it, and waits for the sampling
+// goroutine to exit. Safe on a nil Sampler; must be called at most once.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	<-s.done
+}
