@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race check bench bench-obs bench-json smoke-report
+.PHONY: verify vet race check bench bench-obs bench-json bench-smoke smoke-report
 
 verify:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/...
+	$(GO) test -race ./internal/obs/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/... ./internal/nn/...
 
 check: verify vet race
 
@@ -35,8 +35,16 @@ bench-obs:
 # Narrow the sweep with BENCH_PATTERN, e.g.
 #   make bench-json BENCH_PATTERN='BenchmarkMatMulBackend'
 BENCH_PATTERN ?= .
+BENCH_FLAGS ?=
 bench-json:
-	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_solarml.json
+	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson $(BENCH_FLAGS) -out BENCH_solarml.json
+
+# bench-smoke is the CI perf gate: one iteration of the training-step and
+# kernel benchmarks with -benchmem, merged into the BENCH_solarml.json
+# trajectory artifact (entries outside the smoke subset are retained).
+# allocs/op on the arena step is the number to watch — it must stay at 0.
+bench-smoke:
+	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry'
 
 # smoke-report closes the telemetry loop end to end: record a tiny seeded
 # search trace, analyze it with obs-report, and check the rollup is

@@ -23,24 +23,38 @@ import (
 func main() {
 	out := flag.String("out", "BENCH_solarml.json", "output JSON file")
 	echo := flag.Bool("echo", true, "echo stdin to stdout while parsing (keeps the pipeline readable)")
+	merge := flag.Bool("merge", false, "overlay results onto an existing -out file instead of replacing it (narrowed sweeps keep the rest of the trajectory)")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
 	if *echo {
 		in = io.TeeReader(os.Stdin, os.Stdout)
 	}
-	if err := run(in, *out); err != nil {
+	if err := run(in, *out, *merge); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in io.Reader, out string) error {
+func run(in io.Reader, out string, merge bool) error {
 	results, err := report.ParseGoBench(in)
 	if err != nil {
 		return err
 	}
 	bf := report.NewBenchFile(results)
+	if merge {
+		if prev, err := os.Open(out); err == nil {
+			old, perr := report.ReadBenchFile(prev)
+			prev.Close()
+			if perr != nil {
+				return perr
+			}
+			old.Merge(bf)
+			bf = old
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err

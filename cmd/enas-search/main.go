@@ -110,7 +110,7 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 		space = nas.KWSSpace()
 	}
 
-	eval, err := buildEvaluator(evalName, task, space, seed, trainN, warm, rec, cctx)
+	eval, err := buildEvaluator(evalName, task, space, seed, trainN, warm, rec, reg, cctx)
 	if err != nil {
 		return err
 	}
@@ -165,7 +165,7 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 	return nil
 }
 
-func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, trainN int, warm bool, rec *obs.Recorder, cctx *compute.Context) (nas.Evaluator, error) {
+func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, trainN int, warm bool, rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) (nas.Evaluator, error) {
 	switch name {
 	case "surrogate":
 		fitted, err := nas.CalibrateEnergy(space, 300, true, true, seed)
@@ -176,7 +176,7 @@ func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, tr
 		ev.Obs = rec
 		return ev, nil
 	case "train":
-		ev := &nas.TrainEvaluator{Energy: nas.NewTruthEnergy(), Epochs: 4, LR: 0.05, Seed: seed, WarmStart: warm, Obs: rec, Compute: cctx}
+		ev := &nas.TrainEvaluator{Energy: nas.NewTruthEnergy(), Epochs: 4, LR: 0.05, Seed: seed, WarmStart: warm, Obs: rec, Metrics: reg, Compute: cctx}
 		if task == nas.TaskGesture {
 			full := dataset.BuildGestureSet(trainN, 500, seed)
 			ev.GestureTrain, ev.GestureTest = full.Split(4)

@@ -196,12 +196,61 @@ func (Serial) For(n, grain int, fn func(i0, i1 int)) {
 	}
 }
 
+// task is one dispatched unit of work: a contiguous index range of one
+// kernel call. Tasks travel by value through the pool channel and select
+// their kernel by opcode, so a dispatch allocates nothing — no per-chunk
+// closure, no per-call goroutine.
+type task struct {
+	op        uint8
+	dst, a, b []float64
+	bias      []float64 // rowBias (MatMul) or colBias (MatMulTransB)
+	k, m, n   int
+	alpha     float64
+	acc       bool
+	fn        func(i0, i1 int)
+	i0, i1    int
+	wg        *sync.WaitGroup
+}
+
+// Task opcodes.
+const (
+	opMatMul uint8 = iota
+	opTransA
+	opTransB
+	opAxpy
+	opFor
+)
+
+// run executes the task's range with the same row kernels Serial uses.
+func (t *task) run() {
+	switch t.op {
+	case opMatMul:
+		matMulRows(t.dst, t.a, t.b, t.bias, t.k, t.n, t.i0, t.i1)
+	case opTransA:
+		matMulTransARows(t.dst, t.a, t.b, t.k, t.m, t.n, t.i0, t.i1, t.acc)
+	case opTransB:
+		matMulTransBRows(t.dst, t.a, t.b, t.bias, t.k, t.n, t.i0, t.i1, t.acc)
+	case opAxpy:
+		axpyRange(t.alpha, t.a, t.dst, t.i0, t.i1)
+	case opFor:
+		t.fn(t.i0, t.i1)
+	}
+}
+
+// wgPool recycles the per-dispatch WaitGroups so a warm dispatch performs
+// zero heap allocations.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
 // Parallel is the cache-blocked, goroutine-parallel backend. Work is
 // partitioned by output rows into at most Workers contiguous chunks; each
 // worker runs the same row kernels as Serial, so results are bit-identical
-// to Serial for every worker count.
+// to Serial for every worker count. Chunks are executed by a lazily started
+// persistent worker pool (the dispatching goroutine runs the first chunk
+// itself), making the steady-state dispatch allocation-free.
 type Parallel struct {
 	workers int
+	once    sync.Once
+	tasks   chan task
 }
 
 // NewParallel returns a parallel backend with the given worker count
@@ -219,24 +268,51 @@ func (p *Parallel) Name() string { return "parallel" }
 // Workers implements Backend.
 func (p *Parallel) Workers() int { return p.workers }
 
-// rows fans fn out over [0,m) in at most p.workers contiguous chunks and
-// waits for completion.
-func (p *Parallel) rows(m int, fn func(i0, i1 int)) {
-	chunks := p.workers
-	if chunks > m {
-		chunks = m
+// ensurePool starts the persistent workers on first dispatch. workers-1
+// goroutines are enough: the dispatching goroutine always executes one chunk
+// inline. The pool is shared by every concurrent caller of this backend
+// (tasks carry their own WaitGroup), and workers never block on another
+// task's completion, so interleaved dispatches cannot deadlock.
+func (p *Parallel) ensurePool() {
+	p.once.Do(func() {
+		p.tasks = make(chan task, 2*p.workers)
+		for i := 0; i < p.workers-1; i++ {
+			go func() {
+				for t := range p.tasks {
+					t.run()
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// dispatch fans t out over [0,n) in `chunks` contiguous ranges: chunks-1 go
+// to the pool, the first runs inline. Chunk boundaries depend only on n and
+// chunks, and every kernel accumulates in ascending order within its rows,
+// so results are bit-identical to Serial.
+func (p *Parallel) dispatch(n, chunks int, t task) {
+	if chunks > p.workers {
+		chunks = p.workers
 	}
-	var wg sync.WaitGroup
-	wg.Add(chunks)
-	for c := 0; c < chunks; c++ {
-		i0 := c * m / chunks
-		i1 := (c + 1) * m / chunks
-		go func(i0, i1 int) {
-			defer wg.Done()
-			fn(i0, i1)
-		}(i0, i1)
+	if chunks <= 1 {
+		t.i0, t.i1 = 0, n
+		t.run()
+		return
 	}
+	p.ensurePool()
+	wg := wgPool.Get().(*sync.WaitGroup)
+	t.wg = wg
+	wg.Add(chunks - 1)
+	for c := 1; c < chunks; c++ {
+		t.i0 = c * n / chunks
+		t.i1 = (c + 1) * n / chunks
+		p.tasks <- t
+	}
+	t.i0, t.i1 = 0, n/chunks
+	t.run()
 	wg.Wait()
+	wgPool.Put(wg)
 }
 
 // MatMul implements Backend.
@@ -245,7 +321,7 @@ func (p *Parallel) MatMul(dst, a, b, rowBias []float64, m, k, n int) {
 		matMulRows(dst, a, b, rowBias, k, n, 0, m)
 		return
 	}
-	p.rows(m, func(i0, i1 int) { matMulRows(dst, a, b, rowBias, k, n, i0, i1) })
+	p.dispatch(m, m, task{op: opMatMul, dst: dst, a: a, b: b, bias: rowBias, k: k, n: n})
 }
 
 // MatMulTransA implements Backend.
@@ -254,7 +330,7 @@ func (p *Parallel) MatMulTransA(dst, a, b []float64, k, m, n int, accumulate boo
 		matMulTransARows(dst, a, b, k, m, n, 0, m, accumulate)
 		return
 	}
-	p.rows(m, func(i0, i1 int) { matMulTransARows(dst, a, b, k, m, n, i0, i1, accumulate) })
+	p.dispatch(m, m, task{op: opTransA, dst: dst, a: a, b: b, k: k, m: m, n: n, acc: accumulate})
 }
 
 // MatMulTransB implements Backend.
@@ -263,7 +339,7 @@ func (p *Parallel) MatMulTransB(dst, a, b, colBias []float64, m, k, n int, accum
 		matMulTransBRows(dst, a, b, colBias, k, n, 0, m, accumulate)
 		return
 	}
-	p.rows(m, func(i0, i1 int) { matMulTransBRows(dst, a, b, colBias, k, n, i0, i1, accumulate) })
+	p.dispatch(m, m, task{op: opTransB, dst: dst, a: a, b: b, bias: colBias, k: k, n: n, acc: accumulate})
 }
 
 // Axpy implements Backend.
@@ -273,7 +349,7 @@ func (p *Parallel) Axpy(alpha float64, src, dst []float64) {
 		axpyRange(alpha, src, dst, 0, n)
 		return
 	}
-	p.rows(n, func(i0, i1 int) { axpyRange(alpha, src, dst, i0, i1) })
+	p.dispatch(n, n, task{op: opAxpy, a: src, dst: dst, alpha: alpha})
 }
 
 // For implements Backend.
@@ -292,17 +368,11 @@ func (p *Parallel) For(n, grain int, fn func(i0, i1 int)) {
 	if most := (n + grain - 1) / grain; chunks > most {
 		chunks = most
 	}
-	var wg sync.WaitGroup
-	wg.Add(chunks)
-	for c := 0; c < chunks; c++ {
-		i0 := c * n / chunks
-		i1 := (c + 1) * n / chunks
-		go func(i0, i1 int) {
-			defer wg.Done()
-			fn(i0, i1)
-		}(i0, i1)
+	if chunks <= 1 {
+		fn(0, n)
+		return
 	}
-	wg.Wait()
+	p.dispatch(n, chunks, task{op: opFor, fn: fn})
 }
 
 // BudgetWorkers splits the machine between outer task-level parallelism

@@ -237,3 +237,85 @@ func TestBudgetWorkers(t *testing.T) {
 		t.Fatalf("BudgetWorkers(0) = %d", w)
 	}
 }
+
+// TestParallelForCoversRange checks the grain-deriving dispatch visits every
+// index exactly once across contexts, worker counts and per-item costs —
+// including the nil-context inline path.
+func TestParallelForCoversRange(t *testing.T) {
+	ctxs := []*Context{nil, NewContextFor(1, nil)}
+	for _, w := range workerCounts {
+		ctxs = append(ctxs, NewContextFor(w, nil))
+	}
+	for _, ctx := range ctxs {
+		for _, n := range []int{0, 1, 7, 64, 501} {
+			for _, flops := range []int{1, 8, 1 << 20} {
+				var mu sync.Mutex
+				seen := make([]int, n)
+				ctx.ParallelFor(n, flops, func(i0, i1 int) {
+					mu.Lock()
+					defer mu.Unlock()
+					for i := i0; i < i1; i++ {
+						seen[i]++
+					}
+				})
+				for i, c := range seen {
+					if c != 1 {
+						t.Fatalf("workers=%d n=%d flops=%d: index %d visited %d times",
+							ctx.Workers(), n, flops, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForGrainFloor checks cheap loops do not fan out: with a
+// per-item cost far below the parallel work floor and n under the derived
+// grain, the whole range must arrive as a single chunk.
+func TestParallelForGrainFloor(t *testing.T) {
+	ctx := NewContextFor(4, nil)
+	calls := 0
+	ctx.ParallelFor(64, 1, func(i0, i1 int) {
+		calls++
+		if i0 != 0 || i1 != 64 {
+			t.Fatalf("cheap loop split into [%d,%d)", i0, i1)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("cheap 64-element loop dispatched %d chunks, want 1", calls)
+	}
+}
+
+// TestParallelDispatchAllocs pins the worker-pool dispatch cost: once the
+// pool and a caller's closure are warm, For/ParallelFor and the GEMMs must
+// not allocate — the property the allocation-free training step rests on.
+func TestParallelDispatchAllocs(t *testing.T) {
+	ctx := NewContextFor(4, nil)
+	data := make([]float64, 1<<14)
+	fn := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			data[i] += 1
+		}
+	}
+	ctx.ParallelFor(len(data), 8, fn) // warm pool goroutines and WaitGroups
+	allocs := testing.AllocsPerRun(20, func() {
+		ctx.ParallelFor(len(data), 8, fn)
+	})
+	// The runtime may lazily grow a sudog or two on blocked channel sends;
+	// everything under the package's control is allocation-free.
+	if allocs > 1 {
+		t.Errorf("warm ParallelFor dispatch allocates %.1f times, want ≤1", allocs)
+	}
+
+	m, k, n := 32, 64, 48
+	a := make([]float64, m*k)
+	b := make([]float64, k*n)
+	dst := make([]float64, m*n)
+	ctx.MatMul(dst, a, b, nil, m, k, n)
+	allocs = testing.AllocsPerRun(20, func() {
+		ctx.MatMul(dst, a, b, nil, m, k, n)
+	})
+	if allocs > 1 {
+		t.Errorf("warm parallel MatMul allocates %.1f times, want ≤1", allocs)
+	}
+}

@@ -135,6 +135,29 @@ func (c *Context) For(n, grain int, fn func(i0, i1 int)) {
 	c.Backend().For(n, grain, fn)
 }
 
+// ParallelFor runs fn over disjoint index ranges covering [0,n), deriving
+// the dispatch grain from flopsPerItem — the caller's estimate of the
+// arithmetic work per index. The grain is sized so one chunk carries at
+// least the backend's parallel work floor: cheap loops (ReLU, mask
+// application) only fan out when the tensor is large enough to amortize the
+// goroutine dispatch, while expensive per-item bodies (a pooling window, a
+// batch-norm channel) parallelize at small n.
+//
+// Chunks are element-disjoint and every index is visited exactly once, so
+// any fn whose writes depend only on its own indices produces bit-identical
+// results at every worker count — the property the elementwise training
+// kernels in internal/nn rely on.
+func (c *Context) ParallelFor(n, flopsPerItem int, fn func(i0, i1 int)) {
+	if flopsPerItem < 1 {
+		flopsPerItem = 1
+	}
+	grain := parallelFlops / flopsPerItem
+	if grain < 1 {
+		grain = 1
+	}
+	c.Backend().For(n, grain, fn)
+}
+
 // pool recycles float64 scratch buffers in power-of-two size classes. The
 // retained set is bounded per class so one oversized batch cannot pin
 // memory for the rest of a search. Buffers come back from Get zero-filled —

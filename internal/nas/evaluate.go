@@ -194,6 +194,11 @@ type TrainEvaluator struct {
 	// of a profiled test-batch forward — the timings that back the
 	// layer-wise energy model's sanity checks.
 	Obs *obs.Recorder
+	// Metrics, when set, shares the nn.arena_hits / nn.arena_misses
+	// counters across the per-candidate step arenas, so a search run
+	// reports fleet-wide training-buffer reuse. Leave nil to let each
+	// candidate's Fit install an unobserved arena.
+	Metrics *obs.Registry
 
 	mu      sync.Mutex
 	cache   map[uint64]materialized
@@ -312,9 +317,15 @@ func (e *TrainEvaluator) evaluate(c, parent *Candidate) (Result, error) {
 			}
 		}
 	}
+	var arena *nn.Arena
+	if e.Metrics != nil {
+		// Per-candidate arena (arenas are single-owner), shared counters.
+		arena = nn.NewArena(e.Metrics)
+	}
 	net.Fit(data.trainX, data.trainY, nn.TrainConfig{
 		Epochs: epochs, BatchSize: bs, LR: lr, Momentum: 0.9, Seed: e.Seed,
 		Compute: e.Compute,
+		Arena:   arena,
 		Obs:     e.Obs,
 	})
 	if e.WarmStart {

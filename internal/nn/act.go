@@ -3,12 +3,21 @@ package nn
 import (
 	"math/rand"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
-	mask []bool
+	ctx   *compute.Context
+	arena *Arena
+	mask  []bool
+
+	// Current-dispatch operands plus the cached range closures: binding the
+	// operands through fields lets one closure serve every step, so the
+	// steady-state forward/backward allocates nothing.
+	curX, curOut, curGrad, curDX []float64
+	fwdFn, bwdFn                 func(i0, i1 int)
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -16,6 +25,12 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Kind implements Layer.
 func (r *ReLU) Kind() LayerKind { return KindReLU }
+
+// SetCompute implements ComputeUser.
+func (r *ReLU) SetCompute(ctx *compute.Context) { r.ctx = ctx }
+
+// SetArena implements ArenaUser.
+func (r *ReLU) SetArena(a *Arena) { r.arena = a }
 
 // OutShape implements Layer.
 func (r *ReLU) OutShape(in []int) []int {
@@ -27,27 +42,48 @@ func (r *ReLU) OutShape(in []int) []int {
 // Init implements Layer (no parameters).
 func (r *ReLU) Init(rng *rand.Rand) {}
 
-// Forward implements Layer.
-func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := tensor.New(x.Shape...)
-	r.mask = make([]bool, len(x.Data))
-	for i, v := range x.Data {
-		if v > 0 {
-			out.Data[i] = v
-			r.mask[i] = true
+// forwardRange applies the activation on [i0, i1).
+func (r *ReLU) forwardRange(i0, i1 int) {
+	x, out, mask := r.curX, r.curOut, r.mask
+	for i := i0; i < i1; i++ {
+		if v := x[i]; v > 0 {
+			out[i] = v
+			mask[i] = true
 		}
 	}
+}
+
+// backwardRange applies the mask on [i0, i1).
+func (r *ReLU) backwardRange(i0, i1 int) {
+	grad, dx, mask := r.curGrad, r.curDX, r.mask
+	for i := i0; i < i1; i++ {
+		if mask[i] {
+			dx[i] = grad[i]
+		}
+	}
+}
+
+// Forward implements Layer. The loop is element-disjoint, so it fans out
+// over the compute backend bit-identically at any worker count.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := r.arena.tensor(r, slotOut, x.Shape...)
+	r.mask = r.arena.boolsBuf(r, slotMask, len(x.Data))
+	r.curX, r.curOut = x.Data, out.Data
+	if r.fwdFn == nil {
+		r.fwdFn = r.forwardRange
+	}
+	r.ctx.ParallelFor(len(x.Data), 1, r.fwdFn)
 	return out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(grad.Shape...)
-	for i, m := range r.mask {
-		if m {
-			dx.Data[i] = grad.Data[i]
-		}
+	dx := r.arena.tensor(r, slotDX, grad.Shape...)
+	r.curGrad, r.curDX = grad.Data, dx.Data
+	if r.bwdFn == nil {
+		r.bwdFn = r.backwardRange
 	}
+	r.ctx.ParallelFor(len(r.mask), 1, r.bwdFn)
 	return dx
 }
 
@@ -60,6 +96,7 @@ func (r *ReLU) MACs(in []int) int64 { return 0 }
 // Flatten reshapes (N, C, H, W) to (N, C·H·W). It exists so architecture
 // specs can express the conv→dense transition explicitly.
 type Flatten struct {
+	arena  *Arena
 	lastIn []int
 }
 
@@ -69,6 +106,9 @@ func NewFlatten() *Flatten { return &Flatten{} }
 // Kind implements Layer.
 func (f *Flatten) Kind() LayerKind { return KindFlatten }
 
+// SetArena implements ArenaUser.
+func (f *Flatten) SetArena(a *Arena) { f.arena = a }
+
 // OutShape implements Layer.
 func (f *Flatten) OutShape(in []int) []int { return []int{shapeVolume(in)} }
 
@@ -77,15 +117,14 @@ func (f *Flatten) Init(rng *rand.Rand) {}
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	f.lastIn = make([]int, len(x.Shape))
-	copy(f.lastIn, x.Shape)
+	f.lastIn = append(f.lastIn[:0], x.Shape...)
 	n := x.Shape[0]
-	return x.Reshape(n, len(x.Data)/n)
+	return f.arena.view(f, slotView, x.Data, n, len(x.Data)/n)
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.lastIn...)
+	return f.arena.view(f, slotView2, grad.Data, f.lastIn...)
 }
 
 // Params implements Layer.

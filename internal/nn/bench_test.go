@@ -114,15 +114,45 @@ func benchTrainStepWithCompute(b *testing.B, ctx *compute.Context) {
 }
 
 // BenchmarkTrainStepCNNBackend compares the compute backends on the same
-// training step: serial is the reference, parallel-N adds kernel workers.
-// The backends are bit-identical, so the ratio is pure speedup.
+// training step: serial is the reference, workersN adds kernel workers.
+// The backends are bit-identical, so the ratio is pure speedup. (Sub-names
+// avoid a trailing -N, which cmd/benchjson would strip as a GOMAXPROCS
+// suffix.)
 func BenchmarkTrainStepCNNBackend(b *testing.B) {
 	b.Run("serial", func(b *testing.B) {
 		benchTrainStepWithCompute(b, compute.NewContextFor(1, nil))
 	})
 	for _, workers := range []int{2, 4} {
-		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
 			benchTrainStepWithCompute(b, compute.NewContextFor(workers, nil))
+		})
+	}
+}
+
+// benchTrainStepArena is the steady-state Fit minibatch step: arena
+// installed, params hoisted, loss scratch and every layer buffer reused.
+func benchTrainStepArena(b *testing.B, workers int) {
+	net, x, y := benchConvNet(b)
+	net.SetCompute(compute.NewContextFor(workers, nil))
+	net.SetArena(NewArena(nil))
+	params := net.Params()
+	opt := &SGD{LR: 0.01, Momentum: 0.9}
+	cfg := &TrainConfig{ClipNorm: 5}
+	net.trainStep(x, y, params, opt, cfg) // warm the arena
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.trainStep(x, y, params, opt, cfg)
+	}
+}
+
+// BenchmarkTrainStepArena measures the allocation-free steady-state training
+// step at several kernel worker counts; allocs/op is the headline number
+// (the pre-arena step allocated every layer buffer per minibatch).
+func BenchmarkTrainStepArena(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			benchTrainStepArena(b, workers)
 		})
 	}
 }

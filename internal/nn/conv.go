@@ -29,10 +29,18 @@ type Conv2D struct {
 	B                         *Param // (OutC)
 
 	ctx            *compute.Context
+	arena          *Arena
 	cols           []float64 // batched im2col scratch, (InC*K*K, N*OH*OW)
-	lastIn         []int     // per-sample input shape
+	lastH, lastW   int       // spatial input extent of the last Forward
 	lastN          int       // batch size of the last Forward
 	lastOH, lastOW int
+
+	// Current-dispatch operands + cached range closures (see ReLU): one
+	// closure per fan-out site, allocated on first use and reused for every
+	// subsequent step.
+	curIn, curOut, curOMat, curGrad, curGMat, curDCols, curDX []float64
+
+	im2colFn, scatterFn, gatherFn, dbFn, col2imFn func(i0, i1 int)
 }
 
 // NewConv2D returns a convolution layer; call Init before training.
@@ -49,6 +57,9 @@ func (c *Conv2D) Kind() LayerKind { return KindConv }
 
 // SetCompute implements ComputeUser.
 func (c *Conv2D) SetCompute(ctx *compute.Context) { c.ctx = ctx }
+
+// SetArena implements ArenaUser.
+func (c *Conv2D) SetArena(a *Arena) { c.arena = a }
 
 // OutShape implements Layer.
 func (c *Conv2D) OutShape(in []int) []int {
@@ -123,6 +134,69 @@ func col2imFrom(src []float64, stride, colOff int, dst []float64, cc, h, w, k, c
 	}
 }
 
+// im2colRange lowers samples [i0, i1) into their column blocks.
+func (c *Conv2D) im2colRange(i0, i1 int) {
+	h, w, oh, ow := c.lastH, c.lastW, c.lastOH, c.lastOW
+	span := oh * ow
+	width := c.lastN * span
+	sampleIn := c.InC * h * w
+	for i := i0; i < i1; i++ {
+		im2colInto(c.cols, width, i*span, c.curIn[i*sampleIn:(i+1)*sampleIn],
+			c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
+	}
+}
+
+// scatterRange copies samples [i0, i1) of the (OutC, N·OH·OW) GEMM output
+// back to NCHW.
+func (c *Conv2D) scatterRange(i0, i1 int) {
+	span := c.lastOH * c.lastOW
+	width := c.lastN * span
+	for i := i0; i < i1; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			copy(c.curOut[(i*c.OutC+oc)*span:(i*c.OutC+oc+1)*span],
+				c.curOMat[oc*width+i*span:oc*width+(i+1)*span])
+		}
+	}
+}
+
+// gatherRange transposes samples [i0, i1) of the NCHW gradient into the
+// (OutC, N·OH·OW) layout.
+func (c *Conv2D) gatherRange(i0, i1 int) {
+	span := c.lastOH * c.lastOW
+	width := c.lastN * span
+	for i := i0; i < i1; i++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			copy(c.curGMat[oc*width+i*span:oc*width+(i+1)*span],
+				c.curGrad[(i*c.OutC+oc)*span:(i*c.OutC+oc+1)*span])
+		}
+	}
+}
+
+// biasGradRange accumulates db for output channels [o0, o1), each row
+// summed left to right.
+func (c *Conv2D) biasGradRange(o0, o1 int) {
+	width := c.lastN * c.lastOH * c.lastOW
+	for oc := o0; oc < o1; oc++ {
+		s := 0.0
+		for _, v := range c.curGMat[oc*width : (oc+1)*width] {
+			s += v
+		}
+		c.B.Grad.Data[oc] += s
+	}
+}
+
+// col2imRange scatters samples [i0, i1) of the column gradient back onto dx.
+func (c *Conv2D) col2imRange(i0, i1 int) {
+	h, w, oh, ow := c.lastH, c.lastW, c.lastOH, c.lastOW
+	span := oh * ow
+	width := c.lastN * span
+	sampleIn := c.InC * h * w
+	for i := i0; i < i1; i++ {
+		col2imFrom(c.curDCols, width, i*span, c.curDX[i*sampleIn:(i+1)*sampleIn],
+			c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
+	}
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
@@ -137,28 +211,23 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		c.ctx.Put(c.cols)
 	}
 	c.cols = c.ctx.Get(rows * width)
-	c.lastIn = []int{c.InC, h, w}
+	c.lastH, c.lastW = h, w
 	c.lastN, c.lastOH, c.lastOW = n, oh, ow
-	sampleIn := c.InC * h * w
+	if c.im2colFn == nil {
+		c.im2colFn = c.im2colRange
+		c.scatterFn = c.scatterRange
+	}
 	// Batched im2col: sample i owns the disjoint column block
 	// [i·span, (i+1)·span), so the lowering parallelizes deterministically.
-	c.ctx.For(n, 1, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			im2colInto(c.cols, width, i*span, x.Data[i*sampleIn:(i+1)*sampleIn],
-				c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
-		}
-	})
+	c.curIn = x.Data
+	c.ctx.For(n, 1, c.im2colFn)
 	// One GEMM for the whole batch, bias fused as the row start value.
 	oMat := c.ctx.Get(c.OutC * width)
 	c.ctx.MatMul(oMat, c.W.Value.Data, c.cols, c.B.Value.Data, c.OutC, rows, width)
-	// Scatter (OutC, N·OH·OW) back to NCHW.
-	out := tensor.New(n, c.OutC, oh, ow)
-	for i := 0; i < n; i++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			copy(out.Data[(i*c.OutC+oc)*span:(i*c.OutC+oc+1)*span],
-				oMat[oc*width+i*span:oc*width+(i+1)*span])
-		}
-	}
+	// Scatter (OutC, N·OH·OW) back to NCHW; each sample's rows are disjoint.
+	out := c.arena.tensor(c, slotOut, n, c.OutC, oh, ow)
+	c.curOMat, c.curOut = oMat, out.Data
+	c.ctx.ParallelFor(n, c.OutC*span, c.scatterFn)
 	c.ctx.Put(oMat)
 	return out
 }
@@ -166,40 +235,31 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, oh, ow := grad.Shape[0], grad.Shape[2], grad.Shape[3]
-	h, w := c.lastIn[1], c.lastIn[2]
+	h, w := c.lastH, c.lastW
 	rows := c.InC * c.K * c.K
 	span := oh * ow
 	width := n * span
-	// Gather grad (N, OutC, OH, OW) into (OutC, N·OH·OW), matching the
-	// column layout of the stored im2col scratch.
-	gMat := c.ctx.Get(c.OutC * width)
-	for i := 0; i < n; i++ {
-		for oc := 0; oc < c.OutC; oc++ {
-			copy(gMat[oc*width+i*span:oc*width+(i+1)*span],
-				grad.Data[(i*c.OutC+oc)*span:(i*c.OutC+oc+1)*span])
-		}
+	if c.gatherFn == nil {
+		c.gatherFn = c.gatherRange
+		c.dbFn = c.biasGradRange
+		c.col2imFn = c.col2imRange
 	}
+	// Gather grad (N, OutC, OH, OW) into (OutC, N·OH·OW), matching the
+	// column layout of the stored im2col scratch; disjoint per sample.
+	gMat := c.ctx.Get(c.OutC * width)
+	c.curGrad, c.curGMat = grad.Data, gMat
+	c.ctx.ParallelFor(n, c.OutC*span, c.gatherFn)
 	// dW += g × colsᵀ, accumulated straight into the gradient tensor.
 	c.ctx.MatMulTransB(c.W.Grad.Data, gMat, c.cols, nil, c.OutC, width, rows, true)
-	// db += row sums of g.
-	for oc := 0; oc < c.OutC; oc++ {
-		s := 0.0
-		for _, v := range gMat[oc*width : (oc+1)*width] {
-			s += v
-		}
-		c.B.Grad.Data[oc] += s
-	}
+	// db += row sums of g. Each worker owns whole output channels, and sums
+	// each row left to right, so the addition order matches serial exactly.
+	c.ctx.ParallelFor(c.OutC, 2*width, c.dbFn)
 	// dcols = Wᵀ × g, then scatter every sample's column block back.
 	dcols := c.ctx.Get(rows * width)
 	c.ctx.MatMulTransA(dcols, c.W.Value.Data, gMat, c.OutC, rows, width, false)
-	dx := tensor.New(n, c.InC, h, w)
-	sampleIn := c.InC * h * w
-	c.ctx.For(n, 1, func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			col2imFrom(dcols, width, i*span, dx.Data[i*sampleIn:(i+1)*sampleIn],
-				c.InC, h, w, c.K, c.Stride, c.Pad, oh, ow)
-		}
-	})
+	dx := c.arena.tensor(c, slotDX, n, c.InC, h, w)
+	c.curDCols, c.curDX = dcols, dx.Data
+	c.ctx.For(n, 1, c.col2imFn)
 	c.ctx.Put(dcols)
 	c.ctx.Put(gMat)
 	c.ctx.Put(c.cols)
@@ -232,7 +292,13 @@ type DepthwiseConv2D struct {
 	B                 *Param // (C)
 
 	ctx   *compute.Context
+	arena *Arena
 	lastX *tensor.Tensor
+
+	// Current-dispatch operands + cached range closures (see ReLU).
+	curOut, curGrad, curDX []float64
+	lastOH, lastOW         int
+	fwdFn, bwdFn           func(i0, i1 int)
 }
 
 // NewDepthwiseConv2D returns a depthwise convolution layer.
@@ -245,6 +311,9 @@ func (c *DepthwiseConv2D) Kind() LayerKind { return KindDWConv }
 
 // SetCompute implements ComputeUser.
 func (c *DepthwiseConv2D) SetCompute(ctx *compute.Context) { c.ctx = ctx }
+
+// SetArena implements ArenaUser.
+func (c *DepthwiseConv2D) SetArena(a *Arena) { c.arena = a }
 
 // OutShape implements Layer.
 func (c *DepthwiseConv2D) OutShape(in []int) []int {
@@ -265,24 +334,58 @@ func (c *DepthwiseConv2D) Init(rng *rand.Rand) {
 	c.B.Value.Zero()
 }
 
-// Forward implements Layer.
-func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+// forwardBlocks convolves (sample, channel) blocks [b0, b1).
+func (c *DepthwiseConv2D) forwardBlocks(b0, b1 int) {
+	x := c.lastX
+	h, w := x.Shape[2], x.Shape[3]
+	oh, ow := c.lastOH, c.lastOW
+	for blk := b0; blk < b1; blk++ {
+		i, ch := blk/c.C, blk%c.C
+		src := x.Data[(i*c.C+ch)*h*w:]
+		dst := c.curOut[(i*c.C+ch)*oh*ow:]
+		wrow := c.W.Value.Data[ch*c.K*c.K:]
+		b := c.B.Value.Data[ch]
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				s := b
+				for ky := 0; ky < c.K; ky++ {
+					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for kx := 0; kx < c.K; kx++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix < 0 || ix >= w {
+							continue
+						}
+						s += wrow[ky*c.K+kx] * src[iy*w+ix]
+					}
+				}
+				dst[oy*ow+ox] = s
+			}
+		}
+	}
+}
+
+// backwardChannels accumulates gradients for channels [c0, c1).
+func (c *DepthwiseConv2D) backwardChannels(c0, c1 int) {
+	x := c.lastX
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
-	oh := convOutDim(h, c.K, c.Stride, c.Pad)
-	ow := convOutDim(w, c.K, c.Stride, c.Pad)
-	c.lastX = x
-	out := tensor.New(n, c.C, oh, ow)
-	// Each (sample, channel) block writes a disjoint output slice.
-	c.ctx.For(n*c.C, 1, func(b0, b1 int) {
-		for blk := b0; blk < b1; blk++ {
-			i, ch := blk/c.C, blk%c.C
+	oh, ow := c.lastOH, c.lastOW
+	for ch := c0; ch < c1; ch++ {
+		wrow := c.W.Value.Data[ch*c.K*c.K:]
+		dwrow := c.W.Grad.Data[ch*c.K*c.K:]
+		for i := 0; i < n; i++ {
 			src := x.Data[(i*c.C+ch)*h*w:]
-			dst := out.Data[(i*c.C+ch)*oh*ow:]
-			wrow := c.W.Value.Data[ch*c.K*c.K:]
-			b := c.B.Value.Data[ch]
+			g := c.curGrad[(i*c.C+ch)*oh*ow:]
+			dsrc := c.curDX[(i*c.C+ch)*h*w:]
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
-					s := b
+					gv := g[oy*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					c.B.Grad.Data[ch] += gv
 					for ky := 0; ky < c.K; ky++ {
 						iy := oy*c.Stride + ky - c.Pad
 						if iy < 0 || iy >= h {
@@ -293,14 +396,30 @@ func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 							if ix < 0 || ix >= w {
 								continue
 							}
-							s += wrow[ky*c.K+kx] * src[iy*w+ix]
+							dwrow[ky*c.K+kx] += gv * src[iy*w+ix]
+							dsrc[iy*w+ix] += gv * wrow[ky*c.K+kx]
 						}
 					}
-					dst[oy*ow+ox] = s
 				}
 			}
 		}
-	})
+	}
+}
+
+// Forward implements Layer.
+func (c *DepthwiseConv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
+	oh := convOutDim(h, c.K, c.Stride, c.Pad)
+	ow := convOutDim(w, c.K, c.Stride, c.Pad)
+	c.lastX = x
+	c.lastOH, c.lastOW = oh, ow
+	out := c.arena.tensor(c, slotOut, n, c.C, oh, ow)
+	c.curOut = out.Data
+	if c.fwdFn == nil {
+		c.fwdFn = c.forwardBlocks
+	}
+	// Each (sample, channel) block writes a disjoint output slice.
+	c.ctx.ParallelFor(n*c.C, 2*oh*ow*c.K*c.K, c.fwdFn)
 	return out
 }
 
@@ -309,44 +428,16 @@ func (c *DepthwiseConv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := c.lastX
 	n, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	oh, ow := grad.Shape[2], grad.Shape[3]
-	dx := tensor.New(n, c.C, h, w)
+	dx := c.arena.tensor(c, slotDX, n, c.C, h, w)
+	c.curGrad, c.curDX = grad.Data, dx.Data
+	c.lastOH, c.lastOW = oh, ow
+	if c.bwdFn == nil {
+		c.bwdFn = c.backwardChannels
+	}
 	// Partition by channel: each worker owns its channels' weight and bias
 	// gradient rows, and visits samples in ascending order, so every
 	// accumulator sees the same addition sequence as the serial kernel.
-	c.ctx.For(c.C, 1, func(c0, c1 int) {
-		for ch := c0; ch < c1; ch++ {
-			wrow := c.W.Value.Data[ch*c.K*c.K:]
-			dwrow := c.W.Grad.Data[ch*c.K*c.K:]
-			for i := 0; i < n; i++ {
-				src := x.Data[(i*c.C+ch)*h*w:]
-				g := grad.Data[(i*c.C+ch)*oh*ow:]
-				dsrc := dx.Data[(i*c.C+ch)*h*w:]
-				for oy := 0; oy < oh; oy++ {
-					for ox := 0; ox < ow; ox++ {
-						gv := g[oy*ow+ox]
-						if gv == 0 {
-							continue
-						}
-						c.B.Grad.Data[ch] += gv
-						for ky := 0; ky < c.K; ky++ {
-							iy := oy*c.Stride + ky - c.Pad
-							if iy < 0 || iy >= h {
-								continue
-							}
-							for kx := 0; kx < c.K; kx++ {
-								ix := ox*c.Stride + kx - c.Pad
-								if ix < 0 || ix >= w {
-									continue
-								}
-								dwrow[ky*c.K+kx] += gv * src[iy*w+ix]
-								dsrc[iy*w+ix] += gv * wrow[ky*c.K+kx]
-							}
-						}
-					}
-				}
-			}
-		}
-	})
+	c.ctx.ParallelFor(c.C, 4*n*oh*ow*c.K*c.K, c.bwdFn)
 	return dx
 }
 

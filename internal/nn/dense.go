@@ -17,7 +17,13 @@ type Dense struct {
 	B       *Param // (Out)
 
 	ctx   *compute.Context
+	arena *Arena
 	lastX *tensor.Tensor
+
+	// Bias-gradient dispatch operands + cached range closure (see ReLU).
+	curGrad []float64
+	curN    int
+	dbFn    func(j0, j1 int)
 }
 
 // NewDense returns a dense layer with uninitialized parameters;
@@ -31,6 +37,9 @@ func (d *Dense) Kind() LayerKind { return KindDense }
 
 // SetCompute implements ComputeUser.
 func (d *Dense) SetCompute(ctx *compute.Context) { d.ctx = ctx }
+
+// SetArena implements ArenaUser.
+func (d *Dense) SetArena(a *Arena) { d.arena = a }
 
 // OutShape implements Layer.
 func (d *Dense) OutShape(in []int) []int {
@@ -50,12 +59,15 @@ func (d *Dense) Init(rng *rand.Rand) {
 // Forward implements Layer. A higher-rank input is flattened per sample.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n := x.Shape[0]
-	x2 := x.Reshape(n, len(x.Data)/n)
+	x2 := x
+	if len(x.Shape) != 2 {
+		x2 = d.arena.view(d, slotView, x.Data, n, len(x.Data)/n)
+	}
 	if x2.Shape[1] != d.In {
 		panic(fmt.Sprintf("nn: Dense input width %d, want %d", x2.Shape[1], d.In))
 	}
 	d.lastX = x2
-	out := tensor.New(n, d.Out)
+	out := d.arena.tensor(d, slotOut, n, d.Out)
 	// y = x·Wᵀ + b, bias fused into the GEMM epilogue.
 	d.ctx.MatMulTransB(out.Data, x2.Data, d.W.Value.Data, d.B.Value.Data, n, d.In, d.Out, false)
 	return out
@@ -66,17 +78,29 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Shape[0]
 	// dW (Out, In) += gradᵀ × x, accumulated straight into the gradient.
 	d.ctx.MatMulTransA(d.W.Grad.Data, grad.Data, d.lastX.Data, n, d.Out, d.In, true)
-	// db += column sums of grad
-	for i := 0; i < n; i++ {
-		row := grad.Data[i*d.Out : (i+1)*d.Out]
-		for j, g := range row {
-			d.B.Grad.Data[j] += g
-		}
+	// db += column sums of grad. Partitioned by output column: each worker
+	// owns its columns' accumulators and walks samples in ascending order,
+	// so every sum sees the serial addition sequence.
+	d.curGrad, d.curN = grad.Data, n
+	if d.dbFn == nil {
+		d.dbFn = d.biasGradRange
 	}
+	d.ctx.ParallelFor(d.Out, 2*n, d.dbFn)
 	// dx (N, In) = grad × W
-	dx := tensor.New(n, d.In)
+	dx := d.arena.tensor(d, slotDX, n, d.In)
 	d.ctx.MatMul(dx.Data, grad.Data, d.W.Value.Data, nil, n, d.Out, d.In)
 	return dx
+}
+
+// biasGradRange accumulates db columns [j0, j1), samples ascending.
+func (d *Dense) biasGradRange(j0, j1 int) {
+	grad, db := d.curGrad, d.B.Grad.Data
+	for i := 0; i < d.curN; i++ {
+		row := grad[i*d.Out : (i+1)*d.Out]
+		for j := j0; j < j1; j++ {
+			db[j] += row[j]
+		}
+	}
 }
 
 // Params implements Layer.

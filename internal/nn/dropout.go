@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
@@ -15,8 +16,14 @@ type Dropout struct {
 	// P is the drop probability in [0, 1).
 	P float64
 
-	rng  *rand.Rand
-	mask []float64
+	ctx   *compute.Context
+	arena *Arena
+	rng   *rand.Rand
+	mask  []float64
+
+	// Backward operands + cached range closure (see ReLU).
+	curGrad, curDX []float64
+	bwdFn          func(i0, i1 int)
 }
 
 // NewDropout returns a dropout layer with the given drop probability.
@@ -30,6 +37,12 @@ func NewDropout(p float64) *Dropout {
 // Kind implements Layer (dropout shares ReLU's zero-cost accounting).
 func (d *Dropout) Kind() LayerKind { return KindDropout }
 
+// SetCompute implements ComputeUser.
+func (d *Dropout) SetCompute(ctx *compute.Context) { d.ctx = ctx }
+
+// SetArena implements ArenaUser.
+func (d *Dropout) SetArena(a *Arena) { d.arena = a }
+
 // OutShape implements Layer.
 func (d *Dropout) OutShape(in []int) []int {
 	out := make([]int, len(in))
@@ -42,7 +55,8 @@ func (d *Dropout) Init(rng *rand.Rand) {
 	d.rng = rand.New(rand.NewSource(rng.Int63()))
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Mask generation stays serial: the rng stream
+// must be consumed in element order for seeded runs to reproduce.
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P == 0 {
 		d.mask = nil
@@ -51,27 +65,39 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if d.rng == nil {
 		panic("nn: Dropout used before Init")
 	}
-	out := tensor.New(x.Shape...)
-	d.mask = make([]float64, len(x.Data))
+	out := d.arena.tensor(d, slotOut, x.Shape...)
+	mask := d.arena.floats(d, slotMask, len(x.Data))
+	d.mask = mask
 	scale := 1 / (1 - d.P)
 	for i, v := range x.Data {
 		if d.rng.Float64() >= d.P {
-			d.mask[i] = scale
+			mask[i] = scale
 			out.Data[i] = v * scale
 		}
 	}
 	return out
 }
 
-// Backward implements Layer.
+// backwardRange applies the mask on [i0, i1).
+func (d *Dropout) backwardRange(i0, i1 int) {
+	grad, dx, mask := d.curGrad, d.curDX, d.mask
+	for i := i0; i < i1; i++ {
+		dx[i] = grad[i] * mask[i]
+	}
+}
+
+// Backward implements Layer: mask application is element-disjoint, so it
+// fans out over the compute backend bit-identically.
 func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.mask == nil {
 		return grad
 	}
-	dx := tensor.New(grad.Shape...)
-	for i, m := range d.mask {
-		dx.Data[i] = grad.Data[i] * m
+	dx := d.arena.tensor(d, slotDX, grad.Shape...)
+	d.curGrad, d.curDX = grad.Data, dx.Data
+	if d.bwdFn == nil {
+		d.bwdFn = d.backwardRange
 	}
+	d.ctx.ParallelFor(len(d.mask), 2, d.bwdFn)
 	return dx
 }
 

@@ -106,12 +106,26 @@ type Layer interface {
 }
 
 // ComputeUser is implemented by layers whose kernels can run on a pluggable
-// compute backend (Conv2D, DepthwiseConv2D, Dense). Network.SetCompute and
-// TrainConfig.Compute install one context on every such layer; layers with
-// no context fall back to the serial backend with fresh allocations, so the
-// zero value of every layer keeps working unchanged.
+// compute backend. The GEMM layers (Conv2D, DepthwiseConv2D, Dense) route
+// their matrix kernels through it, and the elementwise layers (ReLU,
+// pooling, BatchNorm, Dropout) route their loops through the context's
+// grain-aware ParallelFor. Network.SetCompute and TrainConfig.Compute
+// install one context on every such layer; layers with no context fall back
+// to the serial backend with fresh allocations, so the zero value of every
+// layer keeps working unchanged.
 type ComputeUser interface {
 	SetCompute(ctx *compute.Context)
+}
+
+// ArenaUser is implemented by layers that can draw their per-step output,
+// gradient, and mask buffers from a step arena instead of allocating fresh
+// tensors every minibatch. Network.SetArena installs one arena on every
+// such layer; a layer with a nil arena keeps the allocate-per-call
+// behaviour, so the zero value of every layer works unchanged. With an
+// arena installed, a layer's Forward/Backward results are valid only until
+// its next Forward/Backward call — the lifetime the training loop needs.
+type ArenaUser interface {
+	SetArena(a *Arena)
 }
 
 // shapeVolume returns the product of the dimensions.

@@ -23,6 +23,14 @@ type MultiExitNetwork struct {
 	Stages [][]Layer
 	Exits  []*Dense
 
+	ctx   *compute.Context
+	arena *Arena
+
+	// loss and clip cache the loss-head and clipper dispatch closures so
+	// steady-state steps allocate nothing (see Network).
+	loss lossScratch
+	clip gradClipper
+
 	stageOut []([]int) // per-stage output shape (per sample)
 }
 
@@ -81,6 +89,7 @@ func (m *MultiExitNetwork) Init(rng *rand.Rand) {
 // SetCompute installs a compute context on every backbone layer and exit
 // head that supports a pluggable backend (nil restores the serial default).
 func (m *MultiExitNetwork) SetCompute(ctx *compute.Context) {
+	m.ctx = ctx
 	for _, stage := range m.Stages {
 		for _, l := range stage {
 			if cu, ok := l.(ComputeUser); ok {
@@ -90,6 +99,24 @@ func (m *MultiExitNetwork) SetCompute(ctx *compute.Context) {
 	}
 	for _, e := range m.Exits {
 		e.SetCompute(ctx)
+	}
+}
+
+// SetArena installs a step arena on the network, every backbone layer, and
+// every exit head; per-step buffers are then reused across minibatches (see
+// Network.SetArena for the buffer-lifetime contract). Nil restores the
+// allocate-per-call default.
+func (m *MultiExitNetwork) SetArena(a *Arena) {
+	m.arena = a
+	for _, stage := range m.Stages {
+		for _, l := range stage {
+			if au, ok := l.(ArenaUser); ok {
+				au.SetArena(a)
+			}
+		}
+	}
+	for _, e := range m.Exits {
+		e.SetArena(a)
 	}
 }
 
@@ -151,10 +178,12 @@ func (m *MultiExitNetwork) forwardStages(x *tensor.Tensor, train bool) []*tensor
 	return outs
 }
 
-// exitLogits classifies a stage output through its head.
+// exitLogits classifies a stage output through its head. The flattening view
+// header is reused across exits; that is safe because each exit's Backward
+// (which reads the retained input) runs before the next exit's Forward.
 func (m *MultiExitNetwork) exitLogits(k int, stageOut *tensor.Tensor, train bool) *tensor.Tensor {
 	n := stageOut.Shape[0]
-	flat := stageOut.Reshape(n, len(stageOut.Data)/n)
+	flat := m.arena.view(m, slotView2, stageOut.Data, n, len(stageOut.Data)/n)
 	return m.Exits[k].Forward(flat, train)
 }
 
@@ -171,6 +200,10 @@ type FitConfig struct {
 	// Compute, when set, is installed on backbone and exits before the
 	// first minibatch (see TrainConfig.Compute).
 	Compute *compute.Context
+	// Arena, when set, is installed before the first minibatch; when nil
+	// and the network carries no arena yet, Fit installs a fresh one (see
+	// TrainConfig.Arena).
+	Arena *Arena
 }
 
 // Fit trains backbone and exits jointly with a weighted sum of per-exit
@@ -198,12 +231,19 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 	if cfg.Compute != nil {
 		m.SetCompute(cfg.Compute)
 	}
+	if cfg.Arena != nil {
+		m.SetArena(cfg.Arena)
+	} else if m.arena == nil {
+		m.SetArena(NewArena(nil))
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum}
 	params := m.Params()
 	total := inputs.Shape[0]
 	sample := len(inputs.Data) / total
 	order := rng.Perm(total)
+	bshape := append([]int{0}, m.InShape...)
+	headGrads := make([]*tensor.Tensor, len(m.Exits))
 	var lastLoss float64
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		rng.Shuffle(total, func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -214,9 +254,9 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 				end = total
 			}
 			bs := end - startIdx
-			bshape := append([]int{bs}, m.InShape...)
-			bx := tensor.New(bshape...)
-			by := make([]int, bs)
+			bshape[0] = bs
+			bx := m.arena.tensor(m, slotBatchX, bshape...)
+			by := m.arena.intsBuf(m, slotBatchY, bs)
 			for bi := 0; bi < bs; bi++ {
 				src := order[startIdx+bi]
 				copy(bx.Data[bi*sample:(bi+1)*sample], inputs.Data[src*sample:(src+1)*sample])
@@ -226,12 +266,15 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 				p.Grad.Zero()
 			}
 			stageOuts := m.forwardStages(bx, true)
-			// Per-exit losses and head gradients.
+			// Per-exit losses and head gradients. All exits share the (bs,
+			// Classes) loss scratch — each exit's gradient is consumed by
+			// its head's Backward before the next exit reuses the buffers.
 			loss := 0.0
-			headGrads := make([]*tensor.Tensor, len(m.Exits))
 			for k := range m.Exits {
 				logits := m.exitLogits(k, stageOuts[k], true)
-				l, g := CrossEntropy(logits, by)
+				probs := m.arena.tensor(m, slotProbs, logits.Shape...)
+				g := m.arena.tensor(m, slotGrad, logits.Shape...)
+				l := m.loss.crossEntropyInto(m.ctx, logits, by, probs, g)
 				loss += weights[k] * l
 				g.Scale(weights[k])
 				headGrads[k] = m.Exits[k].Backward(g) // grad wrt flattened stage out
@@ -240,10 +283,15 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 			// exit gradient at each junction.
 			var upstream *tensor.Tensor
 			for s := len(m.Stages) - 1; s >= 0; s-- {
-				g := headGrads[s].Reshape(stageOuts[s].Shape...)
+				g := m.arena.view(m, slotView, headGrads[s].Data, stageOuts[s].Shape...)
 				if upstream != nil {
-					g = g.Clone()
-					g.Add(upstream)
+					// Zero-fill + copy + add reproduces Clone+Add bits; the
+					// accumulator is consumed by the stage's last layer
+					// before the next junction reuses it.
+					acc := m.arena.tensor(m, slotAcc, stageOuts[s].Shape...)
+					copy(acc.Data, g.Data)
+					acc.Add(upstream)
+					g = acc
 				}
 				for li := len(m.Stages[s]) - 1; li >= 0; li-- {
 					g = m.Stages[s][li].Backward(g)
@@ -251,9 +299,9 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 				upstream = g
 			}
 			if cfg.ClipNorm > 0 {
-				clipGradients(params, cfg.ClipNorm)
+				m.clip.clip(m.ctx, params, cfg.ClipNorm)
 			}
-			opt.Step(params)
+			opt.StepCtx(m.ctx, params)
 			epochLoss += loss
 			batches++
 		}

@@ -15,6 +15,20 @@ import (
 type Network struct {
 	InShape []int // per-sample input shape
 	Layers  []Layer
+
+	ctx   *compute.Context
+	arena *Arena
+
+	// qatSnap is the reused QAT shadow-weight snapshot (see trainStep).
+	qatSnap [][]float64
+
+	// loss and clip cache the dispatch closures for the loss head and the
+	// gradient clipper, so steady-state steps allocate nothing (see ReLU).
+	loss lossScratch
+	clip gradClipper
+
+	// evalShape is the reused (chunk, ...InShape) staging shape of Accuracy.
+	evalShape []int
 }
 
 // NewNetwork returns a network for the given per-sample input shape.
@@ -32,15 +46,37 @@ func (n *Network) Init(rng *rand.Rand) {
 }
 
 // SetCompute installs a compute context on every layer that supports a
-// pluggable backend. It governs both training and inference kernels; a nil
-// context restores the default serial, non-pooled behaviour.
+// pluggable backend, and on the network itself (softmax, cross-entropy,
+// gradient clipping, and the SGD update run through it too). It governs
+// both training and inference kernels; a nil context restores the default
+// serial, non-pooled behaviour.
 func (n *Network) SetCompute(ctx *compute.Context) {
+	n.ctx = ctx
 	for _, l := range n.Layers {
 		if cu, ok := l.(ComputeUser); ok {
 			cu.SetCompute(ctx)
 		}
 	}
 }
+
+// SetArena installs a step arena on the network and every ArenaUser layer:
+// per-step output/gradient/mask buffers are then acquired from the arena
+// and reused across minibatches, so the steady-state training step makes no
+// heap allocations. With an arena installed, tensors returned by
+// Forward/Backward are valid only until the network's next
+// Forward/Backward — callers that retain outputs across calls must Clone
+// them. A nil arena restores the allocate-per-call behaviour.
+func (n *Network) SetArena(a *Arena) {
+	n.arena = a
+	for _, l := range n.Layers {
+		if au, ok := l.(ArenaUser); ok {
+			au.SetArena(a)
+		}
+	}
+}
+
+// Arena returns the installed step arena (nil when none is set).
+func (n *Network) Arena() *Arena { return n.arena }
 
 // OutShape returns the per-sample output shape.
 func (n *Network) OutShape() []int {
@@ -142,27 +178,9 @@ func (n *Network) MemoryBytes(weightBits, activationBits int) int64 {
 
 // Softmax converts logits (N, K) into probabilities row by row.
 func Softmax(logits *tensor.Tensor) *tensor.Tensor {
-	n, k := logits.Shape[0], logits.Shape[1]
-	out := tensor.New(n, k)
-	for i := 0; i < n; i++ {
-		row := logits.Data[i*k : (i+1)*k]
-		m := math.Inf(-1)
-		for _, v := range row {
-			if v > m {
-				m = v
-			}
-		}
-		s := 0.0
-		dst := out.Data[i*k : (i+1)*k]
-		for j, v := range row {
-			e := math.Exp(v - m)
-			dst[j] = e
-			s += e
-		}
-		for j := range dst {
-			dst[j] /= s
-		}
-	}
+	out := tensor.New(logits.Shape[0], logits.Shape[1])
+	var s lossScratch
+	s.softmaxInto(nil, out, logits)
 	return out
 }
 
@@ -170,23 +188,96 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 // softmax of logits, together with the gradient with respect to the logits.
 func CrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
 	n, k := logits.Shape[0], logits.Shape[1]
-	if len(labels) != n {
-		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
-	}
-	probs := Softmax(logits)
+	probs := tensor.New(n, k)
 	grad = tensor.New(n, k)
-	for i, y := range labels {
-		p := probs.Data[i*k+y]
-		loss -= math.Log(math.Max(p, 1e-12))
+	var s lossScratch
+	loss = s.crossEntropyInto(nil, logits, labels, probs, grad)
+	return loss, grad
+}
+
+// lossScratch holds the loss head's dispatch operands and cached range
+// closures (see ReLU); each network owns one so steady-state steps reuse
+// the two closures instead of allocating them per minibatch.
+type lossScratch struct {
+	logits, probs, grad []float64
+	labels              []int
+	k                   int
+	inv                 float64
+	smFn, gradFn        func(i0, i1 int)
+}
+
+// softmaxRange computes the row-wise softmax for rows [i0, i1).
+func (s *lossScratch) softmaxRange(i0, i1 int) {
+	k := s.k
+	for i := i0; i < i1; i++ {
+		row := s.logits[i*k : (i+1)*k]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		d := s.probs[i*k : (i+1)*k]
+		for j, v := range row {
+			e := math.Exp(v - m)
+			d[j] = e
+			sum += e
+		}
+		for j := range d {
+			d[j] /= sum
+		}
+	}
+}
+
+// gradRange fills the logits gradient for rows [i0, i1).
+func (s *lossScratch) gradRange(i0, i1 int) {
+	k := s.k
+	for i := i0; i < i1; i++ {
+		y := s.labels[i]
 		for j := 0; j < k; j++ {
-			g := probs.Data[i*k+j]
+			g := s.probs[i*k+j]
 			if j == y {
 				g -= 1
 			}
-			grad.Data[i*k+j] = g / float64(n)
+			s.grad[i*k+j] = g * s.inv
 		}
 	}
-	return loss / float64(n), grad
+}
+
+// softmaxInto writes the row-wise softmax of logits into dst (both (N, K)).
+// Rows are element-disjoint, so the fan-out is bit-identical to the serial
+// loop at any worker count.
+func (s *lossScratch) softmaxInto(ctx *compute.Context, dst, logits *tensor.Tensor) {
+	n, k := logits.Shape[0], logits.Shape[1]
+	s.logits, s.probs, s.k = logits.Data, dst.Data, k
+	if s.smFn == nil {
+		s.smFn = s.softmaxRange
+	}
+	ctx.ParallelFor(n, 8*k, s.smFn)
+}
+
+// crossEntropyInto computes the mean softmax cross-entropy of logits
+// against labels, using probs as softmax scratch and writing the logits
+// gradient into grad (all (N, K)). The loss reduction stays serial — its
+// addition order is part of the bit-for-bit contract — while the softmax
+// and gradient rows fan out disjointly.
+func (s *lossScratch) crossEntropyInto(ctx *compute.Context, logits *tensor.Tensor, labels []int, probs, grad *tensor.Tensor) float64 {
+	n, k := logits.Shape[0], logits.Shape[1]
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	s.softmaxInto(ctx, probs, logits)
+	s.labels, s.grad, s.inv = labels, grad.Data, 1/float64(n)
+	if s.gradFn == nil {
+		s.gradFn = s.gradRange
+	}
+	ctx.ParallelFor(n, 4*k, s.gradFn)
+	loss := 0.0
+	for i, y := range labels {
+		loss -= math.Log(math.Max(probs.Data[i*k+y], 1e-12))
+	}
+	return loss * s.inv
 }
 
 // SGD is a momentum optimizer with optional L2 weight decay.
@@ -194,17 +285,36 @@ type SGD struct {
 	LR       float64
 	Momentum float64
 	Decay    float64
+
+	// Step dispatch operands + cached range closure (see ReLU).
+	v, g, mom []float64
+	fn        func(i0, i1 int)
 }
 
 // Step applies one update to every parameter and leaves gradients intact;
 // callers usually ZeroGrads before the next minibatch.
-func (o *SGD) Step(params []*Param) {
+func (o *SGD) Step(params []*Param) { o.StepCtx(nil, params) }
+
+// stepRange updates elements [i0, i1) of the current parameter.
+func (o *SGD) stepRange(i0, i1 int) {
+	v, g, mom := o.v, o.g, o.mom
+	for i := i0; i < i1; i++ {
+		gi := g[i] + o.Decay*v[i]
+		mom[i] = o.Momentum*mom[i] - o.LR*gi
+		v[i] += mom[i]
+	}
+}
+
+// StepCtx applies the update with elementwise fan-out over ctx's backend.
+// Every index is read and written by exactly one worker, so the result is
+// bit-identical to the serial loop at any worker count (nil ctx runs inline).
+func (o *SGD) StepCtx(ctx *compute.Context, params []*Param) {
+	if o.fn == nil {
+		o.fn = o.stepRange
+	}
 	for _, p := range params {
-		for i := range p.Value.Data {
-			g := p.Grad.Data[i] + o.Decay*p.Value.Data[i]
-			p.Momentum.Data[i] = o.Momentum*p.Momentum.Data[i] - o.LR*g
-			p.Value.Data[i] += p.Momentum.Data[i]
-		}
+		o.v, o.g, o.mom = p.Value.Data, p.Grad.Data, p.Momentum.Data
+		ctx.ParallelFor(len(o.v), 6, o.fn)
 	}
 }
 
@@ -233,6 +343,11 @@ type TrainConfig struct {
 	// nil to keep whatever context the network already carries (default:
 	// serial kernels, fresh allocations).
 	Compute *compute.Context
+	// Arena, when set, is installed on the network before the first
+	// minibatch (see SetArena). When nil and the network carries no arena
+	// yet, Fit installs a fresh one: steady-state training steps are
+	// allocation-free by default. Results are bit-identical either way.
+	Arena *Arena
 	// Verbose, when set, receives one line per epoch.
 	Verbose func(epoch int, loss float64)
 	// Obs, when set, receives one nn.epoch event per epoch (index, mean
@@ -240,8 +355,26 @@ type TrainConfig struct {
 	Obs *obs.Recorder
 }
 
-// clipGradients scales all gradients so their global L2 norm is at most c.
-func clipGradients(params []*Param, c float64) {
+// gradClipper holds the clipper's dispatch operands and cached range
+// closure (see ReLU); each network owns one.
+type gradClipper struct {
+	g     []float64
+	scale float64
+	fn    func(i0, i1 int)
+}
+
+// scaleRange scales gradient elements [i0, i1).
+func (c *gradClipper) scaleRange(i0, i1 int) {
+	g, scale := c.g, c.scale
+	for i := i0; i < i1; i++ {
+		g[i] *= scale
+	}
+}
+
+// clip scales all gradients so their global L2 norm is at most limit.
+// The norm reduction stays serial — its addition order is part of the
+// bit-for-bit contract — while the scale pass fans out element-disjointly.
+func (c *gradClipper) clip(ctx *compute.Context, params []*Param, limit float64) {
 	var sq float64
 	for _, p := range params {
 		for _, g := range p.Grad.Data {
@@ -249,13 +382,75 @@ func clipGradients(params []*Param, c float64) {
 		}
 	}
 	norm := math.Sqrt(sq)
-	if norm <= c || norm == 0 {
+	if norm <= limit || norm == 0 {
 		return
 	}
-	scale := c / norm
-	for _, p := range params {
-		p.Grad.Scale(scale)
+	c.scale = limit / norm
+	if c.fn == nil {
+		c.fn = c.scaleRange
 	}
+	for _, p := range params {
+		c.g = p.Grad.Data
+		ctx.ParallelFor(len(c.g), 1, c.fn)
+	}
+}
+
+// clipGradients scales all gradients so their global L2 norm is at most c
+// using a throwaway clipper; steady-state paths use a network's cached one.
+func clipGradients(ctx *compute.Context, params []*Param, c float64) {
+	var gc gradClipper
+	gc.clip(ctx, params, c)
+}
+
+// trainStep runs one minibatch (bx, by) through forward, loss, backward,
+// clipping, and the optimizer update, returning the batch loss. params is
+// the cached n.Params() slice (Params allocates; callers hoist it out of the
+// epoch loop). With an arena installed the step performs no steady-state
+// heap allocations: loss scratch, every layer buffer, and the QAT shadow
+// snapshot are all reused.
+func (n *Network) trainStep(bx *tensor.Tensor, by []int, params []*Param, opt *SGD, cfg *TrainConfig) float64 {
+	for _, p := range params {
+		p.Grad.Zero()
+	}
+	qat := cfg.QATWeightBits > 0
+	if qat {
+		// Straight-through estimator: compute with quantized weights,
+		// update the full-precision shadows.
+		n.qatSnap = snapshotInto(n.qatSnap, params)
+		for _, p := range params {
+			quantizeTensorSym(p.Value, cfg.QATWeightBits)
+		}
+	}
+	logits := n.Forward(bx, true)
+	probs := n.arena.tensor(n, slotProbs, logits.Shape...)
+	grad := n.arena.tensor(n, slotGrad, logits.Shape...)
+	loss := n.loss.crossEntropyInto(n.ctx, logits, by, probs, grad)
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	if qat {
+		for i, p := range params {
+			copy(p.Value.Data, n.qatSnap[i])
+		}
+	}
+	if cfg.ClipNorm > 0 {
+		n.clip.clip(n.ctx, params, cfg.ClipNorm)
+	}
+	opt.StepCtx(n.ctx, params)
+	return loss
+}
+
+// snapshotInto copies every parameter value into dst, reusing its backing
+// arrays; it is SnapshotParams without the steady-state allocations.
+func snapshotInto(dst [][]float64, params []*Param) [][]float64 {
+	if cap(dst) < len(params) {
+		dst = make([][]float64, len(params))
+	}
+	dst = dst[:len(params)]
+	for i, p := range params {
+		dst[i] = append(dst[i][:0], p.Value.Data...)
+	}
+	return dst
 }
 
 // Fit trains the network on (inputs, labels) with softmax cross-entropy.
@@ -273,11 +468,18 @@ func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) floa
 	if cfg.Compute != nil {
 		n.SetCompute(cfg.Compute)
 	}
+	if cfg.Arena != nil {
+		n.SetArena(cfg.Arena)
+	} else if n.arena == nil {
+		n.SetArena(NewArena(nil))
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	opt := &SGD{LR: cfg.LR, Momentum: cfg.Momentum, Decay: cfg.Decay}
+	params := n.Params()
 	total := inputs.Shape[0]
 	sample := len(inputs.Data) / total
 	order := rng.Perm(total)
+	bshape := append([]int{0}, n.InShape...)
 	fit := cfg.Obs.StartSpan("nn.fit",
 		obs.Int("samples", total), obs.Int("epochs", cfg.Epochs),
 		obs.Int("batch_size", cfg.BatchSize), obs.F64("lr", cfg.LR))
@@ -295,37 +497,15 @@ func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) floa
 				end = total
 			}
 			bs := end - start
-			bshape := append([]int{bs}, n.InShape...)
-			bx := tensor.New(bshape...)
-			by := make([]int, bs)
+			bshape[0] = bs
+			bx := n.arena.tensor(n, slotBatchX, bshape...)
+			by := n.arena.intsBuf(n, slotBatchY, bs)
 			for bi := 0; bi < bs; bi++ {
 				src := order[start+bi]
 				copy(bx.Data[bi*sample:(bi+1)*sample], inputs.Data[src*sample:(src+1)*sample])
 				by[bi] = labels[src]
 			}
-			n.ZeroGrads()
-			var shadow [][]float64
-			if cfg.QATWeightBits > 0 {
-				// Straight-through estimator: compute with quantized
-				// weights, update the full-precision shadows.
-				shadow = n.SnapshotParams()
-				for _, p := range n.Params() {
-					quantizeTensorSym(p.Value, cfg.QATWeightBits)
-				}
-			}
-			logits := n.Forward(bx, true)
-			loss, grad := CrossEntropy(logits, by)
-			for i := len(n.Layers) - 1; i >= 0; i-- {
-				grad = n.Layers[i].Backward(grad)
-			}
-			if shadow != nil {
-				n.RestoreParams(shadow)
-			}
-			if cfg.ClipNorm > 0 {
-				clipGradients(n.Params(), cfg.ClipNorm)
-			}
-			opt.Step(n.Params())
-			epochLoss += loss
+			epochLoss += n.trainStep(bx, by, params, opt, &cfg)
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)
@@ -342,19 +522,23 @@ func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) floa
 }
 
 // Accuracy evaluates top-1 accuracy on (inputs, labels) in inference mode.
+// Chunk staging reuses the arena's cached view header when one is installed,
+// so evaluation allocates nothing per chunk.
 func (n *Network) Accuracy(inputs *tensor.Tensor, labels []int) float64 {
 	total := inputs.Shape[0]
 	sample := len(inputs.Data) / total
 	correct := 0
 	const chunk = 32
+	bshape := append(append(n.evalShape[:0], 0), n.InShape...)
+	n.evalShape = bshape
 	for start := 0; start < total; start += chunk {
 		end := start + chunk
 		if end > total {
 			end = total
 		}
 		bs := end - start
-		bshape := append([]int{bs}, n.InShape...)
-		bx := tensor.FromSlice(inputs.Data[start*sample:end*sample], bshape...)
+		bshape[0] = bs
+		bx := n.arena.view(n, slotView, inputs.Data[start*sample:end*sample], bshape...)
 		logits := n.Forward(bx, false)
 		k := logits.Shape[1]
 		for i := 0; i < bs; i++ {

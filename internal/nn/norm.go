@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"solarml/internal/compute"
 	"solarml/internal/tensor"
 )
 
@@ -20,9 +21,19 @@ type BatchNorm struct {
 	RunMean []float64
 	RunVar  []float64
 
+	ctx   *compute.Context
+	arena *Arena
+
 	lastXHat *tensor.Tensor
 	lastStd  []float64
 	lastN    int // batch × spatial count per channel
+
+	// Current-dispatch operands + cached range closures (see ReLU).
+	curX, curOut, curGrad, curDX []float64
+	curTrain                     bool
+	curN, curC, curPlane         int
+	curM                         float64
+	fwdFn, bwdFn                 func(c0, c1 int)
 }
 
 // NewBatchNorm returns a batch-normalization layer for c channels.
@@ -39,6 +50,12 @@ func NewBatchNorm(c int) *BatchNorm {
 
 // Kind implements Layer.
 func (b *BatchNorm) Kind() LayerKind { return KindNorm }
+
+// SetCompute implements ComputeUser.
+func (b *BatchNorm) SetCompute(ctx *compute.Context) { b.ctx = ctx }
+
+// SetArena implements ArenaUser.
+func (b *BatchNorm) SetArena(a *Arena) { b.arena = a }
 
 // OutShape implements Layer.
 func (b *BatchNorm) OutShape(in []int) []int {
@@ -60,22 +77,38 @@ func (b *BatchNorm) Init(rng *rand.Rand) {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Channels partition the work: every channel's
+// statistics are reduced by a single worker in ascending order and its
+// activations touch disjoint strided planes, so the fan-out reproduces the
+// serial bits at any worker count.
 func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	plane := h * w
-	out := tensor.New(n, c, h, w)
+	out := b.arena.tensor(b, slotOut, n, c, h, w)
 	if train {
-		b.lastXHat = tensor.New(n, c, h, w)
-		b.lastStd = make([]float64, c)
+		b.lastXHat = b.arena.tensor(b, slotXHat, n, c, h, w)
+		b.lastStd = b.arena.floats(b, slotStd, c)
 		b.lastN = n * plane
 	}
-	for ch := 0; ch < c; ch++ {
+	b.curX, b.curOut = x.Data, out.Data
+	b.curTrain, b.curN, b.curC, b.curPlane = train, n, c, plane
+	if b.fwdFn == nil {
+		b.fwdFn = b.forwardChannels
+	}
+	b.ctx.ParallelFor(c, 6*n*plane, b.fwdFn)
+	return out
+}
+
+// forwardChannels runs the per-channel normalization for channels [c0, c1).
+func (b *BatchNorm) forwardChannels(c0, c1 int) {
+	x, out := b.curX, b.curOut
+	train, n, c, plane := b.curTrain, b.curN, b.curC, b.curPlane
+	for ch := c0; ch < c1; ch++ {
 		var mean, variance float64
 		if train {
 			s := 0.0
 			for i := 0; i < n; i++ {
-				d := x.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
+				d := x[(i*c+ch)*plane : (i*c+ch+1)*plane]
 				for _, v := range d {
 					s += v
 				}
@@ -83,7 +116,7 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			mean = s / float64(n*plane)
 			s = 0.0
 			for i := 0; i < n; i++ {
-				d := x.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
+				d := x[(i*c+ch)*plane : (i*c+ch+1)*plane]
 				for _, v := range d {
 					dv := v - mean
 					s += dv * dv
@@ -98,8 +131,8 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		std := math.Sqrt(variance + b.Eps)
 		g, bb := b.Gamma.Value.Data[ch], b.Beta.Value.Data[ch]
 		for i := 0; i < n; i++ {
-			src := x.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
-			dst := out.Data[(i*c+ch)*plane : (i*c+ch+1)*plane]
+			src := x[(i*c+ch)*plane : (i*c+ch+1)*plane]
+			dst := out[(i*c+ch)*plane : (i*c+ch+1)*plane]
 			for j, v := range src {
 				xh := (v - mean) / std
 				if train {
@@ -112,22 +145,34 @@ func (b *BatchNorm) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			b.lastStd[ch] = std
 		}
 	}
-	return out
 }
 
-// Backward implements Layer using the standard batch-norm gradient.
+// Backward implements Layer using the standard batch-norm gradient; the
+// channel partition mirrors Forward, so gradient sums keep serial order.
 func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c := grad.Shape[0], grad.Shape[1]
 	plane := grad.Shape[2] * grad.Shape[3]
-	dx := tensor.New(grad.Shape...)
-	m := float64(b.lastN)
-	for ch := 0; ch < c; ch++ {
+	dx := b.arena.tensor(b, slotDX, grad.Shape...)
+	b.curGrad, b.curDX = grad.Data, dx.Data
+	b.curM, b.curN, b.curC, b.curPlane = float64(b.lastN), n, c, plane
+	if b.bwdFn == nil {
+		b.bwdFn = b.backwardChannels
+	}
+	b.ctx.ParallelFor(c, 8*n*plane, b.bwdFn)
+	return dx
+}
+
+// backwardChannels computes the gradient for channels [c0, c1).
+func (b *BatchNorm) backwardChannels(c0, c1 int) {
+	grad, dx := b.curGrad, b.curDX
+	m, n, c, plane := b.curM, b.curN, b.curC, b.curPlane
+	for ch := c0; ch < c1; ch++ {
 		g := b.Gamma.Value.Data[ch]
 		var sumDy, sumDyXhat float64
 		for i := 0; i < n; i++ {
 			off := (i*c + ch) * plane
 			for j := 0; j < plane; j++ {
-				dy := grad.Data[off+j]
+				dy := grad[off+j]
 				sumDy += dy
 				sumDyXhat += dy * b.lastXHat.Data[off+j]
 			}
@@ -138,13 +183,12 @@ func (b *BatchNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		for i := 0; i < n; i++ {
 			off := (i*c + ch) * plane
 			for j := 0; j < plane; j++ {
-				dy := grad.Data[off+j]
+				dy := grad[off+j]
 				xh := b.lastXHat.Data[off+j]
-				dx.Data[off+j] = inv * (m*dy - sumDy - xh*sumDyXhat)
+				dx[off+j] = inv * (m*dy - sumDy - xh*sumDyXhat)
 			}
 		}
 	}
-	return dx
 }
 
 // Params implements Layer.

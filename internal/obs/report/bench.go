@@ -113,6 +113,32 @@ func NewBenchFile(results []BenchResult) BenchFile {
 	return f
 }
 
+// ReadBenchFile parses an existing trajectory file.
+func ReadBenchFile(r io.Reader) (BenchFile, error) {
+	var f BenchFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return BenchFile{}, fmt.Errorf("bench: parse trajectory file: %w", err)
+	}
+	if f.Schema != BenchSchema {
+		return BenchFile{}, fmt.Errorf("bench: unexpected schema %q", f.Schema)
+	}
+	return f, nil
+}
+
+// Merge overlays new results onto f: entries sharing a key are replaced,
+// everything else is retained — a narrowed benchmark sweep (CI's smoke
+// subset) then refreshes its own data points without erasing the rest of
+// the trajectory. The Go/version stamps follow the newer file.
+func (f *BenchFile) Merge(newer BenchFile) {
+	f.Go, f.Version = newer.Go, newer.Version
+	if f.Benchmarks == nil {
+		f.Benchmarks = make(map[string]BenchResult, len(newer.Benchmarks))
+	}
+	for k, v := range newer.Benchmarks {
+		f.Benchmarks[k] = v
+	}
+}
+
 // WriteJSON writes the file as stable, indented JSON (encoding/json sorts
 // map keys, so reruns diff cleanly).
 func (f BenchFile) WriteJSON(w io.Writer) error {

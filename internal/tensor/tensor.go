@@ -21,31 +21,36 @@ type Tensor struct {
 
 // New returns a zero-filled tensor with the given shape.
 // It panics if any dimension is non-positive.
+//
+// The shape is copied before any other use so the variadic parameter does
+// not escape: callers building a shape inline keep it on their stack.
 func New(shape ...int) *Tensor {
+	s := make([]int, len(shape))
+	copy(s, shape)
 	n := 1
-	for _, d := range shape {
+	for _, d := range s {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, s))
 		}
 		n *= d
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
 	return &Tensor{Shape: s, Data: make([]float64, n)}
 }
 
 // FromSlice wraps data in a tensor of the given shape. The slice is used
-// directly (not copied); its length must match the shape volume.
+// directly (not copied); its length must match the shape volume. As with
+// New, the shape is copied up front so the variadic parameter stays on the
+// caller's stack.
 func FromSlice(data []float64, shape ...int) *Tensor {
+	s := make([]int, len(shape))
+	copy(s, shape)
 	n := 1
-	for _, d := range shape {
+	for _, d := range s {
 		n *= d
 	}
 	if n != len(data) {
-		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)", len(data), shape, n))
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (volume %d)", len(data), s, n))
 	}
-	s := make([]int, len(shape))
-	copy(s, shape)
 	return &Tensor{Shape: s, Data: data}
 }
 
