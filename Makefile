@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race check bench bench-obs bench-json bench-smoke smoke-report
+.PHONY: verify vet race check bench bench-obs bench-energy bench-json bench-smoke smoke-report
 
 verify:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/... ./internal/nn/...
+	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/... ./internal/nn/...
 
 check: verify vet race
 
@@ -29,6 +29,12 @@ bench:
 bench-obs:
 	$(GO) test -run NONE -bench 'BenchmarkSearchTelemetry' -benchtime 50x -count 3 .
 	$(GO) test -run NONE -bench 'BenchmarkNoopSpan' ./internal/obs/
+
+# bench-energy pins the joule ledger's hot-path cost: the enabled charge
+# must stay allocation-free and the nil-ledger no-op near zero, so
+# producers can charge unconditionally (no `if led != nil` at call sites).
+bench-energy:
+	$(GO) test -run NONE -bench 'BenchmarkLedger|BenchmarkNoopLedger' -benchtime 100x -benchmem ./internal/obs/energy/
 
 # bench-json runs the benchmarks and parses the output into the
 # BENCH_solarml.json perf trajectory (benchmark → ns/op, B/op, allocs/op).
@@ -44,11 +50,12 @@ bench-json:
 # trajectory artifact (entries outside the smoke subset are retained).
 # allocs/op on the arena step is the number to watch — it must stay at 0.
 bench-smoke:
-	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry'
+	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge'
 
 # smoke-report closes the telemetry loop end to end: record a tiny seeded
 # search trace, analyze it with obs-report, and check the rollup is
-# non-empty. CI runs this and uploads the artifacts.
+# non-empty; then record a seeded lifetime run and check the energy report
+# carries the ledger accounts. CI runs this and uploads the artifacts.
 smoke-report:
 	$(GO) run ./cmd/enas-search -pop 10 -sample 4 -cycles 20 -seed 1 -cache \
 		-trace-out smoke_run.jsonl -metrics-interval 50ms
@@ -57,3 +64,10 @@ smoke-report:
 		| tee smoke_report.txt
 	grep -q 'enas.search' smoke_report.txt
 	grep -q 'per-phase breakdown' smoke_report.txt
+	$(GO) run ./cmd/lifetime -hours 2 -seed 1 \
+		-trace-out lifetime_smoke.jsonl -metrics-interval 50ms
+	$(GO) run ./cmd/obs-report -trace lifetime_smoke.jsonl -energy -quiet \
+		-folded-energy lifetime_smoke.energy.folded \
+		| tee lifetime_energy.txt
+	grep -q 'energy accounts' lifetime_energy.txt
+	grep -q 'energy critical path' lifetime_energy.txt

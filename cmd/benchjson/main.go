@@ -8,7 +8,10 @@
 //	go test -run NONE -bench . -benchtime 1x -benchmem ./... | benchjson -out BENCH_solarml.json
 //
 // It exits non-zero when no benchmark lines were found, so a broken
-// pipeline cannot silently write an empty trajectory point.
+// pipeline cannot silently write an empty trajectory point. When the
+// binary carries no embedded module version (the usual case under
+// `go run`), the trajectory point is stamped from `git describe --always
+// --dirty` instead of the "dev" fallback.
 package main
 
 import (
@@ -16,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"strings"
 
 	"solarml/internal/obs/report"
 )
@@ -42,6 +47,11 @@ func run(in io.Reader, out string, merge bool) error {
 		return err
 	}
 	bf := report.NewBenchFile(results)
+	if bf.Version == "" || bf.Version == "dev" {
+		if v := gitVersion(); v != "" {
+			bf.Version = v
+		}
+	}
 	if merge {
 		if prev, err := os.Open(out); err == nil {
 			old, perr := report.ReadBenchFile(prev)
@@ -69,4 +79,15 @@ func run(in io.Reader, out string, merge bool) error {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", out, len(bf.Benchmarks))
 	return nil
+}
+
+// gitVersion identifies the working tree via `git describe --always
+// --dirty`. Empty when git or a repository is unavailable, in which case
+// the caller keeps whatever stamp it already had.
+func gitVersion() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }

@@ -11,9 +11,12 @@
 //	         [-metrics-interval 1s] [-pprof localhost:6060]
 //
 // -trace-out records the run as a JSONL obs trace — manifest, a
-// lifetime.run span, one lifetime.interaction event per arrival with its
-// outcome/voltage/energy, and outcome counters in the metrics snapshots —
-// readable with cmd/obs-report like any search trace.
+// lifetime.run span, one firmware.session span per booted interaction with
+// energy-attributed detect/sense/infer children, one lifetime.interaction
+// event per arrival with its outcome/voltage/energy, and outcome counters
+// plus the joule ledger's energy.* series in the metrics snapshots —
+// readable with cmd/obs-report (see its -energy flag) like any search
+// trace. A final per-account energy summary prints after the run.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"solarml/internal/nn"
 	"solarml/internal/obs"
 	obscli "solarml/internal/obs/cli"
+	"solarml/internal/obs/energy"
 )
 
 func main() {
@@ -59,9 +63,17 @@ func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vt
 		"vtheta": vtheta, "v0": v0, "ladder": ladder,
 	})
 
+	// The joule ledger publishes into the session registry on every sampler
+	// tick and at close, so metrics snapshots (and a live /metrics scrape)
+	// carry the energy.* series alongside the outcome counters.
+	led := energy.NewLedger(sess.Reg)
+	sess.OnSample(led.Sync)
+
 	cfg := firmware.DefaultConfig()
 	cfg.VTheta = vtheta
 	cfg.InitialV = v0
+	cfg.Obs = sess.Rec
+	cfg.Energy = led
 	if ladder {
 		cfg.ExitMACs = []map[nn.LayerKind]int64{
 			{nn.KindConv: 40_000, nn.KindDense: 5_000},
@@ -102,6 +114,7 @@ func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vt
 
 	fmt.Println(stats.Summary())
 	fmt.Printf("completion rate: %.1f%%\n", stats.Rate(firmware.Completed)*100)
+	fmt.Print(led.Summary())
 	if ladder && len(stats.ExitCounts) > 0 {
 		fmt.Print("exit usage:")
 		for k := 0; k < len(cfg.ExitMACs); k++ {

@@ -8,13 +8,15 @@
 // Usage:
 //
 //	obs-report -trace run.jsonl [-perfetto out.json] [-folded out.folded]
-//	           [-csv out.csv] [-quiet]
+//	           [-csv out.csv] [-energy] [-folded-energy out.folded] [-quiet]
 //
 // -perfetto writes Chrome trace-event JSON (load in ui.perfetto.dev or
 // chrome://tracing), -folded writes flamegraph.pl/speedscope folded stacks,
-// -csv the per-span-name rollup. Without export flags the human-readable
-// summary goes to stdout; -quiet suppresses it when only exports are
-// wanted. Corrupt or truncated traces (killed runs) are read best-effort.
+// -csv the per-span-name rollup. -energy prints the joule-ledger report
+// (account totals, span energy rollup, energy critical path) — it prints
+// even under -quiet, which suppresses only the time summary — and
+// -folded-energy writes energy-weighted folded stacks. Corrupt or truncated
+// traces (killed runs) are read best-effort.
 package main
 
 import (
@@ -30,20 +32,22 @@ func main() {
 	perfetto := flag.String("perfetto", "", "write Chrome/Perfetto trace-event JSON to this file")
 	folded := flag.String("folded", "", "write flamegraph folded stacks to this file")
 	csvOut := flag.String("csv", "", "write the per-span-name rollup as CSV to this file")
-	quiet := flag.Bool("quiet", false, "suppress the stdout summary")
+	energyOut := flag.Bool("energy", false, "print the joule-ledger energy report (accounts, span rollup, energy critical path)")
+	foldedEnergy := flag.String("folded-energy", "", "write energy-weighted flamegraph folded stacks to this file")
+	quiet := flag.Bool("quiet", false, "suppress the stdout time summary (-energy still prints)")
 	flag.Parse()
 
 	if *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *perfetto, *folded, *csvOut, *quiet); err != nil {
+	if err := run(*tracePath, *perfetto, *folded, *csvOut, *foldedEnergy, *energyOut, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, perfetto, folded, csvOut string, quiet bool) error {
+func run(tracePath, perfetto, folded, csvOut, foldedEnergy string, energyOut, quiet bool) error {
 	tr, err := report.ReadFile(tracePath)
 	if err != nil {
 		return err
@@ -58,6 +62,7 @@ func run(tracePath, perfetto, folded, csvOut string, quiet bool) error {
 		{perfetto, func(f *os.File) error { return tr.WritePerfetto(f) }},
 		{folded, func(f *os.File) error { return tr.WriteFolded(f) }},
 		{csvOut, func(f *os.File) error { return tr.WriteCSV(f) }},
+		{foldedEnergy, func(f *os.File) error { return tr.WriteEnergyFolded(f) }},
 	}
 	for _, ex := range exports {
 		if ex.path == "" {
@@ -76,8 +81,16 @@ func run(tracePath, perfetto, folded, csvOut string, quiet bool) error {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", ex.path)
 	}
-	if quiet {
-		return nil
+	if !quiet {
+		if err := tr.WriteSummary(os.Stdout); err != nil {
+			return err
+		}
 	}
-	return tr.WriteSummary(os.Stdout)
+	if energyOut {
+		if !quiet {
+			fmt.Println()
+		}
+		return tr.WriteEnergyReport(os.Stdout)
+	}
+	return nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"solarml/internal/core"
 	obscli "solarml/internal/obs/cli"
+	"solarml/internal/obs/energy"
 	"solarml/internal/powertrace"
 )
 
@@ -86,6 +87,12 @@ func mainErr(obsFlags *obscli.Flags, scenario string, sleep float64, width, heig
 		return fmt.Errorf("unknown scenario %q", scenario)
 	}
 
+	// Book the rendered trace into the joule ledger so the metrics
+	// snapshots carry per-account energy counters next to the segments.
+	led := energy.NewLedger(sess.Reg)
+	sess.OnSample(led.Sync)
+	trace.ChargeLedger(led)
+
 	if rate > 0 {
 		fmt.Println("t_s,power_w")
 		for i, pw := range trace.Samples(rate) {
@@ -95,5 +102,6 @@ func mainErr(obsFlags *obscli.Flags, scenario string, sleep float64, width, heig
 	}
 	fmt.Print(trace.ASCII(width, height))
 	fmt.Print(trace.Summary())
+	fmt.Print(led.Summary())
 	return nil
 }

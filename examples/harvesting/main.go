@@ -2,16 +2,21 @@
 // bright window and report how long the 25-cell array needs to charge the
 // supercap for one digit-recognition or KWS inference — the §V-D
 // harvesting-time experiment — plus a step-by-step supercap charging
-// simulation and the weak-light guard behaviour.
+// simulation and the weak-light guard behaviour. Every joule flows through
+// the energy ledger: the charging sim books harvest income and supercap
+// leak, both Fig 2 sessions book their power phases, and the per-account
+// balance is printed and left behind as harvesting_energy.csv.
 package main
 
 import (
 	"fmt"
 	"math"
+	"os"
 
 	"solarml/internal/circuit"
 	"solarml/internal/core"
 	"solarml/internal/harvest"
+	"solarml/internal/obs/energy"
 )
 
 func main() {
@@ -31,9 +36,12 @@ func main() {
 	}
 
 	// Supercap charging simulation: start just below the boot threshold
-	// and charge at 500 lux until the MCU can run.
+	// and charge at 500 lux until the MCU can run. The ledger attached to
+	// the harvester books the income and the supercap leak as it happens.
 	fmt.Println("\nsupercap charging at 500 lux (1 F, from 1.75 V):")
+	led := energy.NewLedger(nil)
 	h := harvest.New()
+	h.Energy = led
 	h.Cap.V = 1.75
 	target := platform.Event.VMinSupercap
 	for t := 0.0; h.Cap.V < target; t += 10 {
@@ -54,4 +62,31 @@ func main() {
 		boots := ev.Step(hovered, ref, 3.0)
 		fmt.Printf("  %4.0f lux: reference cell %.3f V → boot on hover: %v\n", lux, ref, boots)
 	}
+
+	// Per-phase joule balance: replay both Fig 2 sessions and book every
+	// power phase (wake-up → detect, sampling/processing → sense,
+	// inference → infer, sleep) into the same ledger that watched the
+	// charging sim, then print the balance and leave the CSV artifact.
+	for _, cfg := range core.Fig2Scenarios() {
+		rep, err := platform.RunSession(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		rep.Trace.ChargeLedger(led)
+	}
+	fmt.Println("\nenergy ledger (charging sim + both Fig 2 sessions):")
+	fmt.Print(led.Summary())
+	f, err := os.Create("harvesting_energy.csv")
+	if err == nil {
+		err = led.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote harvesting_energy.csv")
 }

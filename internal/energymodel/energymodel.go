@@ -27,6 +27,7 @@ import (
 	"solarml/internal/dsp"
 	"solarml/internal/mcu"
 	"solarml/internal/nn"
+	"solarml/internal/obs/energy"
 	"solarml/internal/quant"
 	"solarml/internal/regress"
 )
@@ -91,7 +92,12 @@ type Measurer struct {
 	Profile          mcu.PowerProfile
 	InferNoiseFrac   float64
 	SensingNoiseFrac float64
-	rng              *rand.Rand
+	// Ledger, when set, books every measurement's energy into the joule
+	// ledger (infer/sense accounts) — a measurement campaign then shows up
+	// in the same accounting as a live run. The rng stream is untouched,
+	// so seeded campaigns stay bit-identical with or without a ledger.
+	Ledger *energy.Ledger
+	rng    *rand.Rand
 }
 
 // NewMeasurer returns a measurer with the calibrated ground truth.
@@ -113,7 +119,9 @@ func (m *Measurer) noisy(e, frac float64) float64 {
 // MeasureInference returns a measured inference energy for a network's
 // per-kind MAC breakdown.
 func (m *Measurer) MeasureInference(macs map[nn.LayerKind]int64) float64 {
-	return m.noisy(m.Coeff.TrueEnergy(macs), m.InferNoiseFrac)
+	e := m.noisy(m.Coeff.TrueEnergy(macs), m.InferNoiseFrac)
+	m.Ledger.Charge(energy.AccountInfer, e)
+	return e
 }
 
 // GestureSensingTrue returns the noise-free sensing energy of a gesture
@@ -131,7 +139,9 @@ func GestureSensingTrue(p mcu.PowerProfile, cfg dataset.GestureConfig) float64 {
 
 // MeasureGestureSensing returns a measured gesture sensing energy.
 func (m *Measurer) MeasureGestureSensing(cfg dataset.GestureConfig) float64 {
-	return m.noisy(GestureSensingTrue(m.Profile, cfg), m.SensingNoiseFrac)
+	e := m.noisy(GestureSensingTrue(m.Profile, cfg), m.SensingNoiseFrac)
+	m.Ledger.Charge(energy.AccountSense, e)
+	return e
 }
 
 // AudioSensingTrue returns the noise-free sensing energy of a KWS front-end
@@ -144,7 +154,9 @@ func AudioSensingTrue(p mcu.PowerProfile, cfg dsp.FrontEndConfig) float64 {
 
 // MeasureAudioSensing returns a measured audio sensing energy.
 func (m *Measurer) MeasureAudioSensing(cfg dsp.FrontEndConfig) float64 {
-	return m.noisy(AudioSensingTrue(m.Profile, cfg), m.SensingNoiseFrac)
+	e := m.noisy(AudioSensingTrue(m.Profile, cfg), m.SensingNoiseFrac)
+	m.Ledger.Charge(energy.AccountSense, e)
+	return e
 }
 
 // --- Feature extractors (the regression proxies of Table I) ---

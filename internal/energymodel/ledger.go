@@ -1,0 +1,41 @@
+package energymodel
+
+import (
+	"solarml/internal/dataset"
+	"solarml/internal/dsp"
+	"solarml/internal/mcu"
+	"solarml/internal/nn"
+	"solarml/internal/obs"
+	"solarml/internal/obs/energy"
+)
+
+// This file bridges the energy models into the joule ledger: each Charge*
+// helper computes the model's noise-free energy and books it — to the
+// ledger account and, when a live span is passed, to the span's energy_uj
+// attribute. The helpers return the energy so callers drain storage with
+// exactly the joules they attributed, keeping the ledger and the supercap
+// in balance by construction.
+
+// ChargeInference books the layer-wise inference energy of a per-kind MAC
+// breakdown under the infer account. led and sp may be nil.
+func (c Coefficients) ChargeInference(led *energy.Ledger, sp *obs.Span, macs map[nn.LayerKind]int64) float64 {
+	e := c.TrueEnergy(macs)
+	led.ChargeSpan(sp, energy.AccountInfer, e)
+	return e
+}
+
+// ChargeGestureSensing books one gesture capture's sensing energy under the
+// sense account. led and sp may be nil.
+func ChargeGestureSensing(led *energy.Ledger, sp *obs.Span, p mcu.PowerProfile, cfg dataset.GestureConfig) float64 {
+	e := GestureSensingTrue(p, cfg)
+	led.ChargeSpan(sp, energy.AccountSense, e)
+	return e
+}
+
+// ChargeAudioSensing books one audio clip's sensing energy under the sense
+// account. led and sp may be nil.
+func ChargeAudioSensing(led *energy.Ledger, sp *obs.Span, p mcu.PowerProfile, cfg dsp.FrontEndConfig) float64 {
+	e := AudioSensingTrue(p, cfg)
+	led.ChargeSpan(sp, energy.AccountSense, e)
+	return e
+}

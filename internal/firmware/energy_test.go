@@ -1,0 +1,174 @@
+package firmware
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"solarml/internal/obs"
+	"solarml/internal/obs/energy"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden test files")
+
+// seededRun executes a deterministic two-hour lifetime simulation with the
+// ledger attached and returns the ledger, the run stats, and the initial
+// stored energy.
+func seededRun(t *testing.T, led *energy.Ledger, rec *obs.Recorder) (*Stats, float64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Energy = led
+	cfg.Obs = rec
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initialJ := sim.harv.Cap.Energy()
+	const duration = 2 * 3600.0
+	times := PoissonArrivals(rand.New(rand.NewSource(1)), duration, 300)
+	stats, err := sim.Run(duration, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Events) == 0 || stats.Counts[Completed] == 0 {
+		t.Fatalf("degenerate seeded run: %+v", stats.Counts)
+	}
+	return stats, initialJ
+}
+
+// TestLedgerAgreesWithEnergyModel pins the acceptance criterion that the
+// per-phase joules the ledger books for a seeded lifetime run agree with
+// internal/energymodel's totals: every completed session charges exactly
+// the model's wake/sense/infer split, every rejection exactly the wake
+// energy.
+func TestLedgerAgreesWithEnergyModel(t *testing.T) {
+	led := energy.NewLedger(nil)
+	stats, _ := seededRun(t, led, nil)
+	if stats.Counts[BrownOut] != 0 {
+		t.Fatalf("seeded run browned out %d times; pick a gentler scenario", stats.Counts[BrownOut])
+	}
+
+	sim, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := sim.sessionCostFor(DefaultConfig().InferMACs)
+	nDone := float64(stats.Counts[Completed])
+	nRej := float64(stats.Counts[RejectedVTheta])
+
+	check := func(name string, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("%s = %.12g J, energymodel says %.12g J", name, got, want)
+		}
+	}
+	check("detect", led.Consumed(energy.AccountDetect), (nDone+nRej)*cost.WakeJ)
+	check("sense", led.Consumed(energy.AccountSense), nDone*cost.SenseJ)
+	check("infer", led.Consumed(energy.AccountInfer), nDone*cost.InferJ)
+	check("sessions total",
+		led.Consumed(energy.AccountDetect)+led.Consumed(energy.AccountSense)+led.Consumed(energy.AccountInfer),
+		stats.ConsumedJ)
+}
+
+// TestLedgerEnergyBalance pins the conservation law the ledger makes
+// checkable: harvested income minus leak minus session drains equals the
+// change in stored supercap energy.
+func TestLedgerEnergyBalance(t *testing.T) {
+	led := energy.NewLedger(nil)
+	stats, initialJ := seededRun(t, led, nil)
+
+	s := led.Snapshot()
+	finalJ := s.SupercapJ
+	balance := s.HarvestedJ - s.ConsumedJ
+	delta := finalJ - initialJ
+	if math.Abs(balance-delta) > 1e-9*math.Max(1, math.Abs(delta)) {
+		t.Errorf("energy not conserved: harvested-consumed = %.12g J but Δstored = %.12g J", balance, delta)
+	}
+	if s.Account(energy.AccountLeak) <= 0 {
+		t.Error("no leak booked over a two-hour run")
+	}
+	if got := s.ConsumedJ - s.Account(energy.AccountLeak); math.Abs(got-stats.ConsumedJ) > 1e-9 {
+		t.Errorf("non-leak consumption %.12g J != stats.ConsumedJ %.12g J", got, stats.ConsumedJ)
+	}
+}
+
+// TestSessionSpansCarryEnergy checks the trace side: firmware.session spans
+// have detect/sense/infer children whose energy_uj attributes sum to the
+// ledger's session totals.
+func TestSessionSpansCarryEnergy(t *testing.T) {
+	var buf bytes.Buffer
+	rec := obs.NewRecorder(&buf)
+	led := energy.NewLedger(nil)
+	seededRun(t, led, rec)
+	rec.Finish("ok")
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, skipped, err := obs.ScanTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("%d unparseable trace lines", skipped)
+	}
+	sums := map[string]float64{}
+	sessions := 0
+	for _, ev := range events {
+		switch ev.Name {
+		case "firmware.session":
+			sessions++
+		case "firmware.detect", "firmware.sense", "firmware.infer":
+			sums[ev.Name] += ev.Float(obs.AttrEnergyUJ)
+		}
+	}
+	if sessions == 0 {
+		t.Fatal("no firmware.session spans in trace")
+	}
+	for name, acc := range map[string]energy.Account{
+		"firmware.detect": energy.AccountDetect,
+		"firmware.sense":  energy.AccountSense,
+		"firmware.infer":  energy.AccountInfer,
+	} {
+		wantUJ := led.Consumed(acc) * 1e6
+		if math.Abs(sums[name]-wantUJ) > 1e-6*math.Max(1, wantUJ) {
+			t.Errorf("%s spans carry %.6g µJ, ledger booked %.6g µJ", name, sums[name], wantUJ)
+		}
+	}
+}
+
+// TestGoldenMetricsScrape pins the Prometheus exposition of the energy
+// series for the seeded run: counter µJ values, gauges, and the
+// joules-per-interaction histogram, byte for byte. Regenerate with
+// `go test ./internal/firmware -run TestGoldenMetricsScrape -update`.
+func TestGoldenMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	led := energy.NewLedger(reg)
+	seededRun(t, led, nil)
+	led.Sync()
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "metrics_scrape.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("metrics scrape drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -23,6 +23,8 @@ import (
 	"solarml/internal/mcu"
 	"solarml/internal/nas"
 	"solarml/internal/nn"
+	"solarml/internal/obs"
+	"solarml/internal/obs/energy"
 	"solarml/internal/quant"
 	"solarml/internal/solar"
 )
@@ -81,6 +83,15 @@ type Config struct {
 	// the deepest exit whose session energy fits the energy stored above
 	// V_θ, degrading gracefully instead of rejecting outright.
 	ExitMACs []map[nn.LayerKind]int64
+	// Obs, when set, wraps every booted interaction in a firmware.session
+	// span with firmware.detect/sense/infer children, each carrying its
+	// phase's energy as an energy_uj attribute.
+	Obs *obs.Recorder
+	// Energy, when set, books the run into the joule ledger: session
+	// phases under detect/sense/infer, harvest income and supercap leak
+	// via the harvester, and one joules-per-interaction observation per
+	// event. The simulation arithmetic is identical with or without it.
+	Energy *energy.Ledger
 }
 
 // DefaultConfig returns a deployment-like configuration.
@@ -206,12 +217,30 @@ func New(cfg Config) (*Simulator, error) {
 		profile: mcu.NRF52840(),
 	}
 	s.harv.Cap.V = cfg.InitialV
+	s.harv.Energy = cfg.Energy
+	if cfg.Energy != nil {
+		cfg.Energy.SetSupercap(s.harv.Cap.V, s.harv.Cap.Energy())
+	}
 	return s, nil
 }
 
-// sessionEnergyFor returns the energy and duration of one full session
+// sessionCost itemizes one full session's energy by phase, mapping onto
+// the joule ledger accounts: wake → detect, sampling+processing → sense,
+// model execution → infer.
+type sessionCost struct {
+	WakeJ  float64
+	SenseJ float64
+	InferJ float64
+	DurS   float64
+}
+
+// TotalJ sums the phases in fixed wake+sense+infer order (the bit pattern
+// the pre-ledger simulator produced).
+func (c sessionCost) TotalJ() float64 { return c.WakeJ + c.SenseJ + c.InferJ }
+
+// sessionCostFor returns the per-phase cost of one full session
 // (wake + sample + process + infer) through the given model.
-func (s *Simulator) sessionEnergyFor(macs map[nn.LayerKind]int64) (float64, float64) {
+func (s *Simulator) sessionCostFor(macs map[nn.LayerKind]int64) sessionCost {
 	wake := s.profile.WakeUpS * s.profile.WakeUpW
 	var sense, senseDur float64
 	if s.cfg.Task == nas.TaskKWS {
@@ -222,23 +251,48 @@ func (s *Simulator) sessionEnergyFor(macs map[nn.LayerKind]int64) (float64, floa
 		senseDur = dataset.GestureDurationS
 	}
 	infer := energymodel.DefaultCoefficients().TrueEnergy(macs)
-	dur := s.profile.WakeUpS + senseDur + infer/s.profile.ActiveW
-	return wake + sense + infer, dur
+	return sessionCost{
+		WakeJ: wake, SenseJ: sense, InferJ: infer,
+		DurS: s.profile.WakeUpS + senseDur + infer/s.profile.ActiveW,
+	}
+}
+
+// sessionEnergyFor returns the energy and duration of one full session
+// through the given model (the aggregate view of sessionCostFor).
+func (s *Simulator) sessionEnergyFor(macs map[nn.LayerKind]int64) (float64, float64) {
+	c := s.sessionCostFor(macs)
+	return c.TotalJ(), c.DurS
 }
 
 // chooseExit picks the deepest affordable ladder rung given the energy
 // stored above the V_θ reserve. Returns -1 when even the shallowest exit
 // does not fit.
-func (s *Simulator) chooseExit() (exit int, energy, dur float64) {
+func (s *Simulator) chooseExit() (int, sessionCost) {
 	available := s.harv.Cap.EnergyAbove(s.cfg.VTheta)
-	exit = -1
+	exit := -1
+	var best sessionCost
 	for k, macs := range s.cfg.ExitMACs {
-		e, d := s.sessionEnergyFor(macs)
-		if e <= available {
-			exit, energy, dur = k, e, d
+		c := s.sessionCostFor(macs)
+		if c.TotalJ() <= available {
+			exit, best = k, c
 		}
 	}
-	return exit, energy, dur
+	return exit, best
+}
+
+// chargePhase books one session phase: a child span named for the phase
+// (energy attributed via energy_uj) under parent, and the matching ledger
+// account. Span and ledger are independent — either may be disabled.
+func (s *Simulator) chargePhase(parent *obs.Span, acc energy.Account, name string, j float64) {
+	if j <= 0 {
+		return
+	}
+	if parent.Enabled() {
+		child := parent.Child(name, obs.Str("account", acc.String()))
+		child.AddEnergy(j)
+		child.End()
+	}
+	s.cfg.Energy.Charge(acc, j)
 }
 
 // charge advances the harvester from t0 to t1 with the lighting profile,
@@ -269,7 +323,7 @@ func (s *Simulator) Run(duration float64, eventTimes []float64) (*Stats, error) 
 	sort.Float64s(times)
 	stats := &Stats{Duration: duration, Counts: make(map[EventOutcome]int), ExitCounts: make(map[int]int)}
 	now := 0.0
-	sessionJ, sessionDur := s.sessionEnergyFor(s.cfg.InferMACs)
+	baseCost := s.sessionCostFor(s.cfg.InferMACs)
 	for _, et := range times {
 		if et < 0 || et > duration {
 			return nil, fmt.Errorf("firmware: event time %.1f outside [0, %.1f]", et, duration)
@@ -290,11 +344,13 @@ func (s *Simulator) Run(duration float64, eventTimes []float64) (*Stats, error) 
 			ev.Outcome = BlockedLowSupercap
 		default:
 			s.event.SetHold(true)
-			wantJ, wantDur := sessionJ, sessionDur
+			cost := baseCost
 			exit := -1
 			if len(s.cfg.ExitMACs) > 0 {
-				exit, wantJ, wantDur = s.chooseExit()
+				exit, cost = s.chooseExit()
 			}
+			sp := s.cfg.Obs.StartSpan("firmware.session",
+				obs.F64("t", et), obs.F64("v", ev.V), obs.F64("lux", lux))
 			// Firmware policy: proceed only when V > V_θ (and, with a
 			// multi-exit ladder, only when some rung fits the budget).
 			switch {
@@ -302,27 +358,52 @@ func (s *Simulator) Run(duration float64, eventTimes []float64) (*Stats, error) 
 				ev.Outcome = RejectedVTheta
 				ev.EnergyJ = s.profile.WakeUpS * s.profile.WakeUpW
 				s.harv.Cap.Drain(ev.EnergyJ)
-			case s.harv.Cap.Drain(wantJ):
+				// The boot attempt is detection work: it spent the wake
+				// transition learning there was nothing it could do.
+				s.chargePhase(&sp, energy.AccountDetect, "firmware.detect", ev.EnergyJ)
+			case s.harv.Cap.Drain(cost.TotalJ()):
 				ev.Outcome = Completed
-				ev.EnergyJ = wantJ
+				ev.EnergyJ = cost.TotalJ()
 				ev.Exit = exit
 				if exit >= 0 {
 					stats.ExitCounts[exit]++
 				}
+				s.chargePhase(&sp, energy.AccountDetect, "firmware.detect", cost.WakeJ)
+				s.chargePhase(&sp, energy.AccountSense, "firmware.sense", cost.SenseJ)
+				s.chargePhase(&sp, energy.AccountInfer, "firmware.infer", cost.InferJ)
 				// Sensing cells are switched out of the harvesting
 				// branch for the session.
-				stats.HarvestedJ += s.charge(now, now+wantDur, true)
-				now += wantDur
+				stats.HarvestedJ += s.charge(now, now+cost.DurS, true)
+				now += cost.DurS
 			default:
 				// Not enough stored energy: the session browns out
-				// partway and the supercap is left nearly empty.
+				// partway and the supercap is left nearly empty. The
+				// partial spend is attributed in session order —
+				// wake, then sensing, then inference — each phase
+				// clipped by what was actually drained.
 				ev.Outcome = BrownOut
 				ev.EnergyJ = s.harv.Cap.Energy() * 0.9
 				s.harv.Cap.Drain(ev.EnergyJ)
+				remain := ev.EnergyJ
+				for _, ph := range []struct {
+					acc  energy.Account
+					name string
+					j    float64
+				}{
+					{energy.AccountDetect, "firmware.detect", cost.WakeJ},
+					{energy.AccountSense, "firmware.sense", cost.SenseJ},
+					{energy.AccountInfer, "firmware.infer", cost.InferJ},
+				} {
+					j := math.Min(remain, ph.j)
+					s.chargePhase(&sp, ph.acc, ph.name, j)
+					remain -= j
+				}
 			}
 			s.event.SetHold(false)
 			s.event.Step(s.array.DetectVoltage(lux, 0), refVoc, s.harv.Cap.V)
+			sp.End(obs.Str("outcome", ev.Outcome.String()), obs.Int("exit", ev.Exit))
 		}
+		s.cfg.Energy.ObserveInteraction(ev.EnergyJ)
 		stats.ConsumedJ += ev.EnergyJ
 		stats.Counts[ev.Outcome]++
 		stats.Events = append(stats.Events, ev)

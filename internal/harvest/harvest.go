@@ -12,6 +12,7 @@ import (
 
 	"solarml/internal/circuit"
 	"solarml/internal/obs"
+	"solarml/internal/obs/energy"
 	"solarml/internal/solar"
 )
 
@@ -29,6 +30,12 @@ type Harvester struct {
 	// and one harvest.time event per TimeToHarvest query. The per-step
 	// Charge path stays uninstrumented — replays run millions of steps.
 	Obs *obs.Recorder
+	// Energy, when set, books every charge step into the joule ledger:
+	// the post-clamp deposit as harvested income, leakage to the leak
+	// account, plus supercap-level and harvest-rate gauges. The ledger's
+	// per-call cost is one atomic add, cheap enough for replay loops; a
+	// nil ledger keeps the original arithmetic bit-identical.
+	Energy *energy.Ledger
 }
 
 // New returns a harvester over the standard 25-cell array and 1 F supercap.
@@ -57,8 +64,29 @@ func (h *Harvester) Charge(lux, dt float64, sensingActive bool) {
 	if dt < 0 {
 		panic(fmt.Sprintf("harvest: negative interval %v", dt))
 	}
-	h.Cap.AddEnergy(h.InputPower(lux, sensingActive) * dt)
+	h.deposit(h.InputPower(lux, sensingActive), dt)
+}
+
+// deposit applies one constant-power charge step: energy in, then leakage —
+// the exact operation order the golden seeded-search fixtures depend on.
+// With a ledger attached it additionally books the post-clamp deposit as
+// harvested income (energy clipped at VMax never existed as storable
+// income), the leak drop to the leak account, and the level gauges.
+func (h *Harvester) deposit(p, dt float64) {
+	if h.Energy == nil {
+		h.Cap.AddEnergy(p * dt)
+		h.Cap.Leak(dt)
+		return
+	}
+	before := h.Cap.Energy()
+	h.Cap.AddEnergy(p * dt)
+	stored := h.Cap.Energy()
 	h.Cap.Leak(dt)
+	after := h.Cap.Energy()
+	h.Energy.Harvest(stored - before)
+	h.Energy.Charge(energy.AccountLeak, stored-after)
+	h.Energy.SetHarvestRate(p)
+	h.Energy.SetSupercap(h.Cap.V, after)
 }
 
 // ChargeShaded advances the harvester by dt seconds while a hand hovers
@@ -73,8 +101,7 @@ func (h *Harvester) ChargeShaded(lux, dt, handCover, handShade float64, sensingA
 	if p < 0 {
 		p = 0
 	}
-	h.Cap.AddEnergy(p * dt)
-	h.Cap.Leak(dt)
+	h.deposit(p, dt)
 }
 
 // TimeToHarvest returns how long the platform must charge at the given

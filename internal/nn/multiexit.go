@@ -6,6 +6,8 @@ import (
 	"math/rand"
 
 	"solarml/internal/compute"
+	"solarml/internal/obs"
+	"solarml/internal/obs/energy"
 	"solarml/internal/tensor"
 )
 
@@ -204,6 +206,13 @@ type FitConfig struct {
 	// and the network carries no arena yet, Fit installs a fresh one (see
 	// TrainConfig.Arena).
 	Arena *Arena
+	// Obs, when set, wraps the run in an nn.fit_multiexit span carrying
+	// one nn.epoch event per epoch, mirroring TrainConfig.Obs.
+	Obs *obs.Recorder
+	// Energy and SampleEnergyJ book per-epoch training energy under the
+	// train account, as in TrainConfig.
+	Energy        *energy.Ledger
+	SampleEnergyJ float64
 }
 
 // Fit trains backbone and exits jointly with a weighted sum of per-exit
@@ -244,6 +253,10 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 	order := rng.Perm(total)
 	bshape := append([]int{0}, m.InShape...)
 	headGrads := make([]*tensor.Tensor, len(m.Exits))
+	fit := cfg.Obs.StartSpan("nn.fit_multiexit",
+		obs.Int("samples", total), obs.Int("epochs", cfg.Epochs),
+		obs.Int("batch_size", cfg.BatchSize), obs.Int("exits", len(m.Exits)),
+		obs.F64("lr", cfg.LR))
 	var lastLoss float64
 	for ep := 0; ep < cfg.Epochs; ep++ {
 		rng.Shuffle(total, func(i, j int) { order[i], order[j] = order[j], order[i] })
@@ -306,7 +319,14 @@ func (m *MultiExitNetwork) Fit(inputs *tensor.Tensor, labels []int, cfg FitConfi
 			batches++
 		}
 		lastLoss = epochLoss / float64(batches)
+		if cfg.Obs.Enabled() {
+			fit.Event("nn.epoch", obs.Int("epoch", ep), obs.F64("loss", lastLoss))
+		}
+		if cfg.Energy != nil && cfg.SampleEnergyJ > 0 {
+			cfg.Energy.ChargeSpan(&fit, energy.AccountTrain, cfg.SampleEnergyJ*float64(total))
+		}
 	}
+	fit.End(obs.F64("loss", lastLoss))
 	return lastLoss
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"solarml/internal/compute"
 	"solarml/internal/obs"
+	"solarml/internal/obs/energy"
 	"solarml/internal/tensor"
 )
 
@@ -353,6 +354,15 @@ type TrainConfig struct {
 	// Obs, when set, receives one nn.epoch event per epoch (index, mean
 	// loss, wall-clock seconds) and an nn.fit span wrapping the run.
 	Obs *obs.Recorder
+	// Energy, when set, books the run's on-device training energy under
+	// the train account (and onto the nn.fit span): SampleEnergyJ joules
+	// per sample per epoch, the linear per-step cost model on-device
+	// personalization budgets against. Charged per epoch, outside the
+	// allocation-free trainStep path.
+	Energy *energy.Ledger
+	// SampleEnergyJ is the joules one training sample costs per epoch
+	// (forward + backward + update); zero books nothing.
+	SampleEnergyJ float64
 }
 
 // gradClipper holds the clipper's dispatch operands and cached range
@@ -515,6 +525,9 @@ func (n *Network) Fit(inputs *tensor.Tensor, labels []int, cfg TrainConfig) floa
 		}
 		if cfg.Verbose != nil {
 			cfg.Verbose(ep, lastLoss)
+		}
+		if cfg.Energy != nil && cfg.SampleEnergyJ > 0 {
+			cfg.Energy.ChargeSpan(&fit, energy.AccountTrain, cfg.SampleEnergyJ*float64(total))
 		}
 	}
 	fit.End(obs.F64("loss", lastLoss))

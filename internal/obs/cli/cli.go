@@ -54,7 +54,22 @@ type Session struct {
 	flags     Flags
 	traceFile *os.File
 	sampler   *obs.Sampler
+	hooks     []func()
 	closed    bool
+}
+
+// OnSample registers fn to run before every metrics snapshot: each periodic
+// sampler tick (when -metrics-interval is set) and the terminal flush in
+// Close. Producers whose state lives outside the registry — the energy
+// ledger syncing its joule counters, most prominently — register here so
+// both the time series and the final snapshot carry their figures. Safe on
+// a nil Session.
+func (s *Session) OnSample(fn func()) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.hooks = append(s.hooks, fn)
+	s.sampler.OnSample(fn)
 }
 
 // Open builds the session the flags describe: trace recorder, metrics
@@ -109,6 +124,11 @@ func (s *Session) Close(outcome string) error {
 	}
 	s.closed = true
 	s.sampler.Stop()
+	// Run the sample hooks once more so charges landed after the sampler's
+	// terminal tick (or with no sampler at all) reach the final snapshot.
+	for _, fn := range s.hooks {
+		fn()
+	}
 	s.Rec.FlushMetrics(s.Reg)
 	s.Rec.Finish(outcome)
 

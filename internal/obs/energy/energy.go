@@ -1,0 +1,332 @@
+// Package energy is the joule ledger of the SolarML observability stack: a
+// lock-cheap accumulator that attributes harvested and consumed energy to a
+// fixed taxonomy of named accounts (sense, detect, infer, train, mcu-sleep,
+// radio, leak) and — through obs.Span.AddEnergy — to live spans, so traces
+// carry energy the same way they carry durations.
+//
+// The ledger mirrors the obs design contracts:
+//
+//   - A nil *Ledger is a valid disabled ledger: every method returns
+//     immediately and allocates nothing, so the producers (harvest steps,
+//     firmware sessions, training loops) carry no conditionals.
+//   - The enabled hot path — Charge, Harvest — is one atomic CAS add per
+//     call, no locks, no allocations; 50 kHz harvest replays stay cheap.
+//   - Sync publishes the accumulated totals into an obs.Registry as
+//     monotonic microjoule counters (delta-published so rounding never
+//     accumulates), supercap/harvest-rate gauges, and the per-interaction
+//     joule histogram, which the Prometheus /metrics endpoint and metrics
+//     snapshots then expose without further glue.
+package energy
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"solarml/internal/obs"
+)
+
+// Account names a destination for consumed energy. The taxonomy is fixed so
+// ledgers from millions of simulated devices aggregate by index, not by
+// string key.
+type Account uint8
+
+const (
+	// AccountSense: sensor sampling and pre-processing (the paper's E_S).
+	AccountSense Account = iota
+	// AccountDetect: event detection — wake-up transitions, the passive
+	// hover detector, idle vigilance (the paper's E_E).
+	AccountDetect
+	// AccountInfer: model execution (the paper's E_M).
+	AccountInfer
+	// AccountTrain: on-device training / personalization steps.
+	AccountTrain
+	// AccountSleep: MCU deep-sleep, standby, and off retention draw.
+	AccountSleep
+	// AccountRadio: telemetry uplink (reserved for the fleet engine).
+	AccountRadio
+	// AccountLeak: supercap self-discharge.
+	AccountLeak
+	numAccounts
+)
+
+var accountNames = [numAccounts]string{
+	"sense", "detect", "infer", "train", "mcu-sleep", "radio", "leak",
+}
+
+// String returns the account name used in metric names, CSV artifacts, and
+// span attributes.
+func (a Account) String() string {
+	if int(a) < len(accountNames) {
+		return accountNames[a]
+	}
+	return "unknown"
+}
+
+// Accounts returns every account in fixed display order.
+func Accounts() []Account {
+	out := make([]Account, numAccounts)
+	for i := range out {
+		out[i] = Account(i)
+	}
+	return out
+}
+
+// Metric names the ledger publishes. Counters are microjoule-integer so
+// they survive the int64 counter representation; gauges are SI.
+const (
+	// CounterHarvestedUJ is the cumulative energy deposited into the
+	// supercap (post-clamp, pre-leak), in µJ.
+	CounterHarvestedUJ = "energy.harvested_uj"
+	// CounterConsumedUJ is the cumulative energy consumed across all
+	// accounts, in µJ.
+	CounterConsumedUJ = "energy.consumed_uj"
+	// GaugeSupercapJ / GaugeSupercapV are the stored-energy level gauges.
+	GaugeSupercapJ = "energy.supercap_j"
+	GaugeSupercapV = "energy.supercap_v"
+	// GaugeHarvestRateW is the instantaneous net harvesting input power.
+	GaugeHarvestRateW = "energy.harvest_rate_w"
+	// HistInteractionUJ is the joules-per-interaction histogram.
+	HistInteractionUJ = "energy.interaction_uj"
+)
+
+// AccountCounter returns the µJ counter name for one account, e.g.
+// "energy.mcu-sleep_uj" (Prometheus-sanitized to energy_mcu_sleep_uj).
+func AccountCounter(a Account) string { return "energy." + a.String() + "_uj" }
+
+// InteractionBucketsUJ are the default bucket bounds of the
+// joules-per-interaction histogram, in µJ: from a rejected wake-up
+// (tens of µJ) to a deep multi-exit KWS session (tens of mJ).
+var InteractionBucketsUJ = []float64{
+	10, 50, 100, 500, 1e3, 5e3, 1e4, 5e4, 1e5, 1e6,
+}
+
+// atomicF64 is a float64 with atomic add/load/store via CAS on the bits.
+type atomicF64 struct{ bits atomic.Uint64 }
+
+func (a *atomicF64) Add(d float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+func (a *atomicF64) Load() float64   { return math.Float64frombits(a.bits.Load()) }
+func (a *atomicF64) Store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+// Ledger attributes joules to accounts. Concurrent Charge/Harvest calls are
+// safe and lock-free; Sync serializes publication under a short mutex.
+type Ledger struct {
+	consumed  [numAccounts]atomicF64
+	harvested atomicF64
+	supercapJ atomicF64
+	supercapV atomicF64
+	harvestW  atomicF64
+
+	// Pre-resolved registry instruments (nil with a nil registry; every
+	// nil instrument is a valid no-op).
+	accountC     [numAccounts]*obs.Counter
+	harvestedC   *obs.Counter
+	consumedC    *obs.Counter
+	gSupercapJ   *obs.Gauge
+	gSupercapV   *obs.Gauge
+	gHarvestW    *obs.Gauge
+	hInteraction *obs.Histogram
+
+	// pub tracks the µJ totals already published to the counters, so Sync
+	// adds exact deltas: the counter always equals round(total µJ) and
+	// per-sync rounding never accumulates.
+	pub struct {
+		mu          sync.Mutex
+		accountUJ   [numAccounts]int64
+		harvestedUJ int64
+		consumedUJ  int64
+	}
+}
+
+// NewLedger returns a ledger publishing into reg on Sync. reg may be nil:
+// the ledger still accumulates (Snapshot, Summary, and WriteCSV work) but
+// publishes nothing — the shape examples and tests use.
+func NewLedger(reg *obs.Registry) *Ledger {
+	l := &Ledger{}
+	for a := Account(0); a < numAccounts; a++ {
+		l.accountC[a] = reg.Counter(AccountCounter(a))
+	}
+	l.harvestedC = reg.Counter(CounterHarvestedUJ)
+	l.consumedC = reg.Counter(CounterConsumedUJ)
+	l.gSupercapJ = reg.Gauge(GaugeSupercapJ)
+	l.gSupercapV = reg.Gauge(GaugeSupercapV)
+	l.gHarvestW = reg.Gauge(GaugeHarvestRateW)
+	l.hInteraction = reg.Histogram(HistInteractionUJ, InteractionBucketsUJ)
+	return l
+}
+
+// Enabled reports whether the ledger records anything.
+func (l *Ledger) Enabled() bool { return l != nil }
+
+// Charge attributes joules of consumption to the account. Non-positive
+// charges are dropped (producers pass raw deltas that can round to zero or
+// slightly below).
+func (l *Ledger) Charge(a Account, joules float64) {
+	if l == nil || joules <= 0 || a >= numAccounts {
+		return
+	}
+	l.consumed[a].Add(joules)
+}
+
+// ChargeSpan charges the account and attributes the same joules to the
+// span, which will report them as an energy_uj attribute at End. sp may be
+// nil or disabled; the account charge still lands.
+func (l *Ledger) ChargeSpan(sp *obs.Span, a Account, joules float64) {
+	if l == nil || joules <= 0 || a >= numAccounts {
+		return
+	}
+	l.consumed[a].Add(joules)
+	if sp != nil {
+		sp.AddEnergy(joules)
+	}
+}
+
+// Harvest credits joules of income (energy actually deposited into
+// storage). Non-positive amounts are dropped.
+func (l *Ledger) Harvest(joules float64) {
+	if l == nil || joules <= 0 {
+		return
+	}
+	l.harvested.Add(joules)
+}
+
+// SetSupercap records the storage level: terminal voltage and stored
+// joules. Published immediately as gauges when a registry is attached.
+func (l *Ledger) SetSupercap(volts, joules float64) {
+	if l == nil {
+		return
+	}
+	l.supercapV.Store(volts)
+	l.supercapJ.Store(joules)
+	l.gSupercapV.Set(volts)
+	l.gSupercapJ.Set(joules)
+}
+
+// SetHarvestRate records the instantaneous net harvesting input power in
+// watts, published immediately as a gauge when a registry is attached.
+func (l *Ledger) SetHarvestRate(watts float64) {
+	if l == nil {
+		return
+	}
+	l.harvestW.Store(watts)
+	l.gHarvestW.Set(watts)
+}
+
+// ObserveInteraction records one end-to-end interaction's energy in the
+// joules-per-interaction histogram (µJ buckets).
+func (l *Ledger) ObserveInteraction(joules float64) {
+	if l == nil {
+		return
+	}
+	l.hInteraction.Observe(joules * 1e6)
+}
+
+// Consumed returns the joules charged to one account so far.
+func (l *Ledger) Consumed(a Account) float64 {
+	if l == nil || a >= numAccounts {
+		return 0
+	}
+	return l.consumed[a].Load()
+}
+
+// TotalConsumed returns the joules charged across all accounts.
+func (l *Ledger) TotalConsumed() float64 {
+	if l == nil {
+		return 0
+	}
+	var t float64
+	for i := range l.consumed {
+		t += l.consumed[i].Load()
+	}
+	return t
+}
+
+// TotalHarvested returns the harvested joules so far.
+func (l *Ledger) TotalHarvested() float64 {
+	if l == nil {
+		return 0
+	}
+	return l.harvested.Load()
+}
+
+// Sync publishes the accumulated totals into the registry instruments:
+// counter deltas in µJ (the counter tracks round(total µJ) exactly) and the
+// level gauges. Call it from a sampler hook (obs/cli wires this) or before
+// any explicit metrics flush; a nil ledger or one built over a nil registry
+// is a no-op.
+func (l *Ledger) Sync() {
+	if l == nil || l.harvestedC == nil {
+		return
+	}
+	l.pub.mu.Lock()
+	var consumedUJ float64
+	for i := range l.consumed {
+		j := l.consumed[i].Load()
+		consumedUJ += j * 1e6
+		tot := int64(math.Round(j * 1e6))
+		if d := tot - l.pub.accountUJ[i]; d != 0 {
+			l.accountC[i].Add(d)
+			l.pub.accountUJ[i] = tot
+		}
+	}
+	if tot := int64(math.Round(consumedUJ)); tot != l.pub.consumedUJ {
+		l.consumedC.Add(tot - l.pub.consumedUJ)
+		l.pub.consumedUJ = tot
+	}
+	if tot := int64(math.Round(l.harvested.Load() * 1e6)); tot != l.pub.harvestedUJ {
+		l.harvestedC.Add(tot - l.pub.harvestedUJ)
+		l.pub.harvestedUJ = tot
+	}
+	l.pub.mu.Unlock()
+	l.gSupercapV.Set(l.supercapV.Load())
+	l.gSupercapJ.Set(l.supercapJ.Load())
+	l.gHarvestW.Set(l.harvestW.Load())
+}
+
+// Snapshot is a point-in-time copy of the ledger.
+type Snapshot struct {
+	// AccountJ is indexed by Account, one entry per Accounts().
+	AccountJ []float64
+	// HarvestedJ is the income side; ConsumedJ the sum of AccountJ.
+	HarvestedJ float64
+	ConsumedJ  float64
+	// SupercapJ/SupercapV/HarvestRateW mirror the level gauges.
+	SupercapJ, SupercapV, HarvestRateW float64
+}
+
+// Account returns one account's joules from the snapshot.
+func (s Snapshot) Account(a Account) float64 {
+	if int(a) < len(s.AccountJ) {
+		return s.AccountJ[a]
+	}
+	return 0
+}
+
+// NetJ returns harvested minus consumed joules.
+func (s Snapshot) NetJ() float64 { return s.HarvestedJ - s.ConsumedJ }
+
+// Snapshot copies the ledger state; a nil ledger yields a zero snapshot
+// with a non-nil (empty-total) account slice.
+func (l *Ledger) Snapshot() Snapshot {
+	s := Snapshot{AccountJ: make([]float64, numAccounts)}
+	if l == nil {
+		return s
+	}
+	for i := range l.consumed {
+		s.AccountJ[i] = l.consumed[i].Load()
+		s.ConsumedJ += s.AccountJ[i]
+	}
+	s.HarvestedJ = l.harvested.Load()
+	s.SupercapJ = l.supercapJ.Load()
+	s.SupercapV = l.supercapV.Load()
+	s.HarvestRateW = l.harvestW.Load()
+	return s
+}

@@ -1,0 +1,73 @@
+package energy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteCSV writes the ledger as a small machine-readable artifact:
+// one row per account plus the harvested/consumed/net totals, with each
+// consumption row's share of total consumption. Zero accounts are kept so
+// downstream joins see the full taxonomy.
+func (l *Ledger) WriteCSV(w io.Writer) error {
+	s := l.Snapshot()
+	if _, err := fmt.Fprintln(w, "row,account,joules,share"); err != nil {
+		return err
+	}
+	for _, a := range Accounts() {
+		share := 0.0
+		if s.ConsumedJ > 0 {
+			share = s.Account(a) / s.ConsumedJ
+		}
+		if _, err := fmt.Fprintf(w, "consumed,%s,%.9g,%.4f\n", a, s.Account(a), share); err != nil {
+			return err
+		}
+	}
+	for _, row := range []struct {
+		name string
+		j    float64
+	}{
+		{"harvested", s.HarvestedJ},
+		{"consumed", s.ConsumedJ},
+		{"net", s.NetJ()},
+	} {
+		if _, err := fmt.Fprintf(w, "total,%s,%.9g,\n", row.name, row.j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a human-readable per-account breakdown, largest consumer
+// first, with harvested/consumed/net totals — the energy twin of
+// powertrace.Recorder.Summary.
+func (l *Ledger) Summary() string {
+	s := l.Snapshot()
+	type row struct {
+		a Account
+		j float64
+	}
+	rows := make([]row, 0, numAccounts)
+	for _, a := range Accounts() {
+		if j := s.Account(a); j > 0 {
+			rows = append(rows, row{a, j})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].j > rows[j].j })
+
+	var b strings.Builder
+	b.WriteString("energy ledger:\n")
+	if len(rows) == 0 {
+		b.WriteString("  (no consumption recorded)\n")
+	}
+	for _, r := range rows {
+		share := 100 * r.j / s.ConsumedJ
+		fmt.Fprintf(&b, "  %-10s %12.1f µJ  (%5.1f%%)\n", r.a, r.j*1e6, share)
+	}
+	fmt.Fprintf(&b, "  consumed   %12.1f µJ\n", s.ConsumedJ*1e6)
+	fmt.Fprintf(&b, "  harvested  %12.1f µJ\n", s.HarvestedJ*1e6)
+	fmt.Fprintf(&b, "  net        %+12.1f µJ\n", s.NetJ()*1e6)
+	return b.String()
+}

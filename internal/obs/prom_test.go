@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"fmt"
+	"math"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -67,16 +69,87 @@ func TestPrometheusHandler(t *testing.T) {
 	}
 }
 
-// TestPromName pins the name sanitizer.
+// TestPromName pins the name sanitizer, including the joule ledger's
+// metric names (the hyphen in "mcu-sleep" must become an underscore).
 func TestPromName(t *testing.T) {
 	for in, want := range map[string]string{
-		"enas.eval_seconds": "enas_eval_seconds",
-		"9lives":            "_lives",
-		"a-b c":             "a_b_c",
-		"ok_name:x9":        "ok_name:x9",
+		"enas.eval_seconds":     "enas_eval_seconds",
+		"9lives":                "_lives",
+		"a-b c":                 "a_b_c",
+		"ok_name:x9":            "ok_name:x9",
+		"energy.mcu-sleep_uj":   "energy_mcu_sleep_uj",
+		"energy.supercap_v":     "energy_supercap_v",
+		"energy.interaction_uj": "energy_interaction_uj",
 	} {
 		if got := promName(in); got != want {
 			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusHistogramBoundaries pins the bucket contract end to end
+// using the joule ledger's interaction bounds: an observation exactly on a
+// bound lands in that bucket (≤ semantics), le labels render bound values
+// exactly as promFloat does (including the exponent form large bounds take),
+// and the cumulative series closes with +Inf at the total count.
+func TestPrometheusHistogramBoundaries(t *testing.T) {
+	bounds := []float64{10, 50, 100, 500, 1e3, 5e3, 1e4, 5e4, 1e5, 1e6}
+	g := NewRegistry()
+	h := g.Histogram("energy.interaction_uj", bounds)
+	h.Observe(10)   // exactly on the first bound → le="10"
+	h.Observe(10.1) // just over → le="50"
+	h.Observe(1e6)  // exactly on the last bound → le="1e+06"
+	h.Observe(2e6)  // overflow → counted only by +Inf
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`energy_interaction_uj_bucket{le="10"} 1`,
+		`energy_interaction_uj_bucket{le="50"} 2`,
+		`energy_interaction_uj_bucket{le="100"} 2`,
+		`energy_interaction_uj_bucket{le="1e+06"} 3`,
+		`energy_interaction_uj_bucket{le="+Inf"} 4`,
+		"energy_interaction_uj_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every finite bound plus +Inf appears exactly once.
+	if n := strings.Count(out, "_bucket{le="); n != len(bounds)+1 {
+		t.Errorf("bucket lines = %d, want %d:\n%s", n, len(bounds)+1, out)
+	}
+	// Cumulative counts never decrease down the bucket list.
+	last := -1
+	for _, line := range strings.Split(out, "\n") {
+		var le string
+		var c int
+		if _, err := fmt.Sscanf(line, "energy_interaction_uj_bucket{le=%q} %d", &le, &c); err != nil {
+			continue
+		}
+		if c < last {
+			t.Errorf("cumulative count decreased at le=%s: %d < %d", le, c, last)
+		}
+		last = c
+	}
+}
+
+// TestPrometheusGaugeSpecials pins promFloat's non-finite rendering on the
+// gauge path (a drained supercap model can legitimately publish ±Inf).
+func TestPrometheusGaugeSpecials(t *testing.T) {
+	g := NewRegistry()
+	g.Gauge("weird.pos").Set(math.Inf(1))
+	g.Gauge("weird.neg").Set(math.Inf(-1))
+	var b strings.Builder
+	if err := WritePrometheus(&b, g.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"weird_pos +Inf\n", "weird_neg -Inf\n"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, b.String())
 		}
 	}
 }

@@ -125,16 +125,46 @@ func ReadBenchFile(r io.Reader) (BenchFile, error) {
 	return f, nil
 }
 
+// benchKeyName strips the package-qualification prefix (added on name
+// collisions) from a Benchmarks map key, returning the bare benchmark name.
+func benchKeyName(k string) string {
+	if i := strings.Index(k, "Benchmark"); i > 0 && k[i-1] == '/' {
+		return k[i:]
+	}
+	return k
+}
+
 // Merge overlays new results onto f: entries sharing a key are replaced,
 // everything else is retained — a narrowed benchmark sweep (CI's smoke
 // subset) then refreshes its own data points without erasing the rest of
-// the trajectory. The Go/version stamps follow the newer file.
+// the trajectory. Qualification drift between runs is reconciled: a newly
+// qualified key evicts its stale unqualified alias, and an unqualified
+// result joins existing qualified twins under its package key rather than
+// duplicating them. The Go stamp follows the newer file; the version stamp
+// does too, unless the newer one is the "dev" fallback and f already
+// carries a real stamp.
 func (f *BenchFile) Merge(newer BenchFile) {
-	f.Go, f.Version = newer.Go, newer.Version
+	f.Go = newer.Go
+	if newer.Version != "" && !(newer.Version == "dev" && f.Version != "" && f.Version != "dev") {
+		f.Version = newer.Version
+	}
 	if f.Benchmarks == nil {
 		f.Benchmarks = make(map[string]BenchResult, len(newer.Benchmarks))
 	}
 	for k, v := range newer.Benchmarks {
+		bare := benchKeyName(k)
+		if k != bare {
+			// Newly qualified: any old unqualified alias is stale.
+			delete(f.Benchmarks, bare)
+		} else if v.Pkg != "" {
+			for old := range f.Benchmarks {
+				if old != bare && benchKeyName(old) == bare {
+					k = v.Pkg + "/" + bare
+					delete(f.Benchmarks, bare)
+					break
+				}
+			}
+		}
 		f.Benchmarks[k] = v
 	}
 }

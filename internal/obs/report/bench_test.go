@@ -96,3 +96,59 @@ func TestBenchFileEmpty(t *testing.T) {
 		t.Fatal("empty bench file should refuse to write")
 	}
 }
+
+// TestBenchFileMerge pins the overlay semantics a narrowed CI sweep relies
+// on: untouched benchmarks survive, qualification drift between runs does
+// not leave stale aliases, and a real version stamp is not clobbered by the
+// "dev" fallback.
+func TestBenchFileMerge(t *testing.T) {
+	old := report.BenchFile{
+		Schema:  report.BenchSchema,
+		Go:      "go1.0",
+		Version: "v1.2.3",
+		Benchmarks: map[string]report.BenchResult{
+			"BenchmarkKept":                    {NsPerOp: 1},
+			"BenchmarkDrifts":                  {NsPerOp: 2},
+			"solarml/internal/a/BenchmarkTwin": {Pkg: "solarml/internal/a", NsPerOp: 3},
+			"solarml/internal/b/BenchmarkTwin": {Pkg: "solarml/internal/b", NsPerOp: 4},
+		},
+	}
+
+	newer := report.NewBenchFile([]report.BenchResult{
+		// BenchmarkDrifts now collides across two packages → qualified keys.
+		{Name: "BenchmarkDrifts", Pkg: "solarml/internal/a", NsPerOp: 20},
+		{Name: "BenchmarkDrifts", Pkg: "solarml/internal/b", NsPerOp: 21},
+		// BenchmarkTwin ran in only one package this sweep → unqualified,
+		// but must re-join its qualified twins instead of duplicating.
+		{Name: "BenchmarkTwin", Pkg: "solarml/internal/a", NsPerOp: 30},
+	})
+	newer.Version = "dev"
+	old.Merge(newer)
+
+	want := map[string]float64{
+		"BenchmarkKept":                      1,
+		"solarml/internal/a/BenchmarkDrifts": 20,
+		"solarml/internal/b/BenchmarkDrifts": 21,
+		"solarml/internal/a/BenchmarkTwin":   30,
+		"solarml/internal/b/BenchmarkTwin":   4,
+	}
+	if len(old.Benchmarks) != len(want) {
+		t.Fatalf("merged keys = %v, want %d entries", old.Names(), len(want))
+	}
+	for k, ns := range want {
+		got, ok := old.Benchmarks[k]
+		if !ok || got.NsPerOp != ns {
+			t.Errorf("merged[%q] = %+v (present %v), want %g ns/op", k, got, ok, ns)
+		}
+	}
+	if old.Version != "v1.2.3" {
+		t.Errorf("version = %q after dev merge, want v1.2.3 retained", old.Version)
+	}
+
+	// A real stamp from the newer run does win.
+	realStamp := report.BenchFile{Version: "abc1234", Benchmarks: map[string]report.BenchResult{"BenchmarkKept": {NsPerOp: 5}}}
+	old.Merge(realStamp)
+	if old.Version != "abc1234" {
+		t.Errorf("version = %q, want abc1234 adopted", old.Version)
+	}
+}

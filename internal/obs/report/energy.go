@@ -1,0 +1,241 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file is the energy read-side: the joule twin of the time rollups in
+// report.go. Span energies come from energy_uj attributes (written by
+// obs.Span.AddEnergy via the internal/obs/energy ledger); account totals
+// come from the ledger's energy.*_uj counters in the last metrics snapshot.
+
+// EnergyNameStat is the energy rollup for one span name.
+type EnergyNameStat struct {
+	Name  string
+	Count int
+	// OwnUJ sums the energy charged directly to spans of this name;
+	// SubtreeUJ includes their descendants.
+	OwnUJ     float64
+	SubtreeUJ float64
+	MaxUJ     float64
+}
+
+// EnergyRollup aggregates span energy by name, largest own-energy first.
+// Span names that never carried energy are omitted.
+func (t *Trace) EnergyRollup() []EnergyNameStat {
+	byName := make(map[string]*EnergyNameStat)
+	for _, sp := range t.Spans {
+		if sp.EnergyUJ == 0 && sp.SubtreeUJ == 0 {
+			continue
+		}
+		st := byName[sp.Name]
+		if st == nil {
+			st = &EnergyNameStat{Name: sp.Name}
+			byName[sp.Name] = st
+		}
+		st.Count++
+		st.OwnUJ += sp.EnergyUJ
+		st.SubtreeUJ += sp.SubtreeUJ
+		if sp.EnergyUJ > st.MaxUJ {
+			st.MaxUJ = sp.EnergyUJ
+		}
+	}
+	out := make([]EnergyNameStat, 0, len(byName))
+	for _, st := range byName {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].OwnUJ != out[j].OwnUJ {
+			return out[i].OwnUJ > out[j].OwnUJ
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TotalEnergyUJ sums the energy attributed to spans across the trace. Own
+// charges only — summing subtrees would double-count parents.
+func (t *Trace) TotalEnergyUJ() float64 {
+	var total float64
+	for _, sp := range t.Spans {
+		total += sp.EnergyUJ
+	}
+	return total
+}
+
+// EnergyAccount is one ledger account total read back from the metrics
+// snapshots.
+type EnergyAccount struct {
+	Account string
+	UJ      int64
+}
+
+// EnergyAccounts reads the joule ledger's per-account counters
+// ("energy.<account>_uj") from the last metrics snapshot, largest first.
+// The harvested/consumed aggregate counters are reported separately by
+// EnergyTotals.
+func (t *Trace) EnergyAccounts() []EnergyAccount {
+	counters, _ := t.lastMetrics()
+	var out []EnergyAccount
+	for k, v := range counters {
+		name, ok := strings.CutPrefix(k, "energy.")
+		if !ok {
+			continue
+		}
+		name, ok = strings.CutSuffix(name, "_uj")
+		if !ok || name == "harvested" || name == "consumed" || name == "interaction" {
+			continue
+		}
+		if f, isNum := v.(float64); isNum {
+			out = append(out, EnergyAccount{Account: name, UJ: int64(f)})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].UJ != out[j].UJ {
+			return out[i].UJ > out[j].UJ
+		}
+		return out[i].Account < out[j].Account
+	})
+	return out
+}
+
+// EnergyTotals returns the ledger's harvested and consumed aggregate
+// counters from the last metrics snapshot (zero when the trace carries no
+// energy telemetry).
+func (t *Trace) EnergyTotals() (harvestedUJ, consumedUJ int64) {
+	counters, _ := t.lastMetrics()
+	if f, ok := counters["energy.harvested_uj"].(float64); ok {
+		harvestedUJ = int64(f)
+	}
+	if f, ok := counters["energy.consumed_uj"].(float64); ok {
+		consumedUJ = int64(f)
+	}
+	return harvestedUJ, consumedUJ
+}
+
+// EnergyCriticalPath walks from the most energy-expensive root down through
+// the most expensive child at each level — where an energy optimization
+// pass should look first. Empty when no span carries energy.
+func (t *Trace) EnergyCriticalPath() []*Span {
+	var root *Span
+	for _, r := range t.Roots {
+		if root == nil || r.SubtreeUJ > root.SubtreeUJ {
+			root = r
+		}
+	}
+	if root == nil || root.SubtreeUJ == 0 {
+		return nil
+	}
+	var path []*Span
+	for sp := root; sp != nil; {
+		path = append(path, sp)
+		var next *Span
+		for _, c := range sp.Children {
+			if next == nil || c.SubtreeUJ > next.SubtreeUJ {
+				next = c
+			}
+		}
+		if next != nil && next.SubtreeUJ == 0 {
+			break
+		}
+		sp = next
+	}
+	return path
+}
+
+// WriteEnergyFolded exports energy-weighted flamegraph folded stacks: one
+// line per unique root→leaf path with the path's own-energy in whole µJ —
+// the joule twin of WriteFolded. Paths whose rounded energy is zero are
+// kept only if they carried any charge, so sub-µJ spans still show up.
+func (t *Trace) WriteEnergyFolded(w io.Writer) error {
+	agg := make(map[string]float64)
+	var order []string
+	var walk func(sp *Span, prefix string)
+	walk = func(sp *Span, prefix string) {
+		stack := sp.Name
+		if prefix != "" {
+			stack = prefix + ";" + sp.Name
+		}
+		if sp.EnergyUJ > 0 {
+			if _, seen := agg[stack]; !seen {
+				order = append(order, stack)
+			}
+			agg[stack] += sp.EnergyUJ
+		}
+		for _, c := range sp.Children {
+			walk(c, stack)
+		}
+	}
+	for _, root := range t.Roots {
+		walk(root, "")
+	}
+	sort.Strings(order)
+	for _, stack := range order {
+		uj := int64(agg[stack] + 0.5)
+		if uj == 0 {
+			uj = 1
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", stack, uj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEnergyReport renders the human-readable energy report cmd/obs-report
+// prints for -energy: ledger account totals, span energy rollup, and the
+// energy critical path.
+func (t *Trace) WriteEnergyReport(w io.Writer) error {
+	var b strings.Builder
+
+	harvested, consumed := t.EnergyTotals()
+	accounts := t.EnergyAccounts()
+	rollup := t.EnergyRollup()
+	if harvested == 0 && consumed == 0 && len(rollup) == 0 {
+		b.WriteString("no energy telemetry in trace (run with an energy ledger attached)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	if len(accounts) > 0 || harvested != 0 || consumed != 0 {
+		b.WriteString("energy accounts (ledger counters, last snapshot):\n")
+		for _, a := range accounts {
+			pct := 0.0
+			if consumed > 0 {
+				pct = 100 * float64(a.UJ) / float64(consumed)
+			}
+			fmt.Fprintf(&b, "  %-12s %12d µJ  %5.1f%%\n", a.Account, a.UJ, pct)
+		}
+		fmt.Fprintf(&b, "  %-12s %12d µJ\n", "consumed", consumed)
+		fmt.Fprintf(&b, "  %-12s %12d µJ\n", "harvested", harvested)
+		fmt.Fprintf(&b, "  %-12s %+12d µJ\n", "net", harvested-consumed)
+	}
+
+	if len(rollup) > 0 {
+		fmt.Fprintf(&b, "\nspan energy rollup:\n  %-28s %6s %14s %14s\n",
+			"name", "count", "own_uj", "subtree_uj")
+		for _, st := range rollup {
+			fmt.Fprintf(&b, "  %-28s %6d %14.1f %14.1f\n",
+				st.Name, st.Count, st.OwnUJ, st.SubtreeUJ)
+		}
+		fmt.Fprintf(&b, "  span-attributed total: %.1f µJ\n", t.TotalEnergyUJ())
+	}
+
+	if path := t.EnergyCriticalPath(); len(path) > 0 {
+		b.WriteString("\nenergy critical path:\n")
+		for _, sp := range path {
+			pct := 0.0
+			if path[0].SubtreeUJ > 0 {
+				pct = 100 * sp.SubtreeUJ / path[0].SubtreeUJ
+			}
+			fmt.Fprintf(&b, "  %s%-28s %14.1f µJ  %5.1f%%\n",
+				strings.Repeat("  ", sp.Depth), sp.Name, sp.SubtreeUJ, pct)
+		}
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -28,16 +28,23 @@ import (
 // the sum of its children's durations, clamped at zero (parallel children
 // can overlap their parent's wall clock).
 type Span struct {
-	Name     string
-	ID       uint64
-	Parent   uint64
-	Start    float64
-	End      float64
-	DurMS    float64
-	SelfMS   float64
-	Depth    int
-	Attrs    map[string]any
-	Children []*Span
+	Name   string
+	ID     uint64
+	Parent uint64
+	Start  float64
+	End    float64
+	DurMS  float64
+	SelfMS float64
+	// EnergyUJ is the energy attributed directly to this span (its
+	// energy_uj attribute); SubtreeUJ adds every descendant's. The two
+	// have inverse semantics to DurMS/SelfMS: writers charge each span
+	// only its own joules, so the report sums subtrees, whereas durations
+	// include children and the report subtracts them out.
+	EnergyUJ  float64
+	SubtreeUJ float64
+	Depth     int
+	Attrs     map[string]any
+	Children  []*Span
 }
 
 // Subsystem returns the span's name prefix up to the first dot —
@@ -113,13 +120,14 @@ func FromEvents(events []obs.Event) *Trace {
 			tr.Metrics = append(tr.Metrics, e)
 		case obs.KindSpan:
 			sp := &Span{
-				Name:   e.Name,
-				ID:     e.Span,
-				Parent: e.Parent,
-				Start:  e.T - e.DurMS/1e3,
-				End:    e.T,
-				DurMS:  e.DurMS,
-				Attrs:  e.Attrs,
+				Name:     e.Name,
+				ID:       e.Span,
+				Parent:   e.Parent,
+				Start:    e.T - e.DurMS/1e3,
+				End:      e.T,
+				DurMS:    e.DurMS,
+				EnergyUJ: e.Float(obs.AttrEnergyUJ),
+				Attrs:    e.Attrs,
 			}
 			tr.Spans = append(tr.Spans, sp)
 			if sp.ID != 0 {
@@ -146,14 +154,17 @@ func FromEvents(events []obs.Event) *Trace {
 	return tr
 }
 
-// finish orders children, computes self time, and assigns depth.
+// finish orders children, computes self time and subtree energy, and
+// assigns depth.
 func finish(sp *Span, depth int) {
 	sp.Depth = depth
 	sort.SliceStable(sp.Children, func(i, j int) bool { return sp.Children[i].Start < sp.Children[j].Start })
 	var childMS float64
+	sp.SubtreeUJ = sp.EnergyUJ
 	for _, c := range sp.Children {
 		childMS += c.DurMS
 		finish(c, depth+1)
+		sp.SubtreeUJ += c.SubtreeUJ
 	}
 	sp.SelfMS = math.Max(0, sp.DurMS-childMS)
 }

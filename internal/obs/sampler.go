@@ -2,6 +2,7 @@ package obs
 
 import (
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -46,6 +47,33 @@ func SampleRuntime(g *Registry) {
 type Sampler struct {
 	stop chan struct{}
 	done chan struct{}
+
+	mu    sync.Mutex
+	hooks []func()
+}
+
+// OnSample registers fn to run at the start of every subsequent sample tick
+// (including the terminal one), before the runtime gauges are read and the
+// snapshot is flushed. Producers that keep state outside the registry — the
+// energy ledger publishing its joule counters, for example — hook in here
+// so every snapshot carries their latest figures. Safe on a nil Sampler and
+// safe to call while sampling runs; hooks execute on the sampler goroutine.
+func (s *Sampler) OnSample(fn func()) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.mu.Lock()
+	s.hooks = append(s.hooks, fn)
+	s.mu.Unlock()
+}
+
+// runHooks executes the registered sample hooks.
+func (s *Sampler) runHooks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fn := range s.hooks {
+		fn()
+	}
 }
 
 // StartSampler begins sampling every interval: each tick publishes runtime
@@ -64,6 +92,7 @@ func StartSampler(rec *Recorder, reg *Registry, interval time.Duration) *Sampler
 	s := &Sampler{stop: make(chan struct{}), done: make(chan struct{})}
 	start := time.Now()
 	sample := func() {
+		s.runHooks()
 		reg.Gauge(GaugeLastSampleSec).Set(time.Since(start).Seconds())
 		SampleRuntime(reg)
 		rec.FlushMetrics(reg)

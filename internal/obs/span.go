@@ -10,15 +10,22 @@ import "time"
 //
 // A span emits exactly one KindSpan event when End is called, carrying its
 // wall-clock duration, its id/parent linkage, and the union of attributes
-// passed to StartSpan, Set, and End.
+// passed to StartSpan, Set, and End — plus an AttrEnergyUJ attribute when
+// energy was attributed to it via AddEnergy.
 type Span struct {
-	rec    *Recorder
-	name   string
-	id     uint64
-	parent uint64
-	start  time.Time
-	attrs  []Attr
+	rec      *Recorder
+	name     string
+	id       uint64
+	parent   uint64
+	start    time.Time
+	energyUJ float64
+	attrs    []Attr
 }
+
+// AttrEnergyUJ is the attribute key carrying a span's attributed energy in
+// microjoules. It is written by AddEnergy at End and read back by the
+// report layer's energy rollups, the same contract dur_ms has for time.
+const AttrEnergyUJ = "energy_uj"
 
 // StartSpan opens a root span.
 func (r *Recorder) StartSpan(name string, attrs ...Attr) Span {
@@ -59,6 +66,19 @@ func (s *Span) Set(attrs ...Attr) {
 	s.attrs = append(s.attrs, attrs...)
 }
 
+// AddEnergy attributes joules of energy to the span, accumulated across
+// calls and reported as one AttrEnergyUJ attribute at End. A disabled span
+// discards the charge without allocating, so energy-ledger instrumentation
+// is free when telemetry is off. Spans carry energy the same way they carry
+// durations: a parent's attribute covers only its own charges, not its
+// children's (the report layer sums subtrees).
+func (s *Span) AddEnergy(joules float64) {
+	if s.rec == nil {
+		return
+	}
+	s.energyUJ += joules * 1e6
+}
+
 // Event emits a point-in-time event parented to this span.
 func (s *Span) Event(name string, attrs ...Attr) {
 	if s.rec == nil {
@@ -77,6 +97,9 @@ func (s *Span) End(attrs ...Attr) {
 	all := s.attrs
 	if len(attrs) > 0 {
 		all = append(all, attrs...)
+	}
+	if s.energyUJ != 0 {
+		all = append(all, F64(AttrEnergyUJ, s.energyUJ))
 	}
 	s.rec.emit(KindSpan, s.name, s.id, s.parent, time.Since(s.start).Seconds()*1e3, all)
 }

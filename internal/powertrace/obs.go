@@ -1,6 +1,23 @@
 package powertrace
 
-import "solarml/internal/obs"
+import (
+	"solarml/internal/obs"
+	"solarml/internal/obs/energy"
+)
+
+// ChargeLedger books the recorded trace into the joule ledger, one charge
+// per segment under the segment phase's account — so a replayed power trace
+// lands in the same per-account breakdown a live firmware run produces. A
+// nil ledger is a no-op. Returns the total energy charged in joules.
+func (r *Recorder) ChargeLedger(led *energy.Ledger) float64 {
+	total := 0.0
+	for _, s := range r.segments {
+		e := s.Energy()
+		led.Charge(s.Phase.Account(), e)
+		total += e
+	}
+	return total
+}
 
 // ExportObs replays the recorded trace into an obs event stream: one
 // powertrace.segment event per constant-power segment (phase, duration,

@@ -10,6 +10,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"solarml/internal/obs/energy"
 )
 
 // Phase labels a trace segment with its role in the end-to-end pipeline.
@@ -66,6 +68,22 @@ func (p Phase) Category() Category {
 		return CatModel
 	}
 	return CatEvent
+}
+
+// Account maps the phase onto the joule ledger's account taxonomy
+// (internal/obs/energy): wake-up transitions are event-detection work
+// (detect), sampling and pre-processing are sensing, inference is infer,
+// and every retention state books against mcu-sleep.
+func (p Phase) Account() energy.Account {
+	switch p {
+	case PhaseWakeUp:
+		return energy.AccountDetect
+	case PhaseSampling, PhaseProcessing:
+		return energy.AccountSense
+	case PhaseInference:
+		return energy.AccountInfer
+	}
+	return energy.AccountSleep
 }
 
 // Category is one of the paper's E_E / E_S / E_M energy buckets.
