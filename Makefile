@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race check bench bench-obs bench-energy bench-json bench-smoke smoke-report
+.PHONY: verify vet race check bench bench-obs bench-energy bench-fleet bench-json bench-smoke smoke-report
 
 verify:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/... ./internal/nn/...
+	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/... ./internal/nn/... ./internal/sim/... ./internal/firmware/...
 
 check: verify vet race
 
@@ -36,6 +36,14 @@ bench-obs:
 bench-energy:
 	$(GO) test -run NONE -bench 'BenchmarkLedger|BenchmarkNoopLedger' -benchtime 100x -benchmem ./internal/obs/energy/
 
+# bench-fleet records the fleet simulation throughput pair into the
+# trajectory: BenchmarkFleetDeviceYears (event-driven core) against
+# BenchmarkFleetDeviceYearsFixedStep (1 s chunked integrator) on the same
+# 32-device × 12 h workload. The event core's device-years/sec must stay
+# ≥100× the fixed-step figure.
+bench-fleet:
+	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkFleetDeviceYears'
+
 # bench-json runs the benchmarks and parses the output into the
 # BENCH_solarml.json perf trajectory (benchmark → ns/op, B/op, allocs/op).
 # Narrow the sweep with BENCH_PATTERN, e.g.
@@ -50,7 +58,7 @@ bench-json:
 # trajectory artifact (entries outside the smoke subset are retained).
 # allocs/op on the arena step is the number to watch — it must stay at 0.
 bench-smoke:
-	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge'
+	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge|BenchmarkFleetDeviceYears'
 
 # smoke-report closes the telemetry loop end to end: record a tiny seeded
 # search trace, analyze it with obs-report, and check the rollup is
@@ -71,3 +79,7 @@ smoke-report:
 		| tee lifetime_energy.txt
 	grep -q 'energy accounts' lifetime_energy.txt
 	grep -q 'energy critical path' lifetime_energy.txt
+	$(GO) run ./cmd/lifetime -hours 2 -devices 64 -seed 1 | tee fleet_smoke.txt
+	grep -q '64 devices' fleet_smoke.txt
+	grep -q 'device-years/sec' fleet_smoke.txt
+	grep -q 'energy ledger' fleet_smoke.txt

@@ -7,8 +7,15 @@
 //
 //	lifetime [-hours 12] [-profile office|constant] [-lux 500]
 //	         [-gap 600] [-vtheta 2.0] [-v0 2.2] [-seed 1] [-trace]
+//	         [-devices 1] [-workers 0]
 //	         [-trace-out run.jsonl] [-metrics-out metrics.json]
 //	         [-metrics-interval 1s] [-pprof localhost:6060]
+//
+// With -devices N > 1 the command simulates a fleet: N independent
+// platforms (device i draws its Poisson arrival stream from seed+i) fanned
+// across -workers cores on the event-driven core, with outcome counters
+// and the joule ledger aggregated across the fleet. Per-interaction
+// tracing and spans are single-device features and are skipped.
 //
 // -trace-out records the run as a JSONL obs trace — manifest, a
 // lifetime.run span, one firmware.session span per booted interaction with
@@ -24,6 +31,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"solarml/internal/firmware"
 	"solarml/internal/nn"
@@ -42,17 +50,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	trace := flag.Bool("trace", false, "print every interaction")
 	ladder := flag.Bool("ladder", false, "use a 3-rung multi-exit model ladder (HarvNet-style degradation)")
+	devices := flag.Int("devices", 1, "fleet size; >1 simulates independent seeded devices in parallel")
+	workers := flag.Int("workers", 0, "fleet worker cores (0 = all); results are worker-count independent")
 	obsFlags := obscli.AddFlags(nil)
 	flag.Parse()
 
-	if err := mainErr(obsFlags, *hours, *profile, *lux, *gap, *vtheta, *v0, *seed, *trace, *ladder); err != nil {
+	if err := mainErr(obsFlags, *hours, *profile, *lux, *gap, *vtheta, *v0, *seed, *trace, *ladder, *devices, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
 func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vtheta, v0 float64,
-	seed int64, trace, ladder bool) (err error) {
+	seed int64, trace, ladder bool, devices, workers int) (err error) {
 	sess, err := obsFlags.Open()
 	if err != nil {
 		return err
@@ -60,7 +70,7 @@ func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vt
 	defer sess.CloseWith(&err)
 	sess.Manifest("lifetime", seed, map[string]any{
 		"hours": hours, "profile": profile, "lux": lux, "gap": gap,
-		"vtheta": vtheta, "v0": v0, "ladder": ladder,
+		"vtheta": vtheta, "v0": v0, "ladder": ladder, "devices": devices,
 	})
 
 	// The joule ledger publishes into the session registry on every sampler
@@ -86,11 +96,14 @@ func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vt
 	} else {
 		cfg.Lux = firmware.ConstantLux(lux)
 	}
+	duration := hours * 3600
+	if devices > 1 {
+		return runFleet(sess, cfg, led, devices, workers, duration, hours, gap, seed)
+	}
 	sim, err := firmware.New(cfg)
 	if err != nil {
 		return err
 	}
-	duration := hours * 3600
 	rng := rand.New(rand.NewSource(seed))
 	events := firmware.PoissonArrivals(rng, duration, gap)
 
@@ -128,5 +141,40 @@ func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vt
 				e.T, e.V, e.Outcome, e.EnergyJ*1e6)
 		}
 	}
+	return nil
+}
+
+// runFleet simulates a multi-device deployment on the event-driven core
+// and prints the aggregate: outcome counters, fleet energy ledger, and the
+// wall-clock simulation throughput in device-years per second.
+func runFleet(sess *obscli.Session, cfg firmware.Config, led *energy.Ledger,
+	devices, workers int, duration, hours, gap float64, seed int64) error {
+	fc := firmware.FleetConfig{
+		Base:      cfg,
+		Devices:   devices,
+		DurationS: duration,
+		MeanGapS:  gap,
+		Seed:      seed,
+		Workers:   workers,
+	}
+	sp := sess.Rec.StartSpan("lifetime.fleet",
+		obs.Int("devices", devices), obs.F64("hours", hours))
+	start := time.Now()
+	fs, err := firmware.RunFleet(fc)
+	elapsed := time.Since(start)
+	if err != nil {
+		sp.End(obs.Str("error", err.Error()))
+		return err
+	}
+	rate := fs.DeviceSeconds / (365 * 24 * 3600) / elapsed.Seconds()
+	sess.Reg.Gauge("lifetime.fleet.completion_rate").Set(fs.Rate(firmware.Completed))
+	sess.Reg.Gauge("lifetime.fleet.device_years_per_sec").Set(rate)
+	sp.End(obs.Int("interactions", fs.Interactions), obs.F64("device_years_per_sec", rate))
+
+	fmt.Println(fs.Summary())
+	fmt.Printf("completion rate: %.1f%%\n", fs.Rate(firmware.Completed)*100)
+	fmt.Printf("simulated %.2f device-years in %s (%.1f device-years/sec)\n",
+		fs.DeviceSeconds/(365*24*3600), elapsed.Round(10*time.Microsecond), rate)
+	fmt.Print(led.Summary())
 	return nil
 }

@@ -90,6 +90,116 @@ func TestSupercapNegativePanics(t *testing.T) {
 	}
 }
 
+// TestLeakEulerConvergesToExact pins the satellite fix for the forward-
+// Euler leak: refining an Euler integration of dE/dt = −kE must converge to
+// the closed-form exponential Leak now applies, with the error shrinking as
+// the step count grows (first-order convergence).
+func TestLeakEulerConvergesToExact(t *testing.T) {
+	const dt = 5e6 // ~58 days: long enough that Euler error is visible
+	exact := NewSupercap()
+	exact.V = 3.5
+	exact.LeakExact(dt)
+
+	euler := func(steps int) float64 {
+		s := NewSupercap()
+		s.V = 3.5
+		k := s.LeakRate()
+		h := dt / float64(steps)
+		for i := 0; i < steps; i++ {
+			e := s.Energy() * (1 - k*h) // one forward-Euler step
+			if e < 0 {
+				e = 0
+			}
+			s.V = math.Sqrt(2 * e / s.Farads)
+		}
+		return s.Energy()
+	}
+
+	firstErr := math.Abs(euler(1) - exact.Energy())
+	prevErr := math.Inf(1)
+	for _, steps := range []int{1, 4, 16, 64, 256, 1024, 4096} {
+		err := math.Abs(euler(steps) - exact.Energy())
+		if err > prevErr*1.01 { // refinement must not make it worse
+			t.Fatalf("Euler error grew on refinement: %d steps -> %.3g J (was %.3g)",
+				steps, err, prevErr)
+		}
+		prevErr = err
+	}
+	// First-order convergence: 4096× more steps must shrink the error by
+	// orders of magnitude relative to the single-step overshoot.
+	if firstErr < 0.1 {
+		t.Fatalf("single Euler step error %.3g J too small to demonstrate overshoot", firstErr)
+	}
+	if prevErr > firstErr/1000 {
+		t.Fatalf("Euler at 4096 steps still %.3g J from exact (1 step: %.3g J)", prevErr, firstErr)
+	}
+}
+
+// TestLeakExactComposes pins the semigroup property only the exact solution
+// has: leaking a+b seconds equals leaking a then b. Forward Euler violates
+// this for large steps, which is how the old overshoot hid.
+func TestLeakExactComposes(t *testing.T) {
+	one := NewSupercap()
+	one.V = 3.0
+	one.Leak(7200)
+
+	two := NewSupercap()
+	two.V = 3.0
+	two.Leak(4321)
+	two.Leak(7200 - 4321)
+
+	if math.Abs(one.Energy()-two.Energy()) > 1e-12 {
+		t.Fatalf("leak does not compose: %.15g J vs %.15g J", one.Energy(), two.Energy())
+	}
+}
+
+// TestLeakNeverOvershootsToZero: the old Euler step could drain more energy
+// than the store held over a huge dt (clamped at 0); the exponential decays
+// asymptotically and must keep a positive voltage for any finite dt.
+func TestLeakNeverOvershootsToZero(t *testing.T) {
+	s := NewSupercap()
+	s.V = 0.5
+	s.Leak(1e9) // ~31 years
+	if s.V <= 0 {
+		t.Fatal("exact leak must never hit exactly zero in finite time")
+	}
+	if s.V >= 0.5 {
+		t.Fatal("leak must still lose energy")
+	}
+}
+
+func TestLeakCrossingTimeRoundTrip(t *testing.T) {
+	s := NewSupercap()
+	s.V = 3.2
+	target := 2.5
+	tc := s.LeakCrossingTime(target)
+	if math.IsInf(tc, 1) || tc <= 0 {
+		t.Fatalf("crossing time = %v", tc)
+	}
+	s.LeakExact(tc)
+	if math.Abs(s.V-target) > 1e-9 {
+		t.Fatalf("after LeakExact(crossing) V = %.12f, want %.12f", s.V, target)
+	}
+}
+
+func TestLeakCrossingTimeEdges(t *testing.T) {
+	s := NewSupercap()
+	s.V = 2.0
+	if got := s.LeakCrossingTime(2.0); got != 0 {
+		t.Fatalf("already at target: %v, want 0", got)
+	}
+	if got := s.LeakCrossingTime(2.5); got != 0 {
+		t.Fatalf("target above current voltage: %v, want 0", got)
+	}
+	if !math.IsInf(s.LeakCrossingTime(0), 1) {
+		t.Fatal("zero volts is unreachable in finite time")
+	}
+	noLeak := &Supercap{Farads: 1, V: 2, VMax: 3.8, LeakW: 0}
+	if !math.IsInf(noLeak.LeakCrossingTime(1), 1) {
+		t.Fatal("no leak path must never cross")
+	}
+}
+
 // --- Event-detection circuit (Fig 5 semantics) ---
 
 const (

@@ -64,18 +64,51 @@ func (s *Supercap) Drain(j float64) bool {
 	return true
 }
 
-// Leak applies self-discharge over dt seconds, scaled with V²/VMax² as for a
-// resistive leakage path.
-func (s *Supercap) Leak(dt float64) {
-	if s.V <= 0 {
+// LeakRate returns k in the self-discharge law dE/dt = −kE. The resistive
+// leakage path loses LeakW·(V/VMax)² = LeakW·(2E/C)/VMax², so
+// k = 2·LeakW/(C·VMax²) and the stored energy decays exponentially.
+func (s *Supercap) LeakRate() float64 {
+	if s.LeakW <= 0 || s.Farads <= 0 || s.VMax <= 0 {
+		return 0
+	}
+	return 2 * s.LeakW / (s.Farads * s.VMax * s.VMax)
+}
+
+// Leak applies self-discharge over dt seconds, scaled with V²/VMax² as for
+// a resistive leakage path. It delegates to the exact exponential solution,
+// so arbitrarily large dt cannot overshoot the way the old forward-Euler
+// step could (which clamped energy at zero and silently hid the error).
+func (s *Supercap) Leak(dt float64) { s.LeakExact(dt) }
+
+// LeakExact advances the self-discharge ODE dE/dt = −kE by its closed-form
+// solution E(t) = E₀·e^(−kt). Unlike a forward-Euler step it is exact for
+// any dt and composes: LeakExact(a+b) ≡ LeakExact(a); LeakExact(b).
+func (s *Supercap) LeakExact(dt float64) {
+	if s.V <= 0 || dt <= 0 {
 		return
 	}
-	frac := (s.V / s.VMax) * (s.V / s.VMax)
-	e := s.Energy() - s.LeakW*frac*dt
-	if e < 0 {
-		e = 0
+	k := s.LeakRate()
+	if k == 0 {
+		return
 	}
+	e := s.Energy() * math.Exp(-k*dt)
 	s.V = math.Sqrt(2 * e / s.Farads)
+}
+
+// LeakCrossingTime returns how long self-discharge alone takes to pull the
+// voltage down to targetV: t = ln(E₀/E_target)/k. Returns 0 when already at
+// or below the target and +Inf when the target is unreachable (targetV ≤ 0,
+// since the exponential never reaches zero, or no leak path at all).
+func (s *Supercap) LeakCrossingTime(targetV float64) float64 {
+	if targetV >= s.V {
+		return 0
+	}
+	k := s.LeakRate()
+	if targetV <= 0 || k == 0 {
+		return math.Inf(1)
+	}
+	// E scales with V², so ln(E₀/E_t) = 2·ln(V₀/V_t).
+	return 2 * math.Log(s.V/targetV) / k
 }
 
 // String renders the state for debugging.

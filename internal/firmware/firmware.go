@@ -29,34 +29,83 @@ import (
 	"solarml/internal/solar"
 )
 
-// LuxProfile maps simulation time (seconds) to illuminance.
-type LuxProfile func(t float64) float64
+// LuxProfile maps simulation time (seconds) to illuminance. Profiles also
+// expose their knots, which lets the event-driven simulation core advance
+// the charge ODE analytically over whole inter-knot pieces instead of
+// replaying fixed steps.
+type LuxProfile interface {
+	// Lux returns the illuminance at time t (seconds).
+	Lux(t float64) float64
+	// Breakpoints returns the profile's knots strictly inside (t0, t1), in
+	// ascending order. Between consecutive knots the profile must be smooth
+	// — linear for an exact analytic advance, anything else is handled by
+	// adaptive bisection.
+	Breakpoints(t0, t1 float64) []float64
+}
+
+// LuxFunc adapts a plain function to LuxProfile. It declares no breakpoints;
+// smooth nonlinearity is still advanced correctly (the event core's midpoint
+// consistency check bisects adaptively), but a discontinuous LuxFunc should
+// be converted to a knotted profile instead.
+type LuxFunc func(t float64) float64
+
+// Lux implements LuxProfile.
+func (f LuxFunc) Lux(t float64) float64 { return f(t) }
+
+// Breakpoints implements LuxProfile.
+func (f LuxFunc) Breakpoints(t0, t1 float64) []float64 { return nil }
+
+// constantLux is a flat profile: no knots, one analytic piece.
+type constantLux float64
+
+// Lux implements LuxProfile.
+func (c constantLux) Lux(float64) float64 { return float64(c) }
+
+// Breakpoints implements LuxProfile.
+func (c constantLux) Breakpoints(t0, t1 float64) []float64 { return nil }
 
 // ConstantLux returns a flat illuminance profile.
-func ConstantLux(lux float64) LuxProfile {
-	return func(float64) float64 { return lux }
+func ConstantLux(lux float64) LuxProfile { return constantLux(lux) }
+
+// officeDay is the 12-hour office curve; piecewise linear between its knots.
+type officeDay struct{ plateau float64 }
+
+// officeKnots are the hour marks where the office curve bends or jumps:
+// dawn ramp start/end, the lunch dip edges, dusk ramp start, lights out.
+var officeKnots = [...]float64{0, 1, 5, 6, 11, 12}
+
+// Lux implements LuxProfile.
+func (o officeDay) Lux(t float64) float64 {
+	h := t / 3600
+	switch {
+	case h < 0 || h > 12:
+		return 5
+	case h < 1: // ramp up
+		return 5 + (o.plateau-5)*h
+	case h >= 5 && h < 6: // lunch dip
+		return o.plateau * 0.6
+	case h > 11: // ramp down
+		return o.plateau * (12 - h)
+	default:
+		return o.plateau
+	}
+}
+
+// Breakpoints implements LuxProfile.
+func (o officeDay) Breakpoints(t0, t1 float64) []float64 {
+	var out []float64
+	for _, h := range officeKnots {
+		if t := h * 3600; t > t0 && t < t1 {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // OfficeDay models a 12-hour office lighting curve starting at t=0
 // (07:00): lights ramp up to the working-hours plateau, dip over lunch,
 // and fall to night levels after hour 11.
-func OfficeDay(plateau float64) LuxProfile {
-	return func(t float64) float64 {
-		h := t / 3600
-		switch {
-		case h < 0 || h > 12:
-			return 5
-		case h < 1: // ramp up
-			return 5 + (plateau-5)*h
-		case h >= 5 && h < 6: // lunch dip
-			return plateau * 0.6
-		case h > 11: // ramp down
-			return plateau * (12 - h)
-		default:
-			return plateau
-		}
-	}
-}
+func OfficeDay(plateau float64) LuxProfile { return officeDay{plateau: plateau} }
 
 // Config parameterizes a lifetime simulation.
 type Config struct {
@@ -158,13 +207,21 @@ type Event struct {
 
 // Stats summarizes a simulation run.
 type Stats struct {
-	Duration   float64
-	Events     []Event
-	Counts     map[EventOutcome]int
-	ExitCounts map[int]int
-	HarvestedJ float64
-	ConsumedJ  float64
+	Duration float64
+	// Events is the per-interaction log. Fleet runs suppress it (the
+	// aggregate counters are the story at that scale); Interactions is
+	// the arrival count either way.
+	Events       []Event
+	Interactions int
+	Counts       map[EventOutcome]int
+	ExitCounts   map[int]int
+	HarvestedJ   float64
+	ConsumedJ    float64
 	FinalV     float64
+	// VThetaUpCrossings counts supercap recoveries up through V_θ between
+	// interactions. Only the event-driven Run tracks these (they are its
+	// threshold-crossing events); RunFixedStep leaves the count at zero.
+	VThetaUpCrossings int
 }
 
 // Rate returns the completed fraction of all interactions.
@@ -195,6 +252,18 @@ type Simulator struct {
 	harv    *harvest.Harvester
 	event   *circuit.EventCircuit
 	profile mcu.PowerProfile
+	// detect caches the three pure-in-lux detection voltages interact
+	// needs per arrival. Indoor profiles hold one plateau illuminance for
+	// hours, so consecutive arrivals almost always hit the cache — and the
+	// logarithmic Voc behind DetectVoltage is the single hottest call in a
+	// fleet run without it.
+	detect struct {
+		lux, hovered, refVoc, clear float64
+		ok                          bool
+	}
+	// leanStats suppresses the per-interaction Events log (fleet runs
+	// aggregate counters and drop the log unread).
+	leanStats bool
 }
 
 // New returns a simulator over a fresh platform.
@@ -296,17 +365,18 @@ func (s *Simulator) chargePhase(parent *obs.Span, acc energy.Account, name strin
 }
 
 // charge advances the harvester from t0 to t1 with the lighting profile,
-// in ≤60 s steps, and returns the harvested energy. During a session
-// (sensing=true) the user's hand additionally shadows part of the array.
-func (s *Simulator) charge(t0, t1 float64, sensing bool) float64 {
+// in ≤stepS chunks at midpoint illuminance, and returns the harvested
+// energy. During a session (sensing=true) the user's hand additionally
+// shadows part of the array.
+func (s *Simulator) charge(t0, t1, stepS float64, sensing bool) float64 {
 	harvested := 0.0
 	for t := t0; t < t1; {
-		dt := math.Min(60, t1-t)
+		dt := math.Min(stepS, t1-t)
 		before := s.harv.Cap.Energy()
 		if sensing {
-			s.harv.ChargeShaded(s.cfg.Lux(t+dt/2), dt, 0.4, 0.8, true)
+			s.harv.ChargeShaded(s.cfg.Lux.Lux(t+dt/2), dt, 0.4, 0.8, true)
 		} else {
-			s.harv.Charge(s.cfg.Lux(t+dt/2), dt, false)
+			s.harv.Charge(s.cfg.Lux.Lux(t+dt/2), dt, false)
 		}
 		if gained := s.harv.Cap.Energy() - before; gained > 0 {
 			harvested += gained
@@ -316,99 +386,136 @@ func (s *Simulator) charge(t0, t1 float64, sensing bool) float64 {
 	return harvested
 }
 
-// Run simulates `duration` seconds with user interactions at the given
-// times (need not be sorted).
-func (s *Simulator) Run(duration float64, eventTimes []float64) (*Stats, error) {
+// interact runs the §III-B decision tree for one arrival at et and books
+// the outcome into stats. The session closure charges the (hand-shadowed)
+// array for durS seconds from the current charge position and returns the
+// harvested gain — the fixed-step and event-driven Run variants supply
+// their chunked or analytic implementation; everything else is shared, so
+// the two paths cannot drift apart on policy.
+func (s *Simulator) interact(et float64, baseCost sessionCost, stats *Stats, session func(durS float64) float64) {
+	lux := s.cfg.Lux.Lux(et)
+	ev := Event{T: et, V: s.harv.Cap.V, Exit: -1}
+
+	// The passive circuit decides whether the MCU powers at all.
+	if !s.detect.ok || s.detect.lux != lux {
+		s.detect.lux = lux
+		s.detect.hovered = s.array.DetectVoltage(lux, 0.95)
+		s.detect.refVoc = s.array.Cell.Voc(lux)
+		s.detect.clear = s.array.DetectVoltage(lux, 0)
+		s.detect.ok = true
+	}
+	refVoc := s.detect.refVoc
+	booted := s.event.Step(s.detect.hovered, refVoc, s.harv.Cap.V)
+	switch {
+	case !booted && refVoc < s.event.VWeakLight:
+		ev.Outcome = BlockedWeakLight
+	case !booted:
+		ev.Outcome = BlockedLowSupercap
+	default:
+		s.event.SetHold(true)
+		cost := baseCost
+		exit := -1
+		if len(s.cfg.ExitMACs) > 0 {
+			exit, cost = s.chooseExit()
+		}
+		// The variadic attrs would heap-allocate per arrival even with
+		// observability off; only build the span when someone listens.
+		var sp obs.Span
+		if s.cfg.Obs != nil {
+			sp = s.cfg.Obs.StartSpan("firmware.session",
+				obs.F64("t", et), obs.F64("v", ev.V), obs.F64("lux", lux))
+		}
+		// Firmware policy: proceed only when V > V_θ (and, with a
+		// multi-exit ladder, only when some rung fits the budget).
+		switch {
+		case s.harv.Cap.V <= s.cfg.VTheta, len(s.cfg.ExitMACs) > 0 && exit < 0:
+			ev.Outcome = RejectedVTheta
+			ev.EnergyJ = s.profile.WakeUpS * s.profile.WakeUpW
+			s.harv.Cap.Drain(ev.EnergyJ)
+			// The boot attempt is detection work: it spent the wake
+			// transition learning there was nothing it could do.
+			s.chargePhase(&sp, energy.AccountDetect, "firmware.detect", ev.EnergyJ)
+		case s.harv.Cap.Drain(cost.TotalJ()):
+			ev.Outcome = Completed
+			ev.EnergyJ = cost.TotalJ()
+			ev.Exit = exit
+			if exit >= 0 {
+				stats.ExitCounts[exit]++
+			}
+			s.chargePhase(&sp, energy.AccountDetect, "firmware.detect", cost.WakeJ)
+			s.chargePhase(&sp, energy.AccountSense, "firmware.sense", cost.SenseJ)
+			s.chargePhase(&sp, energy.AccountInfer, "firmware.infer", cost.InferJ)
+			// Sensing cells are switched out of the harvesting
+			// branch for the session.
+			stats.HarvestedJ += session(cost.DurS)
+		default:
+			// Not enough stored energy: the session browns out
+			// partway and the supercap is left nearly empty. The
+			// partial spend is attributed in session order —
+			// wake, then sensing, then inference — each phase
+			// clipped by what was actually drained.
+			ev.Outcome = BrownOut
+			ev.EnergyJ = s.harv.Cap.Energy() * 0.9
+			s.harv.Cap.Drain(ev.EnergyJ)
+			remain := ev.EnergyJ
+			for _, ph := range []struct {
+				acc  energy.Account
+				name string
+				j    float64
+			}{
+				{energy.AccountDetect, "firmware.detect", cost.WakeJ},
+				{energy.AccountSense, "firmware.sense", cost.SenseJ},
+				{energy.AccountInfer, "firmware.infer", cost.InferJ},
+			} {
+				j := math.Min(remain, ph.j)
+				s.chargePhase(&sp, ph.acc, ph.name, j)
+				remain -= j
+			}
+		}
+		s.event.SetHold(false)
+		s.event.Step(s.detect.clear, refVoc, s.harv.Cap.V)
+		if s.cfg.Obs != nil {
+			sp.End(obs.Str("outcome", ev.Outcome.String()), obs.Int("exit", ev.Exit))
+		}
+	}
+	s.cfg.Energy.ObserveInteraction(ev.EnergyJ)
+	stats.ConsumedJ += ev.EnergyJ
+	stats.Counts[ev.Outcome]++
+	stats.Interactions++
+	if !s.leanStats {
+		stats.Events = append(stats.Events, ev)
+	}
+}
+
+// RunFixedStep simulates `duration` seconds with user interactions at the
+// given times (need not be sorted), advancing the charge ODE in fixed
+// ≤stepS chunks at midpoint illuminance (stepS ≤ 0 selects the historical
+// 60 s). This is the pre-event-queue integrator, retained as the
+// equivalence baseline the event-driven Run is pinned against and as the
+// accuracy ladder for convergence tests; new callers want Run.
+func (s *Simulator) RunFixedStep(duration float64, eventTimes []float64, stepS float64) (*Stats, error) {
+	if stepS <= 0 {
+		stepS = 60
+	}
 	times := append([]float64(nil), eventTimes...)
 	sort.Float64s(times)
 	stats := &Stats{Duration: duration, Counts: make(map[EventOutcome]int), ExitCounts: make(map[int]int)}
 	now := 0.0
 	baseCost := s.sessionCostFor(s.cfg.InferMACs)
+	session := func(durS float64) float64 {
+		h := s.charge(now, now+durS, stepS, true)
+		now += durS
+		return h
+	}
 	for _, et := range times {
 		if et < 0 || et > duration {
 			return nil, fmt.Errorf("firmware: event time %.1f outside [0, %.1f]", et, duration)
 		}
-		stats.HarvestedJ += s.charge(now, et, false)
+		stats.HarvestedJ += s.charge(now, et, stepS, false)
 		now = et
-		lux := s.cfg.Lux(et)
-		ev := Event{T: et, V: s.harv.Cap.V, Exit: -1}
-
-		// The passive circuit decides whether the MCU powers at all.
-		hovered := s.array.DetectVoltage(lux, 0.95)
-		refVoc := s.array.Cell.Voc(lux)
-		booted := s.event.Step(hovered, refVoc, s.harv.Cap.V)
-		switch {
-		case !booted && refVoc < s.event.VWeakLight:
-			ev.Outcome = BlockedWeakLight
-		case !booted:
-			ev.Outcome = BlockedLowSupercap
-		default:
-			s.event.SetHold(true)
-			cost := baseCost
-			exit := -1
-			if len(s.cfg.ExitMACs) > 0 {
-				exit, cost = s.chooseExit()
-			}
-			sp := s.cfg.Obs.StartSpan("firmware.session",
-				obs.F64("t", et), obs.F64("v", ev.V), obs.F64("lux", lux))
-			// Firmware policy: proceed only when V > V_θ (and, with a
-			// multi-exit ladder, only when some rung fits the budget).
-			switch {
-			case s.harv.Cap.V <= s.cfg.VTheta, len(s.cfg.ExitMACs) > 0 && exit < 0:
-				ev.Outcome = RejectedVTheta
-				ev.EnergyJ = s.profile.WakeUpS * s.profile.WakeUpW
-				s.harv.Cap.Drain(ev.EnergyJ)
-				// The boot attempt is detection work: it spent the wake
-				// transition learning there was nothing it could do.
-				s.chargePhase(&sp, energy.AccountDetect, "firmware.detect", ev.EnergyJ)
-			case s.harv.Cap.Drain(cost.TotalJ()):
-				ev.Outcome = Completed
-				ev.EnergyJ = cost.TotalJ()
-				ev.Exit = exit
-				if exit >= 0 {
-					stats.ExitCounts[exit]++
-				}
-				s.chargePhase(&sp, energy.AccountDetect, "firmware.detect", cost.WakeJ)
-				s.chargePhase(&sp, energy.AccountSense, "firmware.sense", cost.SenseJ)
-				s.chargePhase(&sp, energy.AccountInfer, "firmware.infer", cost.InferJ)
-				// Sensing cells are switched out of the harvesting
-				// branch for the session.
-				stats.HarvestedJ += s.charge(now, now+cost.DurS, true)
-				now += cost.DurS
-			default:
-				// Not enough stored energy: the session browns out
-				// partway and the supercap is left nearly empty. The
-				// partial spend is attributed in session order —
-				// wake, then sensing, then inference — each phase
-				// clipped by what was actually drained.
-				ev.Outcome = BrownOut
-				ev.EnergyJ = s.harv.Cap.Energy() * 0.9
-				s.harv.Cap.Drain(ev.EnergyJ)
-				remain := ev.EnergyJ
-				for _, ph := range []struct {
-					acc  energy.Account
-					name string
-					j    float64
-				}{
-					{energy.AccountDetect, "firmware.detect", cost.WakeJ},
-					{energy.AccountSense, "firmware.sense", cost.SenseJ},
-					{energy.AccountInfer, "firmware.infer", cost.InferJ},
-				} {
-					j := math.Min(remain, ph.j)
-					s.chargePhase(&sp, ph.acc, ph.name, j)
-					remain -= j
-				}
-			}
-			s.event.SetHold(false)
-			s.event.Step(s.array.DetectVoltage(lux, 0), refVoc, s.harv.Cap.V)
-			sp.End(obs.Str("outcome", ev.Outcome.String()), obs.Int("exit", ev.Exit))
-		}
-		s.cfg.Energy.ObserveInteraction(ev.EnergyJ)
-		stats.ConsumedJ += ev.EnergyJ
-		stats.Counts[ev.Outcome]++
-		stats.Events = append(stats.Events, ev)
+		s.interact(et, baseCost, stats, session)
 	}
-	stats.HarvestedJ += s.charge(now, duration, false)
+	stats.HarvestedJ += s.charge(now, duration, stepS, false)
 	stats.FinalV = s.harv.Cap.V
 	return stats, nil
 }
@@ -416,7 +523,7 @@ func (s *Simulator) Run(duration float64, eventTimes []float64) (*Stats, error) 
 // PoissonArrivals draws event times with the given mean inter-arrival
 // seconds over the duration.
 func PoissonArrivals(rng *rand.Rand, duration, meanGapS float64) []float64 {
-	var out []float64
+	out := make([]float64, 0, int(duration/meanGapS)+8)
 	t := rng.ExpFloat64() * meanGapS
 	for t < duration {
 		out = append(out, t)

@@ -133,16 +133,16 @@ func TestEnergyConservation(t *testing.T) {
 
 func TestOfficeDayProfileShape(t *testing.T) {
 	p := OfficeDay(500)
-	if p(0) > 50 {
+	if p.Lux(0) > 50 {
 		t.Fatal("early morning should be dim")
 	}
-	if v := p(3 * 3600); v != 500 {
+	if v := p.Lux(3 * 3600); v != 500 {
 		t.Fatalf("working hours should hit the plateau, got %v", v)
 	}
-	if v := p(5.5 * 3600); v >= 500 {
+	if v := p.Lux(5.5 * 3600); v >= 500 {
 		t.Fatalf("lunch dip missing: %v", v)
 	}
-	if v := p(13 * 3600); v > 10 {
+	if v := p.Lux(13 * 3600); v > 10 {
 		t.Fatalf("night should be dark: %v", v)
 	}
 }

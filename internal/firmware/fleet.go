@@ -1,0 +1,177 @@
+package firmware
+
+import (
+	"fmt"
+	"math/rand"
+
+	"solarml/internal/compute"
+)
+
+// FleetConfig parameterizes a multi-device lifetime simulation: N
+// independent platforms, each with its own supercap state and seeded
+// Poisson arrival stream, sharing one deployment configuration.
+type FleetConfig struct {
+	// Base is the per-device configuration. Base.Obs is ignored — per-
+	// interaction spans do not scale to fleets — but Base.Energy, when set,
+	// is shared by every device: the joule ledger is lock-free, so the
+	// fleet's aggregate energy books race-free into one set of accounts.
+	Base Config
+	// Devices is the fleet size.
+	Devices int
+	// DurationS is the simulated horizon per device, in seconds.
+	DurationS float64
+	// MeanGapS is the mean inter-arrival gap of each device's Poisson
+	// interaction stream.
+	MeanGapS float64
+	// Seed derives the per-device streams: device i draws from Seed+i, so
+	// the fleet is reproducible and each device independent.
+	Seed int64
+	// Workers bounds the simulation parallelism (≤0 uses every core).
+	// Results are identical for every worker count: devices are
+	// independent and aggregation runs in device order.
+	Workers int
+	// FixedStepS, when positive, runs every device on the fixed-step
+	// integrator with that step instead of the event-driven core — the
+	// accuracy/throughput baseline the fleet benchmark compares against.
+	FixedStepS float64
+}
+
+// FleetStats aggregates a fleet run. Per-event detail is dropped — at
+// fleet scale the outcome counters and energy totals are the story.
+type FleetStats struct {
+	Devices           int
+	DeviceSeconds     float64
+	Interactions      int
+	Counts            map[EventOutcome]int
+	ExitCounts        map[int]int
+	VThetaUpCrossings int
+	HarvestedJ        float64
+	ConsumedJ         float64
+	// FinalVMean is the fleet-average supercap voltage at the horizon.
+	FinalVMean float64
+}
+
+// Rate returns the fraction of all interactions with the given outcome.
+func (f *FleetStats) Rate(outcome EventOutcome) float64 {
+	if f.Interactions == 0 {
+		return 0
+	}
+	return float64(f.Counts[outcome]) / float64(f.Interactions)
+}
+
+// Summary renders a one-paragraph fleet report.
+func (f *FleetStats) Summary() string {
+	out := fmt.Sprintf("%d devices × %.1f h: %d interactions: ",
+		f.Devices, f.DeviceSeconds/float64(f.Devices)/3600, f.Interactions)
+	for _, o := range []EventOutcome{Completed, RejectedVTheta, BrownOut, BlockedLowSupercap, BlockedWeakLight} {
+		if n := f.Counts[o]; n > 0 {
+			out += fmt.Sprintf("%d %s, ", n, o)
+		}
+	}
+	out += fmt.Sprintf("harvested %.1f J, consumed %.1f J, mean final %.2f V",
+		f.HarvestedJ, f.ConsumedJ, f.FinalVMean)
+	return out
+}
+
+// fleetPool is the shared worker pool for fleet runs. One persistent pool
+// (sized to the machine) serves every RunFleet call; per-call worker
+// budgets are enforced through the dispatch grain, so no goroutines leak
+// per run.
+var fleetPool = compute.NewParallel(0)
+
+// fleetSource is a splitmix64 rand.Source64. Seeding math/rand's default
+// source fills a 607-word lagged-Fibonacci table (~50 µs) — on the event
+// core that would rival a whole simulated device-day — while splitmix64
+// seeds in one word and still gives every device an independent,
+// well-mixed stream from consecutive seeds.
+type fleetSource struct{ s uint64 }
+
+// Seed implements rand.Source.
+func (f *fleetSource) Seed(seed int64) { f.s = uint64(seed) }
+
+// Uint64 implements rand.Source64 (splitmix64 finalizer).
+func (f *fleetSource) Uint64() uint64 {
+	f.s += 0x9e3779b97f4a7c15
+	z := f.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Int63 implements rand.Source.
+func (f *fleetSource) Int63() int64 { return int64(f.Uint64() >> 1) }
+
+// fleetRng returns device i's arrival stream generator.
+func fleetRng(seed int64) *rand.Rand { return rand.New(&fleetSource{s: uint64(seed)}) }
+
+// RunFleet simulates fc.Devices independent devices and aggregates their
+// outcome counters and energy totals in device order, so the result is
+// bit-identical for every worker count.
+func RunFleet(fc FleetConfig) (*FleetStats, error) {
+	if fc.Devices <= 0 {
+		return nil, fmt.Errorf("firmware: fleet needs at least one device, got %d", fc.Devices)
+	}
+	if fc.DurationS <= 0 {
+		return nil, fmt.Errorf("firmware: fleet needs a positive horizon, got %v", fc.DurationS)
+	}
+	if fc.MeanGapS <= 0 {
+		return nil, fmt.Errorf("firmware: fleet needs a positive mean arrival gap, got %v", fc.MeanGapS)
+	}
+	workers := fc.Workers
+	if workers <= 0 || workers > fleetPool.Workers() {
+		workers = fleetPool.Workers()
+	}
+	results := make([]*Stats, fc.Devices)
+	errs := make([]error, fc.Devices)
+	grain := (fc.Devices + workers - 1) / workers
+	fleetPool.For(fc.Devices, grain, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			cfg := fc.Base
+			cfg.Obs = nil
+			dev, err := New(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			dev.leanStats = true // the per-event log is dropped unread below
+			times := PoissonArrivals(fleetRng(fc.Seed+int64(i)), fc.DurationS, fc.MeanGapS)
+			var st *Stats
+			if fc.FixedStepS > 0 {
+				st, err = dev.RunFixedStep(fc.DurationS, times, fc.FixedStepS)
+			} else {
+				st, err = dev.Run(fc.DurationS, times)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i] = st
+		}
+	})
+	agg := &FleetStats{
+		Devices:       fc.Devices,
+		DeviceSeconds: float64(fc.Devices) * fc.DurationS,
+		Counts:        make(map[EventOutcome]int),
+		ExitCounts:    make(map[int]int),
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("firmware: fleet device %d: %w", i, err)
+		}
+	}
+	for _, st := range results {
+		agg.Interactions += st.Interactions
+		for o, n := range st.Counts {
+			agg.Counts[o] += n
+		}
+		for k, n := range st.ExitCounts {
+			agg.ExitCounts[k] += n
+		}
+		agg.VThetaUpCrossings += st.VThetaUpCrossings
+		agg.HarvestedJ += st.HarvestedJ
+		agg.ConsumedJ += st.ConsumedJ
+		agg.FinalVMean += st.FinalV
+	}
+	agg.FinalVMean /= float64(fc.Devices)
+	return agg, nil
+}

@@ -1,0 +1,39 @@
+package firmware
+
+import "testing"
+
+// benchFleet runs one fleet configuration and reports simulated
+// device-years per wall-clock second — the fleet-scale throughput figure
+// of merit. fixedStep selects the baseline integrator; 0 the event core.
+func benchFleet(b *testing.B, devices int, fixedStep float64) {
+	base := DefaultConfig()
+	base.Lux = OfficeDay(500)
+	const hours = 12.0
+	fc := FleetConfig{
+		Base:       base,
+		Devices:    devices,
+		DurationS:  hours * 3600,
+		MeanGapS:   600,
+		Seed:       1,
+		FixedStepS: fixedStep,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunFleet(fc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	deviceYears := float64(b.N) * float64(devices) * hours / (24 * 365)
+	b.ReportMetric(deviceYears/b.Elapsed().Seconds(), "device-years/sec")
+}
+
+// BenchmarkFleetDeviceYears measures the event-driven fleet: a device-day
+// is a few hundred events, each an O(1) closed-form ODE advance.
+func BenchmarkFleetDeviceYears(b *testing.B) { benchFleet(b, 32, 0) }
+
+// BenchmarkFleetDeviceYearsFixedStep is the accuracy-matched baseline: the
+// fixed-step integrator at 1 s steps (the convergence and knot-regression
+// tests show the historical 60 s chunks are not accuracy-comparable near
+// profile discontinuities). A device-day is 43 200 chunk steps.
+func BenchmarkFleetDeviceYearsFixedStep(b *testing.B) { benchFleet(b, 32, 1) }

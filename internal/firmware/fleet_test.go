@@ -1,0 +1,160 @@
+package firmware
+
+import (
+	"testing"
+
+	"solarml/internal/obs/energy"
+)
+
+func fleetCfg(devices, workers int) FleetConfig {
+	base := DefaultConfig()
+	base.Lux = OfficeDay(500)
+	return FleetConfig{
+		Base:      base,
+		Devices:   devices,
+		DurationS: 2 * 3600,
+		MeanGapS:  300,
+		Seed:      1,
+		Workers:   workers,
+	}
+}
+
+func TestRunFleetAggregates(t *testing.T) {
+	fs, err := RunFleet(fleetCfg(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Devices != 8 || fs.DeviceSeconds != 8*2*3600 {
+		t.Fatalf("fleet extent wrong: %+v", fs)
+	}
+	if fs.Interactions == 0 || fs.Counts[Completed] == 0 {
+		t.Fatalf("fleet saw no activity: %s", fs.Summary())
+	}
+	total := 0
+	for _, n := range fs.Counts {
+		total += n
+	}
+	if total != fs.Interactions {
+		t.Fatalf("outcome counts %d do not cover %d interactions", total, fs.Interactions)
+	}
+	if fs.HarvestedJ <= 0 || fs.ConsumedJ <= 0 || fs.FinalVMean <= 0 {
+		t.Fatalf("fleet energy totals broken: %s", fs.Summary())
+	}
+	if fs.Rate(Completed) <= 0 {
+		t.Fatal("completion rate must be positive")
+	}
+}
+
+// TestRunFleetDeterministicAcrossWorkers pins the determinism contract:
+// devices are independent and aggregation runs in device order, so worker
+// count must not change a single bit of the aggregate.
+func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
+	one, err := RunFleet(fleetCfg(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := RunFleet(fleetCfg(6, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Interactions != many.Interactions ||
+		one.HarvestedJ != many.HarvestedJ ||
+		one.ConsumedJ != many.ConsumedJ ||
+		one.FinalVMean != many.FinalVMean {
+		t.Fatalf("worker count changed the fleet result:\n1: %s\n4: %s", one.Summary(), many.Summary())
+	}
+	for o, n := range one.Counts {
+		if many.Counts[o] != n {
+			t.Fatalf("outcome %s: %d vs %d", o, n, many.Counts[o])
+		}
+	}
+}
+
+// TestRunFleetMatchesSequentialDevices checks the fleet against hand-rolled
+// per-device runs with the same derived seeds.
+func TestRunFleetMatchesSequentialDevices(t *testing.T) {
+	fc := fleetCfg(3, 2)
+	fs, err := RunFleet(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInteractions := 0
+	wantHarvested := 0.0
+	for i := 0; i < fc.Devices; i++ {
+		dev, err := New(fc.Base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times := PoissonArrivals(fleetRng(fc.Seed+int64(i)), fc.DurationS, fc.MeanGapS)
+		st, err := dev.Run(fc.DurationS, times)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantInteractions += len(st.Events)
+		wantHarvested += st.HarvestedJ
+	}
+	if fs.Interactions != wantInteractions {
+		t.Fatalf("interactions %d, sequential %d", fs.Interactions, wantInteractions)
+	}
+	if fs.HarvestedJ != wantHarvested {
+		t.Fatalf("harvested %.9f J, sequential %.9f J", fs.HarvestedJ, wantHarvested)
+	}
+}
+
+func TestRunFleetSharedLedger(t *testing.T) {
+	fc := fleetCfg(4, 0)
+	led := energy.NewLedger(nil)
+	fc.Base.Energy = led
+	fs, err := RunFleet(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := led.Snapshot()
+	if snap.HarvestedJ <= 0 {
+		t.Fatal("shared ledger booked no harvest income")
+	}
+	if snap.Account(energy.AccountLeak) <= 0 {
+		t.Fatal("shared ledger booked no leak")
+	}
+	if fs.Counts[Completed] > 0 && snap.Account(energy.AccountInfer) <= 0 {
+		t.Fatal("completed sessions must book inference energy")
+	}
+}
+
+func TestRunFleetValidates(t *testing.T) {
+	if _, err := RunFleet(FleetConfig{Devices: 0, DurationS: 10, MeanGapS: 1, Base: DefaultConfig()}); err == nil {
+		t.Fatal("zero devices must error")
+	}
+	if _, err := RunFleet(FleetConfig{Devices: 1, DurationS: 0, MeanGapS: 1, Base: DefaultConfig()}); err == nil {
+		t.Fatal("zero horizon must error")
+	}
+	if _, err := RunFleet(FleetConfig{Devices: 1, DurationS: 10, MeanGapS: 0, Base: DefaultConfig()}); err == nil {
+		t.Fatal("zero arrival gap must error")
+	}
+	bad := fleetCfg(2, 0)
+	bad.Base.Lux = nil
+	if _, err := RunFleet(bad); err == nil {
+		t.Fatal("invalid base config must surface the device error")
+	}
+}
+
+// TestRunFleetFixedStepBaseline exercises the baseline integrator path and
+// sanity-checks it against the event-driven fleet on aggregate outcomes.
+func TestRunFleetFixedStepBaseline(t *testing.T) {
+	fc := fleetCfg(3, 0)
+	ev, err := RunFleet(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.FixedStepS = 60
+	fs, err := RunFleet(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Interactions != fs.Interactions {
+		t.Fatalf("arrival streams diverged: %d vs %d", ev.Interactions, fs.Interactions)
+	}
+	if ev.Counts[Completed] != fs.Counts[Completed] {
+		t.Fatalf("completed counts: event %d vs fixed-step %d", ev.Counts[Completed], fs.Counts[Completed])
+	}
+}

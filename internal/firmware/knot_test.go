@@ -1,0 +1,99 @@
+package firmware
+
+import (
+	"math"
+	"testing"
+)
+
+// knotSim builds a simulator over the office profile with a mid-band
+// supercap, positioned to charge across the lunch-dip discontinuity.
+func knotSim(t *testing.T) *Simulator {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Lux = OfficeDay(500)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.harv.Cap.V = 2.5
+	return s
+}
+
+// TestKnotHarvestMatchesPiecewiseExactIntegral is the regression pin for
+// the profile-sampling error at lighting discontinuities: the lunch dip at
+// t=5 h drops 500 → 300 lux instantaneously, and the legacy 60 s chunks
+// sample illuminance at chunk midpoints, so the chunk straddling the knot
+// books its whole minute at the wrong level. The event core splits exactly
+// at the knot and must match a fine-step oracle to 0.1%, while the 60 s
+// integrator is demonstrably off by more than 1% — the gap this PR closes.
+func TestKnotHarvestMatchesPiecewiseExactIntegral(t *testing.T) {
+	const knot = 5 * 3600.0
+	t0, t1 := knot-90, knot+90
+
+	gain := func(s *Simulator, advance func(s *Simulator)) float64 {
+		e0 := s.harv.Cap.Energy()
+		advance(s)
+		return s.harv.Cap.Energy() - e0
+	}
+
+	oracle := gain(knotSim(t), func(s *Simulator) { s.charge(t0, t1, 0.01, false) })
+	legacy := gain(knotSim(t), func(s *Simulator) { s.charge(t0, t1, 60, false) })
+	analytic := gain(knotSim(t), func(s *Simulator) {
+		s.harv.Now = t0
+		s.advanceCharge(t1)
+	})
+
+	if relErr := math.Abs(analytic-oracle) / oracle; relErr > 1e-3 {
+		t.Fatalf("event core off the piecewise-exact integral by %.3f%%: %.6f mJ vs %.6f mJ",
+			relErr*100, analytic*1e3, oracle*1e3)
+	}
+	if relErr := math.Abs(legacy-oracle) / oracle; relErr < 1e-2 {
+		t.Fatalf("expected the 60 s chunks to smear the knot by >1%%, got %.3f%% — regression pin is vacuous",
+			relErr*100)
+	}
+}
+
+// TestKnotRampPieceExact covers the dawn ramp knot at t=1 h, where the
+// profile bends (continuous, derivative jump): the analytic ramp advance
+// across [0.5 h, 1.5 h] must also land on the oracle.
+func TestKnotRampPieceExact(t *testing.T) {
+	t0, t1 := 0.5*3600, 1.5*3600
+
+	mk := func() *Simulator { return knotSim(t) }
+	oracle := mk()
+	oe0 := oracle.harv.Cap.Energy()
+	oracle.charge(t0, t1, 0.01, false)
+	oracleGain := oracle.harv.Cap.Energy() - oe0
+
+	ev := mk()
+	ev.harv.Now = t0
+	ee0 := ev.harv.Cap.Energy()
+	ev.advanceCharge(t1)
+	evGain := ev.harv.Cap.Energy() - ee0
+
+	if relErr := math.Abs(evGain-oracleGain) / oracleGain; relErr > 1e-3 {
+		t.Fatalf("ramp knot advance off by %.3f%%: %.6f mJ vs %.6f mJ",
+			relErr*100, evGain*1e3, oracleGain*1e3)
+	}
+}
+
+// TestOfficeDayBreakpoints pins the knot list the event queue splits at.
+func TestOfficeDayBreakpoints(t *testing.T) {
+	p := OfficeDay(500)
+	got := p.Breakpoints(0, 13*3600)
+	want := []float64{1 * 3600, 5 * 3600, 6 * 3600, 11 * 3600, 12 * 3600}
+	if len(got) != len(want) {
+		t.Fatalf("breakpoints %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("breakpoints %v, want %v", got, want)
+		}
+	}
+	if bps := p.Breakpoints(2*3600, 4*3600); len(bps) != 0 {
+		t.Fatalf("plateau interior should have no knots, got %v", bps)
+	}
+	if bps := ConstantLux(500).Breakpoints(0, 1e6); len(bps) != 0 {
+		t.Fatalf("constant profile should have no knots, got %v", bps)
+	}
+}

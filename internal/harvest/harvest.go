@@ -20,6 +20,11 @@ import (
 type Harvester struct {
 	Array *solar.Array
 	Cap   *circuit.Supercap
+	// Now is the harvester's simulation clock in seconds, advanced by the
+	// analytic AdvanceTo family. The fixed-step Charge path does not touch
+	// it; callers mixing the two (or modelling overlapping activity) may
+	// set it directly.
+	Now float64
 	// Efficiency is the MPPT + converter efficiency (SPV1050 ≈ 0.8 indoor,
 	// folded into the cell calibration; kept explicit for sweeps).
 	Efficiency float64
@@ -36,6 +41,24 @@ type Harvester struct {
 	// per-call cost is one atomic add, cheap enough for replay loops; a
 	// nil ledger keeps the original arithmetic bit-identical.
 	Energy *energy.Ledger
+
+	// memo caches the last InputPower evaluation. Indoor lighting is
+	// piecewise constant for long stretches, so consecutive charge steps
+	// overwhelmingly re-query the same illuminance; the cache returns the
+	// identical float, so numerics are unchanged.
+	memo struct {
+		lux, p  float64
+		sensing bool
+		ok      bool
+	}
+	// shadedMemo is the same cache for the hand-shadowed session power: a
+	// deployment's shading geometry is fixed, so back-to-back sessions at
+	// the plateau illuminance skip the per-cell array walk.
+	shadedMemo struct {
+		lux, cover, shade, p float64
+		sensing              bool
+		ok                   bool
+	}
 }
 
 // New returns a harvester over the standard 25-cell array and 1 F supercap.
@@ -51,10 +74,14 @@ func New() *Harvester {
 // InputPower returns the net charging power in watts at the given
 // illuminance, after converter efficiency and quiescent draw.
 func (h *Harvester) InputPower(lux float64, sensingActive bool) float64 {
+	if h.memo.ok && lux == h.memo.lux && sensingActive == h.memo.sensing {
+		return h.memo.p
+	}
 	p := h.Array.HarvestPower(lux, sensingActive)*h.Efficiency - h.QuiescentW
 	if p < 0 {
-		return 0
+		p = 0
 	}
+	h.memo.lux, h.memo.sensing, h.memo.p, h.memo.ok = lux, sensingActive, p, true
 	return p
 }
 
@@ -97,11 +124,21 @@ func (h *Harvester) ChargeShaded(lux, dt, handCover, handShade float64, sensingA
 	if dt < 0 {
 		panic(fmt.Sprintf("harvest: negative interval %v", dt))
 	}
+	h.deposit(h.shadedPower(lux, handCover, handShade, sensingActive), dt)
+}
+
+// shadedPower is InputPower's hand-shadow variant, memoized the same way.
+func (h *Harvester) shadedPower(lux, handCover, handShade float64, sensingActive bool) float64 {
+	m := &h.shadedMemo
+	if m.ok && m.lux == lux && m.cover == handCover && m.shade == handShade && m.sensing == sensingActive {
+		return m.p
+	}
 	p := h.Array.HarvestPowerShaded(lux, handCover, handShade, sensingActive)*h.Efficiency - h.QuiescentW
 	if p < 0 {
 		p = 0
 	}
-	h.deposit(p, dt)
+	m.lux, m.cover, m.shade, m.sensing, m.p, m.ok = lux, handCover, handShade, sensingActive, p, true
+	return p
 }
 
 // TimeToHarvest returns how long the platform must charge at the given
@@ -128,6 +165,11 @@ func (h *Harvester) TimeToHarvest(energyJ, lux float64) float64 {
 // SimulateTimeToVoltage charges from the current supercap state until the
 // target voltage is reached, in fixed steps, and returns the elapsed time.
 // Returns +Inf if charging stalls (leak ≥ input).
+//
+// Deprecated-in-spirit: the event-driven core answers the same question in
+// closed form via TimeToVoltage; this replay (millions of sub-second steps
+// for slow charges) is retained as the brute-force oracle the analytic
+// solvers are pinned against in tests.
 func (h *Harvester) SimulateTimeToVoltage(targetV, lux, stepS float64) float64 {
 	if stepS <= 0 {
 		panic("harvest: non-positive step")

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzQueueOrdering drives the queue with an arbitrary byte-encoded
+// sequence of pushes and pops and checks the two ordering invariants on
+// every pop: times never decrease relative to the last pop taken at the
+// same drain point, and equal timestamps drain in insertion order.
+func FuzzQueueOrdering(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 2, 0, 1, 255, 255})
+	f.Add([]byte{0, 0, 0, 0, 255, 0, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q := NewQueue()
+		var next int64
+		lastSeq := map[float64]uint64{}
+		for len(data) > 0 {
+			op := data[0]
+			data = data[1:]
+			if op == 255 { // pop
+				before := q.Len()
+				ev, ok := q.Pop()
+				if ok != (before > 0) {
+					t.Fatalf("pop ok=%v with %d pending", ok, before)
+				}
+				if !ok {
+					continue
+				}
+				// Every pending event must be >= the popped one.
+				if pk, ok := q.Peek(); ok {
+					if pk.T < ev.T || (pk.T == ev.T && pk.Seq() < ev.Seq()) {
+						t.Fatalf("heap order violated: popped (%v,%d), peek (%v,%d)",
+							ev.T, ev.Seq(), pk.T, pk.Seq())
+					}
+				}
+				if last, seen := lastSeq[ev.T]; seen && ev.Seq() <= last {
+					t.Fatalf("tie-break violated at t=%v: seq %d after %d",
+						ev.T, ev.Seq(), last)
+				}
+				lastSeq[ev.T] = ev.Seq()
+				continue
+			}
+			var ti float64
+			if len(data) >= 8 {
+				ti = math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))
+				data = data[8:]
+			} else {
+				ti = float64(op)
+			}
+			if math.IsNaN(ti) {
+				ti = float64(op) // NaN pushes are rejected by design
+			}
+			q.Push(ti, Kind(op%4), next)
+			next++
+		}
+	})
+}

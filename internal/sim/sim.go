@@ -1,0 +1,166 @@
+// Package sim is the event-driven simulation core: a deterministic
+// priority event queue with typed events and stable tie-breaking, plus a
+// simulation clock. State in an event-driven simulation changes only at
+// discrete instants — threshold crossings, arrivals, lighting breakpoints —
+// so the physics between events can be advanced analytically instead of
+// being replayed in fixed sub-second steps. The queue is the scheduler for
+// those instants; what each event means is up to the embedding simulation
+// (internal/firmware defines arrivals, V_θ crossings, and lux breakpoints).
+//
+// Determinism contract: Pop order depends only on the sequence of Push
+// calls — events are ordered by time, and events with equal timestamps pop
+// in insertion order (each Push is stamped with a monotone sequence
+// number). Replays of the same Push sequence therefore drain identically,
+// which is what lets seeded lifetime runs be pinned byte-for-byte.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind tags an event with its type. The zero value is valid; embedding
+// simulations define their own kind constants.
+type Kind uint8
+
+// Event is one scheduled occurrence.
+type Event struct {
+	// T is the simulation time of the event in seconds.
+	T float64
+	// Kind is the event type, defined by the embedding simulation.
+	Kind Kind
+	// Data is an opaque payload: an arrival index, a generation counter
+	// for invalidating stale events, or anything else the embedder needs.
+	Data int64
+
+	seq uint64
+}
+
+// Seq returns the event's insertion sequence number (diagnostics; also the
+// tie-break key for equal timestamps).
+func (e Event) Seq() uint64 { return e.seq }
+
+// Queue is a deterministic min-priority queue of events ordered by
+// (time, insertion order). The zero value is ready to use.
+type Queue struct {
+	heap    []Event
+	nextSeq uint64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Grow reserves capacity for at least n additional events, so bulk
+// scheduling (a run's whole arrival stream) does not reallocate the heap
+// once per doubling.
+func (q *Queue) Grow(n int) {
+	if need := len(q.heap) + n; need > cap(q.heap) {
+		heap := make([]Event, len(q.heap), need)
+		copy(heap, q.heap)
+		q.heap = heap
+	}
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules an event. Panics on NaN times — a NaN would silently
+// corrupt the heap ordering.
+func (q *Queue) Push(t float64, kind Kind, data int64) {
+	if math.IsNaN(t) {
+		panic("sim: NaN event time")
+	}
+	ev := Event{T: t, Kind: kind, Data: data, seq: q.nextSeq}
+	q.nextSeq++
+	q.heap = append(q.heap, ev)
+	q.siftUp(len(q.heap) - 1)
+}
+
+// Peek returns the next event without removing it.
+func (q *Queue) Peek() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	return q.heap[0], true
+}
+
+// Pop removes and returns the earliest event; ties pop in insertion order.
+func (q *Queue) Pop() (Event, bool) {
+	n := len(q.heap)
+	if n == 0 {
+		return Event{}, false
+	}
+	top := q.heap[0]
+	q.heap[0] = q.heap[n-1]
+	q.heap = q.heap[:n-1]
+	if len(q.heap) > 0 {
+		q.siftDown(0)
+	}
+	return top, true
+}
+
+// less orders the heap by time, then by insertion sequence so equal
+// timestamps drain first-in-first-out.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.T != b.T {
+		return a.T < b.T
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.heap)
+	for {
+		min, l, r := i, 2*i+1, 2*i+2
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.heap[i], q.heap[min] = q.heap[min], q.heap[i]
+		i = min
+	}
+}
+
+// Clock tracks simulation time. The zero value starts at t=0.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current simulation time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// AdvanceTo moves the clock forward to t. Panics if t would move time
+// backwards — an out-of-order event is a scheduling bug, not a state.
+func (c *Clock) AdvanceTo(t float64) {
+	if t < c.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("sim: clock moving backwards: %v -> %v", c.now, t))
+	}
+	c.now = t
+}
+
+// Set forces the clock to t, forwards or backwards. Rewinding is legal
+// only when the embedder explicitly models overlapping activity (the
+// firmware arrival-overrun convention); prefer AdvanceTo.
+func (c *Clock) Set(t float64) {
+	if math.IsNaN(t) {
+		panic("sim: NaN clock time")
+	}
+	c.now = t
+}
