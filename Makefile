@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: verify vet race check bench bench-obs bench-energy bench-fleet bench-json bench-smoke smoke-report
+.PHONY: verify vet race check bench bench-obs bench-energy bench-fleet bench-json bench-smoke smoke-report search-resume-smoke
 
 verify:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/compute/... ./internal/nn/... ./internal/sim/... ./internal/firmware/...
+	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/nas/... ./internal/compute/... ./internal/nn/... ./internal/sim/... ./internal/firmware/...
 
 check: verify vet race
 
@@ -58,7 +58,33 @@ bench-json:
 # trajectory artifact (entries outside the smoke subset are retained).
 # allocs/op on the arena step is the number to watch — it must stay at 0.
 bench-smoke:
-	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge|BenchmarkFleetDeviceYears'
+	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge|BenchmarkFleetDeviceYears|BenchmarkIslandSearch'
+
+# search-resume-smoke proves the checkpoint/resume contract end to end with
+# real processes: an uninterrupted two-island search, the same search stopped
+# at a mid-run checkpoint barrier (writing a persistent memo along the way),
+# and a resumed run from the checkpoint must all land on the identical best
+# genome fingerprint. CI runs this and uploads the transcripts.
+search-resume-smoke:
+	$(GO) run ./cmd/enas-search -islands 2 -pop 12 -sample 5 -cycles 40 \
+		-grid-every 8 -seed 7 -migration-interval 10 -workers 4 \
+		| tee search_resume_full.txt
+	rm -f search_resume.ckpt search_resume.memo
+	$(GO) run ./cmd/enas-search -islands 2 -pop 12 -sample 5 -cycles 40 \
+		-grid-every 8 -seed 7 -migration-interval 10 -workers 4 \
+		-checkpoint search_resume.ckpt -checkpoint-every 10 -stop-after 20 \
+		-cache-file search_resume.memo \
+		| tee search_resume_stop.txt
+	grep -q 'stopped at checkpoint' search_resume_stop.txt
+	$(GO) run ./cmd/enas-search -islands 2 -pop 12 -sample 5 -cycles 40 \
+		-grid-every 8 -seed 7 -migration-interval 10 -workers 4 \
+		-checkpoint search_resume.ckpt -checkpoint-every 10 \
+		-cache-file search_resume.memo -resume \
+		| tee search_resume_resumed.txt
+	grep 'fingerprint' search_resume_full.txt > search_resume_fp_full.txt
+	grep 'fingerprint' search_resume_resumed.txt > search_resume_fp_resumed.txt
+	diff search_resume_fp_full.txt search_resume_fp_resumed.txt
+	@echo "search-resume-smoke: resumed run reproduced the uninterrupted best genome"
 
 # smoke-report closes the telemetry loop end to end: record a tiny seeded
 # search trace, analyze it with obs-report, and check the rollup is

@@ -14,6 +14,7 @@ import (
 
 	"solarml/internal/core"
 	"solarml/internal/enas"
+	"solarml/internal/evo"
 	"solarml/internal/experiments"
 	"solarml/internal/nas"
 	"solarml/internal/nn"
@@ -354,6 +355,53 @@ func BenchmarkSurrogateSearchCached(b *testing.B) {
 	b.Run("serial_cache", run(0, true))
 	b.Run("workers4", run(4, false))
 	b.Run("workers4_cache", run(4, true))
+}
+
+// BenchmarkIslandSearch measures the island layer's fan-out scaling: the
+// same surrogate eNAS search as 1, 2, and 4 concurrent islands with a
+// migrant exchange every 10 cycles. Each island does the same amount of
+// search work, so ns/op growing sub-linearly in the island count is the
+// concurrency win to watch; the cached variant shares one evaluation memo
+// across shards, which is where cross-island revisits pay off.
+func BenchmarkIslandSearch(b *testing.B) {
+	run := func(islands int, cache bool) func(*testing.B) {
+		return func(b *testing.B) {
+			space := nas.GestureSpace()
+			scfg := enas.Config{
+				Lambda: 0.5, Population: 16, SampleSize: 6, Cycles: 60,
+				SensingEvery: 8, Seed: 9,
+				Constraints: nas.DefaultConstraints(nas.TaskGesture),
+			}
+			newPol := func() evo.Policy {
+				p, err := enas.NewPolicy(space, scfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return p
+			}
+			newEval := func() nas.Evaluator { return nas.NewSurrogateEvaluator(nas.NewTruthEnergy()) }
+			icfg := evo.IslandConfig{
+				Config: evo.Config{
+					Population: 16, SampleSize: 6, Cycles: 60, Seed: 9,
+					Constraints: nas.DefaultConstraints(nas.TaskGesture),
+					Cache:       cache,
+				},
+				Islands:           islands,
+				MigrationInterval: 10,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := evo.RunIslands(newPol, newEval, icfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("islands1", run(1, false))
+	b.Run("islands2", run(2, false))
+	b.Run("islands4", run(4, false))
+	b.Run("islands4_cache", run(4, true))
 }
 
 // BenchmarkSurrogateEvaluation times one candidate evaluation — the inner

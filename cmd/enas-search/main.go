@@ -7,6 +7,9 @@
 //	            [-lambda 0.5] [-pop 50] [-sample 20] [-cycles 150]
 //	            [-grid-every 20] [-seed 1] [-eval surrogate|train]
 //	            [-workers 1] [-compute-workers 0] [-cache]
+//	            [-islands 1] [-migration-interval 25] [-migrants 1]
+//	            [-checkpoint search.ckpt] [-checkpoint-every 25]
+//	            [-resume] [-stop-after 0] [-cache-file eval.memo]
 //	            [-trace-out run.jsonl] [-metrics-out metrics.json]
 //	            [-metrics-interval 1s] [-pprof localhost:6060]
 //
@@ -21,6 +24,15 @@
 // training run across kernel workers, and -cache memoizes evaluations per
 // candidate fingerprint (identical result, fewer evaluator calls).
 //
+// -islands > 1 fans the search out over concurrent island shards with a
+// deterministic migrant ring every -migration-interval cycles; the outcome
+// is independent of -workers and scheduling. -checkpoint persists the full
+// run state every -checkpoint-every cycles (atomically), -resume restarts
+// from it bit-identically, and -stop-after N stops the run gracefully at
+// the first checkpoint barrier at or past cycle N (the CI resume smoke).
+// -cache-file backs the evaluation memo with a persistent store that later
+// runs (and other islands) reuse.
+//
 // -trace-out writes a JSONL obs trace (run manifest, phase spans, one
 // <algo>.cycle event per cycle); -metrics-out writes a final metrics
 // snapshot; -metrics-interval records a metrics time series (plus runtime
@@ -32,6 +44,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -41,6 +54,7 @@ import (
 	"solarml/internal/compute"
 	"solarml/internal/dataset"
 	"solarml/internal/enas"
+	"solarml/internal/evo"
 	"solarml/internal/harvnet"
 	"solarml/internal/munas"
 	"solarml/internal/nas"
@@ -48,26 +62,63 @@ import (
 	obscli "solarml/internal/obs/cli"
 )
 
+// options carries every search flag; the distributed engine path and the
+// legacy single-shard path both read from it.
+type options struct {
+	algo, taskName, evalName string
+	lambda                   float64
+	pop, sample, cycles      int
+	gridEvery                int
+	seed                     int64
+	trainN                   int
+	workers                  int
+	warm, cache              bool
+
+	islands           int
+	migrationInterval int
+	migrants          int
+	checkpoint        string
+	checkpointEvery   int
+	resume            bool
+	stopAfter         int
+	cacheFile         string
+}
+
+// distributed reports whether any island/checkpoint/memo flag is in play —
+// the cue to drive evo.RunIslands instead of the per-algorithm Search
+// wrappers (which stay byte-identical for existing single-shard usage).
+func (o *options) distributed() bool {
+	return o.islands > 1 || o.checkpoint != "" || o.resume || o.cacheFile != ""
+}
+
 func main() {
-	algo := flag.String("algo", "enas", "search algorithm: enas, munas, harvnet")
-	taskName := flag.String("task", "gesture", "task: gesture or kws")
-	lambda := flag.Float64("lambda", 0.5, "eNAS accuracy/energy trade-off λ ∈ [0,1]")
-	pop := flag.Int("pop", 50, "population size")
-	sample := flag.Int("sample", 20, "tournament sample size")
-	cycles := flag.Int("cycles", 150, "evolution cycles")
-	gridEvery := flag.Int("grid-every", 20, "sensing grid-mutation period R")
-	seed := flag.Int64("seed", 1, "random seed")
-	evalName := flag.String("eval", "surrogate", "evaluator: surrogate or train")
-	trainN := flag.Int("train-n", 200, "dataset size for -eval train")
-	workers := flag.Int("workers", 1, "parallel candidate evaluations (population fill + grid batches, all algorithms)")
+	var o options
+	flag.StringVar(&o.algo, "algo", "enas", "search algorithm: enas, munas, harvnet")
+	flag.StringVar(&o.taskName, "task", "gesture", "task: gesture or kws")
+	flag.Float64Var(&o.lambda, "lambda", 0.5, "eNAS accuracy/energy trade-off λ ∈ [0,1]")
+	flag.IntVar(&o.pop, "pop", 50, "population size")
+	flag.IntVar(&o.sample, "sample", 20, "tournament sample size")
+	flag.IntVar(&o.cycles, "cycles", 150, "evolution cycles")
+	flag.IntVar(&o.gridEvery, "grid-every", 20, "sensing grid-mutation period R")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.StringVar(&o.evalName, "eval", "surrogate", "evaluator: surrogate or train")
+	flag.IntVar(&o.trainN, "train-n", 200, "dataset size for -eval train")
+	flag.IntVar(&o.workers, "workers", 1, "parallel candidate evaluations (population fill + grid batches, all algorithms)")
 	computeWorkers := flag.Int("compute-workers", 0, "kernel workers per candidate training run (0 = NumCPU/workers, 1 = serial)")
-	cache := flag.Bool("cache", false, "memoize evaluations per candidate fingerprint (identical result, fewer evaluator calls)")
-	warm := flag.Bool("warm", false, "with -eval train: children inherit parent weights (fewer epochs)")
+	flag.BoolVar(&o.cache, "cache", false, "memoize evaluations per candidate fingerprint (identical result, fewer evaluator calls)")
+	flag.BoolVar(&o.warm, "warm", false, "with -eval train: children inherit parent weights (fewer epochs)")
+	flag.IntVar(&o.islands, "islands", 1, "island shards (each evolves independently between migrations)")
+	flag.IntVar(&o.migrationInterval, "migration-interval", 25, "cycles between migrant exchanges (0 = never)")
+	flag.IntVar(&o.migrants, "migrants", 1, "entries exchanged per migration barrier")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: persist full search state at cycle barriers")
+	flag.IntVar(&o.checkpointEvery, "checkpoint-every", 25, "cycles between checkpoints")
+	flag.BoolVar(&o.resume, "resume", false, "resume from -checkpoint instead of starting fresh")
+	flag.IntVar(&o.stopAfter, "stop-after", 0, "stop at the first checkpoint barrier at or past this cycle (0 = run to completion)")
+	flag.StringVar(&o.cacheFile, "cache-file", "", "persistent evaluation memo file shared across runs")
 	obsFlags := obscli.AddFlags(nil)
 	flag.Parse()
 
-	if err := mainErr(obsFlags, *algo, *taskName, *lambda, *pop, *sample, *cycles,
-		*gridEvery, *seed, *evalName, *trainN, *workers, *computeWorkers, *warm, *cache); err != nil {
+	if err := mainErr(obsFlags, &o, *computeWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
@@ -77,9 +128,7 @@ func main() {
 // exits — happy, search error, evaluator construction failure — the trace
 // gets its terminal FlushMetrics + Finish and the files are flushed, so
 // obs-report can parse aborted runs.
-func mainErr(obsFlags *obscli.Flags, algo, taskName string, lambda float64,
-	pop, sample, cycles, gridEvery int, seed int64, evalName string,
-	trainN, workers, computeWorkers int, warm, cache bool) (err error) {
+func mainErr(obsFlags *obscli.Flags, o *options, computeWorkers int) (err error) {
 	sess, err := obsFlags.Open()
 	if err != nil {
 		return err
@@ -87,59 +136,63 @@ func mainErr(obsFlags *obscli.Flags, algo, taskName string, lambda float64,
 	defer sess.CloseWith(&err)
 	kw := computeWorkers
 	if kw <= 0 {
-		kw = compute.BudgetWorkers(workers)
+		kw = compute.BudgetWorkers(o.workers)
 	}
 	cctx := compute.NewContextFor(kw, sess.Reg)
-	sess.Manifest("enas-search", seed, map[string]any{
-		"algo": algo, "task": taskName, "lambda": lambda,
-		"pop": pop, "sample": sample, "cycles": cycles,
-		"grid_every": gridEvery, "eval": evalName, "workers": workers,
-		"warm": warm, "train_n": trainN, "compute_workers": kw, "cache": cache,
+	sess.Manifest("enas-search", o.seed, map[string]any{
+		"algo": o.algo, "task": o.taskName, "lambda": o.lambda,
+		"pop": o.pop, "sample": o.sample, "cycles": o.cycles,
+		"grid_every": o.gridEvery, "eval": o.evalName, "workers": o.workers,
+		"warm": o.warm, "train_n": o.trainN, "compute_workers": kw, "cache": o.cache,
+		"islands": o.islands, "migration_interval": o.migrationInterval,
+		"migrants": o.migrants, "checkpoint": o.checkpoint, "resume": o.resume,
+		"cache_file": o.cacheFile,
 	})
-	return run(algo, taskName, lambda, pop, sample, cycles, gridEvery,
-		seed, evalName, trainN, workers, warm, cache, sess.Rec, sess.Reg, cctx)
+	return run(o, sess.Rec, sess.Reg, cctx)
 }
 
-func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery int,
-	seed int64, evalName string, trainN, workers int, warm, cache bool,
-	rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) error {
+func run(o *options, rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) error {
 	task := nas.TaskGesture
 	space := nas.GestureSpace()
-	if taskName == "kws" {
+	if o.taskName == "kws" {
 		task = nas.TaskKWS
 		space = nas.KWSSpace()
 	}
 
-	eval, err := buildEvaluator(evalName, task, space, seed, trainN, warm, rec, reg, cctx)
+	if o.distributed() {
+		return runIslands(o, task, space, rec, reg, cctx)
+	}
+
+	eval, err := buildEvaluator(o.evalName, task, space, o.seed, o.trainN, o.warm, rec, reg, cctx)
 	if err != nil {
 		return err
 	}
 
 	start := time.Now()
-	switch algo {
+	switch o.algo {
 	case "enas":
 		cfg := enas.Config{
-			Lambda: lambda, Population: pop, SampleSize: sample,
-			Cycles: cycles, SensingEvery: gridEvery, Seed: seed,
+			Lambda: o.lambda, Population: o.pop, SampleSize: o.sample,
+			Cycles: o.cycles, SensingEvery: o.gridEvery, Seed: o.seed,
 			Constraints: nas.DefaultConstraints(task),
-			Workers:     workers,
+			Workers:     o.workers,
 			Compute:     cctx,
 			Obs:         rec,
 			Metrics:     reg,
-			Cache:       cache,
+			Cache:       o.cache,
 		}
 		out, err := enas.Search(space, eval, cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("eNAS (λ=%.2f) finished: %d evaluations in %v\n", lambda, out.Evaluations, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("eNAS (λ=%.2f) finished: %d evaluations in %v\n", o.lambda, out.Evaluations, time.Since(start).Round(time.Millisecond))
 		fmt.Printf("  energy bounds: E_min %.0f µJ, E_max %.0f µJ\n", out.EMin*1e6, out.EMax*1e6)
 		printBest(out.Best.Cand, out.Best.Res)
 	case "munas":
-		sensing := space.RandomCandidate(rand.New(rand.NewSource(seed)))
-		cfg := munas.Config{Population: pop, SampleSize: sample, Cycles: cycles,
-			Seed: seed, Constraints: nas.DefaultConstraints(task),
-			Workers: workers, Compute: cctx, Obs: rec, Metrics: reg, Cache: cache}
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(o.seed)))
+		cfg := munas.Config{Population: o.pop, SampleSize: o.sample, Cycles: o.cycles,
+			Seed: o.seed, Constraints: nas.DefaultConstraints(task),
+			Workers: o.workers, Compute: cctx, Obs: rec, Metrics: reg, Cache: o.cache}
 		out, err := munas.Search(space, sensing, eval, cfg)
 		if err != nil {
 			return err
@@ -148,10 +201,10 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 			out.Evaluations, time.Since(start).Round(time.Millisecond), sensing.SensingString())
 		printBest(out.BestAccuracy.Cand, out.BestAccuracy.Res)
 	case "harvnet":
-		sensing := space.RandomCandidate(rand.New(rand.NewSource(seed)))
-		cfg := harvnet.Config{Population: pop, SampleSize: sample, Cycles: cycles,
-			Seed: seed, Constraints: nas.DefaultConstraints(task),
-			Workers: workers, Compute: cctx, Obs: rec, Metrics: reg, Cache: cache}
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(o.seed)))
+		cfg := harvnet.Config{Population: o.pop, SampleSize: o.sample, Cycles: o.cycles,
+			Seed: o.seed, Constraints: nas.DefaultConstraints(task),
+			Workers: o.workers, Compute: cctx, Obs: rec, Metrics: reg, Cache: o.cache}
 		out, err := harvnet.Search(space, sensing, eval, cfg)
 		if err != nil {
 			return err
@@ -160,8 +213,105 @@ func run(algo, taskName string, lambda float64, pop, sample, cycles, gridEvery i
 			out.Evaluations, time.Since(start).Round(time.Millisecond), sensing.SensingString())
 		printBest(out.Best.Cand, out.Best.Res)
 	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+		return fmt.Errorf("unknown algorithm %q", o.algo)
 	}
+	return nil
+}
+
+// runIslands drives the engine's island/checkpoint layer. It builds one
+// policy and one evaluator per island (warm-start weight stores must not be
+// shared across shards) and funnels the distributed flags into
+// evo.IslandConfig.
+func runIslands(o *options, task nas.Task, space *nas.Space, rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) error {
+	constraints := nas.DefaultConstraints(task)
+	var newPol func() evo.Policy
+	switch o.algo {
+	case "enas":
+		cfg := enas.Config{
+			Lambda: o.lambda, Population: o.pop, SampleSize: o.sample,
+			Cycles: o.cycles, SensingEvery: o.gridEvery, Seed: o.seed,
+			Constraints: constraints,
+		}
+		if _, err := enas.NewPolicy(space, cfg); err != nil {
+			return err
+		}
+		newPol = func() evo.Policy { p, _ := enas.NewPolicy(space, cfg); return p }
+	case "munas":
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(o.seed)))
+		cfg := munas.Config{Population: o.pop, SampleSize: o.sample, Cycles: o.cycles,
+			Seed: o.seed, Constraints: constraints}
+		newPol = func() evo.Policy { return munas.NewPolicy(space, sensing, cfg) }
+	case "harvnet":
+		sensing := space.RandomCandidate(rand.New(rand.NewSource(o.seed)))
+		cfg := harvnet.Config{Population: o.pop, SampleSize: o.sample, Cycles: o.cycles,
+			Seed: o.seed, Constraints: constraints}
+		newPol = func() evo.Policy { return harvnet.NewPolicy(space, sensing, cfg) }
+	default:
+		return fmt.Errorf("unknown algorithm %q", o.algo)
+	}
+
+	// One evaluator per island, built eagerly so construction errors surface
+	// before any island fills; RunIslands consumes the factory in island
+	// order from one goroutine.
+	evals := make([]nas.Evaluator, o.islands)
+	for i := range evals {
+		ev, err := buildEvaluator(o.evalName, task, space, o.seed, o.trainN, o.warm, rec, reg, cctx)
+		if err != nil {
+			return err
+		}
+		evals[i] = ev
+	}
+	nextEval := 0
+	newEval := func() nas.Evaluator { ev := evals[nextEval]; nextEval++; return ev }
+
+	var memo *evo.MemoStore
+	if o.cacheFile != "" {
+		// The scope pins every knob the memoized results depend on: task and
+		// evaluator kind select the model, seed selects the surrogate
+		// calibration (or training init), train-n the dataset size.
+		scope := fmt.Sprintf("solarml-memo/v1 task=%s eval=%s seed=%d train_n=%d",
+			o.taskName, o.evalName, o.seed, o.trainN)
+		var err error
+		memo, err = evo.OpenMemoStore(o.cacheFile, scope)
+		if err != nil {
+			return err
+		}
+		defer memo.Close()
+		st := memo.Stats()
+		fmt.Printf("memo %s: %d entries loaded (%d skipped, %d duplicates)\n",
+			o.cacheFile, st.Loaded, st.Skipped, st.Duplicates)
+	}
+
+	icfg := evo.IslandConfig{
+		Config: evo.Config{
+			Population: o.pop, SampleSize: o.sample, Cycles: o.cycles,
+			Seed: o.seed, Constraints: constraints, Workers: o.workers,
+			Compute: cctx, Obs: rec, Metrics: reg, Cache: o.cache, Memo: memo,
+		},
+		Islands:           o.islands,
+		MigrationInterval: o.migrationInterval,
+		Migrants:          o.migrants,
+		Resume:            o.resume,
+	}
+	if o.checkpoint != "" {
+		icfg.Checkpoint = &evo.CheckpointSpec{
+			Path: o.checkpoint, Every: o.checkpointEvery, StopAfterCycle: o.stopAfter,
+		}
+	}
+
+	start := time.Now()
+	out, err := evo.RunIslands(newPol, newEval, icfg)
+	if errors.Is(err, evo.ErrStopped) {
+		fmt.Printf("%s search stopped at checkpoint %s after %v — resume with -resume\n",
+			o.algo, o.checkpoint, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s finished: %d evaluations across %d islands (%d migrations) in %v\n",
+		o.algo, out.Evaluations, o.islands, out.Migrations, time.Since(start).Round(time.Millisecond))
+	printBest(out.Best.Cand, out.Best.Res)
 	return nil
 }
 
@@ -191,10 +341,11 @@ func buildEvaluator(name string, task nas.Task, space *nas.Space, seed int64, tr
 
 func printBest(c *nas.Candidate, r nas.Result) {
 	fmt.Println("best candidate:")
-	fmt.Printf("  sensing:   %s\n", c.SensingString())
-	fmt.Printf("  arch:      %s\n", c.Arch)
-	fmt.Printf("  accuracy:  %.3f\n", r.Accuracy)
-	fmt.Printf("  energy:    %.0f µJ  (sensing %.0f + inference %.0f)\n",
+	fmt.Printf("  sensing:     %s\n", c.SensingString())
+	fmt.Printf("  arch:        %s\n", c.Arch)
+	fmt.Printf("  fingerprint: %016x\n", c.Fingerprint())
+	fmt.Printf("  accuracy:    %.3f\n", r.Accuracy)
+	fmt.Printf("  energy:      %.0f µJ  (sensing %.0f + inference %.0f)\n",
 		r.EnergyJ*1e6, r.SensingJ*1e6, r.InferJ*1e6)
-	fmt.Printf("  MACs:      %d\n", r.TotalMACs)
+	fmt.Printf("  MACs:        %d\n", r.TotalMACs)
 }

@@ -136,12 +136,27 @@ func (cfg Config) score(e Entry, eMin, eMax float64) float64 {
 // the λ-objective with a soft infeasibility penalty, GRIDMUTATE every R
 // cycles, and best-objective reporting.
 type policy struct {
+	evo.NASGenome
+	evo.StatelessState
 	cfg        Config
 	space      *nas.Space
 	eMin, eMax float64
 	// lastBest snapshots the per-cycle best for the deprecated Verbose
 	// adapter, which fires synchronously off the enas.cycle emission.
 	lastBest Entry
+}
+
+// NewPolicy returns the eNAS search as an evo.Policy for the engine's
+// island/checkpoint driver path (evo.RunIslands), which constructs one
+// policy instance per island. Search remains the single-shard entry point.
+func NewPolicy(space *nas.Space, cfg Config) (evo.Policy, error) {
+	if cfg.Lambda < 0 || cfg.Lambda > 1 {
+		return nil, fmt.Errorf("enas: lambda %v outside [0,1]", cfg.Lambda)
+	}
+	if cfg.SensingEvery <= 0 {
+		cfg.SensingEvery = 20
+	}
+	return &policy{cfg: cfg, space: space}, nil
 }
 
 func (p *policy) Prefix() string { return "enas" }

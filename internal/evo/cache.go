@@ -21,12 +21,29 @@ import (
 type memoCache struct {
 	mu     sync.Mutex
 	res    map[uint64]nas.Result
+	store  *MemoStore
 	hits   *obs.Counter
 	misses *obs.Counter
 }
 
 func newMemoCache(hits, misses *obs.Counter) *memoCache {
 	return &memoCache{res: make(map[uint64]nas.Result), hits: hits, misses: misses}
+}
+
+// attach backs the cache with a persistent store: entries the store loaded
+// from disk are primed into the map (so prior runs' evaluations replay as
+// hits), and every future put appends to the store. A nil store is a no-op,
+// which keeps the Cache-only path allocation-identical to before.
+func (m *memoCache) attach(s *MemoStore) {
+	if s == nil {
+		return
+	}
+	m.mu.Lock()
+	m.store = s
+	for fp, r := range s.Entries() {
+		m.res[fp] = r
+	}
+	m.mu.Unlock()
 }
 
 func (m *memoCache) get(fp uint64) (nas.Result, bool) {
@@ -44,5 +61,12 @@ func (m *memoCache) get(fp uint64) (nas.Result, bool) {
 func (m *memoCache) put(fp uint64, r nas.Result) {
 	m.mu.Lock()
 	m.res[fp] = r
+	store := m.store
 	m.mu.Unlock()
+	if store != nil {
+		// Persistence is best-effort: a full disk must not abort a search
+		// whose in-memory state is still sound. The store records its own
+		// dedup, so concurrent shards racing on one fingerprint are fine.
+		_ = store.Append(fp, r)
+	}
 }

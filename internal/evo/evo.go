@@ -11,6 +11,20 @@
 // convention — lives behind the Policy interface, implemented by the thin
 // adapters in internal/enas, internal/munas, and internal/harvnet.
 //
+// The engine is layered for scale:
+//
+//   - The serializable core (engine.go, rng.go, checkpoint.go) runs one
+//     shard stepwise — fill, then one cycle at a time — over a snapshotable
+//     PRNG, so a search checkpoints to disk at any cycle boundary and
+//     resumes bit-identically.
+//   - The island layer (island.go) fans N shards out over concurrent
+//     workers with periodic deterministic migrant exchange; merges happen
+//     in island-index order at barriers, so results are independent of
+//     worker count and scheduling.
+//   - The evaluation memo (cache.go, memostore.go) is optionally backed by
+//     a persistent append-only store that shards share within a run and
+//     that Merge reconciles across runs.
+//
 // Determinism contract: the engine consumes the seeded rng only through
 // Policy.Fill, Policy.CycleScore, one rand.Perm per tournament, and
 // Policy.Mutate — never from evaluation, telemetry, or the cache — and
@@ -18,15 +32,12 @@
 // returns a byte-identical Outcome for any Workers count, with telemetry on
 // or off, and with the cache on or off (provided the evaluator is
 // deterministic per candidate, which both repo evaluators are on the
-// cold-start path).
+// cold-start path). Checkpoint/resume and the island layer preserve the
+// contract: a resumed search replays the exact PRNG stream, and migrations
+// happen only at barriers, in index order.
 package evo
 
 import (
-	"fmt"
-	"math"
-	"math/rand"
-	"time"
-
 	"solarml/internal/compute"
 	"solarml/internal/nas"
 	"solarml/internal/obs"
@@ -53,10 +64,10 @@ const mutateTries = 16
 // Config holds the algorithm-independent engine settings. The per-algorithm
 // knobs (λ, grid period, sensing configuration, …) live in the Policy.
 type Config struct {
-	Population int
-	SampleSize int
-	Cycles     int
-	Seed       int64
+	Population  int
+	SampleSize  int
+	Cycles      int
+	Seed        int64
 	Constraints nas.Constraints
 	// Workers sets the evaluation parallelism for the population fill and
 	// grid-mutation batches (≤1 means sequential). Results merge in
@@ -76,7 +87,8 @@ type Config struct {
 	Obs *obs.Recorder
 	// Metrics, when set, accumulates <prefix>.* search counters and
 	// histograms plus the engine-shared evo.fill_rejects, evo.cache_hits,
-	// and evo.cache_misses counters.
+	// evo.cache_misses, evo.migrations, evo.checkpoints, and
+	// evo.checkpoint_* counters/histograms.
 	Metrics *obs.Registry
 	// Cache enables the evaluation memo: results are memoized per
 	// nas.Candidate.Fingerprint() and repeat visits (aging evolution and
@@ -87,6 +99,15 @@ type Config struct {
 	// cache is bypassed on the warm-start path, where results legitimately
 	// depend on the parent's trained weights.
 	Cache bool
+	// Memo, when set, backs the evaluation memo with a persistent
+	// append-only store (implies Cache): entries loaded from the store
+	// replay without touching the evaluator, new evaluations append to it,
+	// and island shards share it within a run. The store's scope string
+	// guards configuration skew — results are only trusted for the
+	// evaluator configuration they were computed under, which is safe
+	// because both repo evaluators are pure functions of the candidate
+	// fingerprint on the cold-start path.
+	Memo *MemoStore
 }
 
 // Outcome is the result of one engine run.
@@ -107,271 +128,15 @@ type Outcome struct {
 // Run executes aging evolution under the policy: fill the population, then
 // Cycles rounds of tournament → mutate → evaluate → aging replacement.
 func Run(pol Policy, eval nas.Evaluator, cfg Config) (*Outcome, error) {
-	if cfg.Population < 2 || cfg.SampleSize < 1 || cfg.SampleSize > cfg.Population {
-		return nil, fmt.Errorf("evo: invalid population/sample (%d/%d)", cfg.Population, cfg.SampleSize)
+	e, err := newEngine(pol, eval, cfg, nil, nil, -1)
+	if err != nil {
+		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	out := &Outcome{}
-	pre := pol.Prefix()
-	rec := cfg.Obs
-
-	var (
-		mEvals       = cfg.Metrics.Counter(pre + ".evaluations")
-		mRejects     = cfg.Metrics.Counter(pre + ".constraint_rejects")
-		mErrors      = cfg.Metrics.Counter(pre + ".eval_errors")
-		mAccepted    = cfg.Metrics.Counter(pre + ".children_accepted")
-		mFailed      = cfg.Metrics.Counter(pre + ".cycles_without_child")
-		mFillRejects = cfg.Metrics.Counter("evo.fill_rejects")
-		hEval        = cfg.Metrics.Histogram(pre+".eval_seconds", obs.TimeBuckets)
-		hUtil        = cfg.Metrics.Histogram(pre+".worker_utilization", obs.RatioBuckets)
-	)
-	var memo *memoCache
-	if cfg.Cache {
-		memo = newMemoCache(cfg.Metrics.Counter("evo.cache_hits"), cfg.Metrics.Counter("evo.cache_misses"))
+	if err := e.fill(); err != nil {
+		return nil, err
 	}
-	if cfg.Compute != nil {
-		if cs, ok := eval.(nas.ComputeSettable); ok {
-			cs.SetCompute(cfg.Compute)
-		}
+	for e.cycle < e.cfg.Cycles {
+		e.step()
 	}
-	timed := rec.Enabled() || cfg.Metrics != nil
-	search := rec.StartSpan(pre+".search", append([]obs.Attr{
-		obs.Int("population", cfg.Population), obs.Int("sample", cfg.SampleSize),
-		obs.Int("cycles", cfg.Cycles), obs.Int64("seed", cfg.Seed),
-		obs.Int("workers", cfg.Workers),
-		obs.Str("compute", cfg.Compute.Name()),
-		obs.Int("kernel_workers", cfg.Compute.Workers()),
-		obs.Bool("cache", cfg.Cache),
-	}, pol.SearchAttrs()...)...)
-
-	warm, _ := eval.(nas.WarmStartEvaluator)
-	// evalOne scores a single candidate: static constraint check, memo
-	// lookup, then the evaluator — via EvaluateFrom when the lineage parent
-	// is known and the evaluator warm-starts (that path bypasses the memo in
-	// both directions: its result depends on the parent's weights, not just
-	// the fingerprint). It records no history; callers merge.
-	evalOne := func(c, parent *nas.Candidate, timeIt bool) (Entry, bool) {
-		if c == nil {
-			mRejects.Inc()
-			return Entry{}, false
-		}
-		warmPath := warm != nil && parent != nil
-		var fp uint64
-		if memo != nil && !warmPath {
-			// The memo lookup runs before the static check: results are only
-			// memoized for candidates that passed it and evaluated cleanly, so
-			// a hit skips the constraint-check network build as well.
-			fp = c.Fingerprint()
-			if res, ok := memo.get(fp); ok {
-				return Entry{Cand: c, Res: res}, true
-			}
-		}
-		if err := cfg.Constraints.CheckStatic(c); err != nil {
-			mRejects.Inc()
-			return Entry{}, false
-		}
-		var t0 time.Time
-		if timeIt {
-			t0 = time.Now()
-		}
-		var res nas.Result
-		var err error
-		if warmPath {
-			res, err = warm.EvaluateFrom(c, parent)
-		} else {
-			res, err = eval.Evaluate(c)
-		}
-		if timeIt {
-			hEval.Observe(time.Since(t0).Seconds())
-		}
-		if err != nil {
-			mErrors.Inc()
-			return Entry{}, false
-		}
-		if memo != nil && !warmPath {
-			memo.put(fp, res)
-		}
-		return Entry{Cand: c, Res: res}, true
-	}
-	record := func(e Entry) {
-		out.Evaluations++
-		mEvals.Inc()
-		out.History = append(out.History, e)
-	}
-	evaluate := func(c, parent *nas.Candidate) (Entry, bool) {
-		e, ok := evalOne(c, parent, timed)
-		if ok {
-			record(e)
-		}
-		return e, ok
-	}
-	// evaluateAll scores a batch, in parallel when configured, recording
-	// history and returning successes in input order. span scopes the batch
-	// in the trace hierarchy; from, when non-nil, is the lineage parent of
-	// every candidate in the batch (the grid-mutation case: sensing
-	// neighbours keep the parent architecture), so warm-start weight
-	// inheritance applies on the parallel path exactly as it does
-	// sequentially.
-	evaluateAll := func(span *obs.Span, cands []*nas.Candidate, from *nas.Candidate) []Entry {
-		if cfg.Workers <= 1 || len(cands) <= 1 {
-			var ok []Entry
-			for _, c := range cands {
-				if e, k := evaluate(c, from); k {
-					ok = append(ok, e)
-				}
-			}
-			return ok
-		}
-		batch := span.Child(pre+".eval_batch",
-			obs.Int("n", len(cands)), obs.Int("workers", cfg.Workers))
-		var t0 time.Time
-		if timed {
-			t0 = time.Now()
-		}
-		type slot struct {
-			e    Entry
-			ok   bool
-			busy time.Duration
-		}
-		slots := make([]slot, len(cands))
-		ForEach(cfg.Workers, len(cands), func(i int) {
-			var w0 time.Time
-			if timed {
-				w0 = time.Now()
-			}
-			slots[i].e, slots[i].ok = evalOne(cands[i], from, false)
-			if timed {
-				slots[i].busy = time.Since(w0)
-			}
-		})
-		var ok []Entry
-		for _, s := range slots {
-			if s.ok {
-				record(s.e)
-				ok = append(ok, s.e)
-			}
-		}
-		if timed {
-			// Utilization: summed worker busy time over the pool's
-			// wall-clock capacity for this batch.
-			var busy time.Duration
-			for _, s := range slots {
-				busy += s.busy
-				hEval.Observe(s.busy.Seconds())
-			}
-			util := 0.0
-			if wall := time.Since(t0).Seconds() * float64(cfg.Workers); wall > 0 {
-				util = busy.Seconds() / wall
-			}
-			hUtil.Observe(util)
-			batch.End(obs.Int("ok", len(ok)), obs.F64("utilization", util))
-		}
-		return ok
-	}
-
-	// Phase 1: broad exploration. Each round draws only the still-missing
-	// candidates, so the rng stream is identical whether the batch is
-	// evaluated serially or in parallel.
-	phase1 := search.Child(pre + ".phase1")
-	population := make([]Entry, 0, cfg.Population)
-	for rounds := 0; len(population) < cfg.Population; rounds++ {
-		if rounds > fillRounds {
-			phase1.End(obs.Str("error", "cannot fill population"))
-			search.End(obs.Str("error", "cannot fill population"))
-			return nil, fmt.Errorf("evo: %s cannot fill population of %d under constraints within %d rounds",
-				pre, cfg.Population, fillRounds)
-		}
-		need := cfg.Population - len(population)
-		batch := make([]*nas.Candidate, need)
-		for i := range batch {
-			batch[i] = pol.Fill(rng)
-		}
-		got := evaluateAll(&phase1, batch, nil)
-		mFillRejects.Add(int64(need - len(got)))
-		population = append(population, got...)
-	}
-	out.EMin, out.EMax = math.Inf(1), math.Inf(-1)
-	for _, e := range population {
-		if e.Res.EnergyJ < out.EMin {
-			out.EMin = e.Res.EnergyJ
-		}
-		if e.Res.EnergyJ > out.EMax {
-			out.EMax = e.Res.EnergyJ
-		}
-	}
-	phase1.End(obs.Int("evaluations", out.Evaluations),
-		obs.F64("e_min_j", out.EMin), obs.F64("e_max_j", out.EMax))
-	cfg.Metrics.Gauge(pre + ".e_min_j").Set(out.EMin)
-	cfg.Metrics.Gauge(pre + ".e_max_j").Set(out.EMax)
-	pol.Init(population, out.EMin, out.EMax)
-
-	// Phase 2: aging evolution.
-	phase2 := search.Child(pre + ".phase2")
-	accepted := 0
-	for cycle := 1; cycle <= cfg.Cycles; cycle++ {
-		// The policy builds the cycle's scorer first (μNAS draws its
-		// scalarization weight here), then one Perm runs the tournament:
-		// each sampled index is scored exactly once.
-		score := pol.CycleScore(rng, cycle)
-		sampled := rng.Perm(len(population))[:cfg.SampleSize]
-		best := sampled[0]
-		bestScore := score(population[best])
-		for _, idx := range sampled[1:] {
-			if s := score(population[idx]); s > bestScore {
-				best, bestScore = idx, s
-			}
-		}
-		parent := population[best]
-
-		var child Entry
-		ok := false
-		grid := pol.GridCycle(cycle)
-		if grid {
-			// GRIDMUTATE: local grid search over the sensing neighbours.
-			// Neighbours keep the parent architecture, so they inherit its
-			// trained weights when the evaluator warm-starts.
-			bestObj := math.Inf(-1)
-			for _, e := range evaluateAll(&phase2, pol.Neighbors(parent.Cand), parent.Cand) {
-				if o := score(e); o > bestObj {
-					bestObj, child, ok = o, e, true
-				}
-			}
-		} else {
-			// One architecture morphism, warm-started from the parent's
-			// trained weights when the evaluator supports it.
-			for tries := 0; tries < mutateTries && !ok; tries++ {
-				child, ok = evaluate(pol.Mutate(rng, parent.Cand), parent.Cand)
-			}
-		}
-		if ok {
-			// Aging: append the child, remove the oldest.
-			population = append(population[1:], child)
-			accepted++
-			mAccepted.Inc()
-			pol.Accepted(child)
-		} else {
-			mFailed.Inc()
-		}
-		if rec.Enabled() {
-			// One event per cycle: the policy's running best plus churn.
-			_, attrs := pol.Report(out.History)
-			phase2.Event(pre+".cycle", append([]obs.Attr{
-				obs.Int("cycle", cycle),
-				obs.Bool("grid", grid),
-				obs.Bool("replaced", ok),
-				obs.Int("evaluations", out.Evaluations),
-				obs.Int("accepted", accepted),
-			}, attrs...)...)
-		}
-	}
-	phase2.End(obs.Int("accepted", accepted), obs.Int("evaluations", out.Evaluations))
-
-	best, attrs := pol.Report(out.History)
-	out.Best = best
-	if out.Best.Cand == nil {
-		search.End(obs.Str("error", "no feasible candidate"))
-		return nil, fmt.Errorf("evo: %s found no feasible candidate in %d evaluations", pre, out.Evaluations)
-	}
-	search.End(append([]obs.Attr{obs.Int("evaluations", out.Evaluations)}, attrs...)...)
-	return out, nil
+	return e.finish()
 }

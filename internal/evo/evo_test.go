@@ -13,6 +13,8 @@ import (
 // stubPolicy drives the engine with the gesture space and an accuracy
 // objective; fill can be overridden to exercise the reject budget.
 type stubPolicy struct {
+	evo.NASGenome
+	evo.StatelessState
 	space *nas.Space
 	fill  func(*rand.Rand) *nas.Candidate
 }

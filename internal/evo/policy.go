@@ -1,8 +1,10 @@
 package evo
 
 import (
+	"fmt"
 	"math/rand"
 
+	"solarml/internal/bytecodec"
 	"solarml/internal/nas"
 	"solarml/internal/obs"
 )
@@ -56,8 +58,65 @@ type Policy interface {
 	// algorithm's reporting convention: best objective for eNAS, best
 	// feasible accuracy for μNAS, best A/E for HarvNet — plus the
 	// telemetry attributes describing it. The engine calls it once per
-	// cycle while recording and once at the end of the search.
+	// cycle while recording, once at the end of the search, and (island
+	// runs) on population slices to select migrants deterministically.
 	Report(history []Entry) (Entry, []obs.Attr)
+
+	// EncodeGenome serializes one of the policy's candidates for
+	// checkpoints; DecodeGenome inverts it. The encoding must be a pure
+	// function of the candidate (encode→decode→encode byte-identical) and
+	// versioned, so a checkpoint from a different search-space revision is
+	// rejected instead of misparsed. The repo adapters embed NASGenome,
+	// which delegates to the shared nas candidate codec.
+	EncodeGenome(c *nas.Candidate) ([]byte, error)
+	DecodeGenome(data []byte) (*nas.Candidate, error)
+
+	// MarshalState serializes the policy's mutable per-run state beyond
+	// what Init re-derives from the restored population and bounds (μNAS's
+	// running energy scale; nil for stateless policies). On resume the
+	// engine calls Init first, then UnmarshalState with the checkpointed
+	// bytes.
+	MarshalState() []byte
+	UnmarshalState(data []byte) error
+}
+
+// NASGenome implements the Policy genome codec over the shared nas
+// candidate encoding. All three repo adapters embed it: their genomes are
+// joint sensing+architecture candidates, so one versioned codec covers
+// eNAS, μNAS, and HarvNet alike.
+type NASGenome struct{}
+
+// EncodeGenome implements Policy.
+func (NASGenome) EncodeGenome(c *nas.Candidate) ([]byte, error) {
+	return nas.AppendCandidate(nil, c), nil
+}
+
+// DecodeGenome implements Policy.
+func (NASGenome) DecodeGenome(data []byte) (*nas.Candidate, error) {
+	r := bytecodec.NewReader(data)
+	c, err := nas.ReadCandidate(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("evo: %d trailing bytes after genome", r.Len())
+	}
+	return c, nil
+}
+
+// StatelessState implements no-op MarshalState/UnmarshalState for policies
+// whose Init call fully restores them (eNAS, HarvNet).
+type StatelessState struct{}
+
+// MarshalState implements Policy.
+func (StatelessState) MarshalState() []byte { return nil }
+
+// UnmarshalState implements Policy.
+func (StatelessState) UnmarshalState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("evo: unexpected %d-byte state for a stateless policy", len(data))
+	}
+	return nil
 }
 
 // FixedSensing returns a Fill source that draws a random architecture from

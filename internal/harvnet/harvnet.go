@@ -74,9 +74,18 @@ func ratio(e Entry) float64 {
 // candidates, A/E scoring (infeasible candidates never win tournaments),
 // and best-ratio reporting.
 type policy struct {
+	evo.NASGenome
+	evo.StatelessState
 	cfg   Config
 	space *nas.Space
 	fill  func(*rand.Rand) *nas.Candidate
+}
+
+// NewPolicy returns the HarvNet-objective search as an evo.Policy for the
+// engine's island/checkpoint driver path (evo.RunIslands), which constructs
+// one policy instance per island.
+func NewPolicy(space *nas.Space, sensing *nas.Candidate, cfg Config) evo.Policy {
+	return &policy{cfg: cfg, space: space, fill: evo.FixedSensing(space, sensing)}
 }
 
 func (p *policy) Prefix() string { return "harvnet" }

@@ -13,8 +13,10 @@
 package munas
 
 import (
+	"fmt"
 	"math/rand"
 
+	"solarml/internal/bytecodec"
 	"solarml/internal/compute"
 	"solarml/internal/evo"
 	"solarml/internal/nas"
@@ -72,10 +74,38 @@ type Outcome struct {
 // random-scalarization scoring against a running energy scale, and
 // best-accuracy reporting.
 type policy struct {
+	evo.NASGenome
 	cfg   Config
 	space *nas.Space
 	fill  func(*rand.Rand) *nas.Candidate
 	eMax  float64
+}
+
+// NewPolicy returns the μNAS search as an evo.Policy for the engine's
+// island/checkpoint driver path (evo.RunIslands), which constructs one
+// policy instance per island.
+func NewPolicy(space *nas.Space, sensing *nas.Candidate, cfg Config) evo.Policy {
+	return &policy{cfg: cfg, space: space, fill: evo.FixedSensing(space, sensing)}
+}
+
+// MarshalState checkpoints the running scalarization energy scale — the one
+// piece of μNAS state Init cannot re-derive, since Accepted may have raised
+// it past the fill bounds.
+func (p *policy) MarshalState() []byte { return bytecodec.AppendF64(nil, p.eMax) }
+
+// UnmarshalState restores the running energy scale; the engine calls it
+// after Init on resume.
+func (p *policy) UnmarshalState(data []byte) error {
+	r := bytecodec.NewReader(data)
+	v := r.F64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("munas: %d trailing state bytes", r.Len())
+	}
+	p.eMax = v
+	return nil
 }
 
 func (p *policy) Prefix() string { return "munas" }
