@@ -4,8 +4,11 @@
 # parallel eNAS evaluator, and the parallel compute backend).
 
 GO ?= go
+# BUILD_DIR collects generated smoke artifacts (transcripts, checkpoints,
+# fleet snapshots) so the repo root stays clean; it is git-ignored wholesale.
+BUILD_DIR ?= build
 
-.PHONY: verify vet race check bench bench-obs bench-energy bench-fleet bench-json bench-smoke smoke-report search-resume-smoke
+.PHONY: verify vet race check bench bench-obs bench-energy bench-fleet bench-json bench-smoke bench-diff smoke-report search-resume-smoke
 
 verify:
 	$(GO) build ./...
@@ -15,7 +18,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/nas/... ./internal/compute/... ./internal/nn/... ./internal/sim/... ./internal/firmware/...
+	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/fleetobs/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/nas/... ./internal/compute/... ./internal/nn/... ./internal/sim/... ./internal/firmware/...
 
 check: verify vet race
 
@@ -60,37 +63,52 @@ bench-json:
 bench-smoke:
 	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge|BenchmarkFleetDeviceYears|BenchmarkIslandSearch'
 
+# bench-diff turns the BENCH_solarml.json trajectory into a perf gate:
+# compare the working tree's trajectory point against the last committed
+# one and fail on ns/op regressions beyond 30% (or any allocs/op growth).
+# CI runs this non-blocking — single-iteration CI benches are noisy — but
+# the table lands in the job log for every PR.
+bench-diff:
+	mkdir -p $(BUILD_DIR)
+	git show HEAD:BENCH_solarml.json > $(BUILD_DIR)/bench_head.json
+	$(GO) run ./cmd/benchjson -diff $(BUILD_DIR)/bench_head.json BENCH_solarml.json
+
 # search-resume-smoke proves the checkpoint/resume contract end to end with
 # real processes: an uninterrupted two-island search, the same search stopped
 # at a mid-run checkpoint barrier (writing a persistent memo along the way),
 # and a resumed run from the checkpoint must all land on the identical best
 # genome fingerprint. CI runs this and uploads the transcripts.
 search-resume-smoke:
+	mkdir -p $(BUILD_DIR)
 	$(GO) run ./cmd/enas-search -islands 2 -pop 12 -sample 5 -cycles 40 \
 		-grid-every 8 -seed 7 -migration-interval 10 -workers 4 \
-		| tee search_resume_full.txt
-	rm -f search_resume.ckpt search_resume.memo
+		| tee $(BUILD_DIR)/search_resume_full.txt
+	rm -f $(BUILD_DIR)/search_resume.ckpt $(BUILD_DIR)/search_resume.memo
 	$(GO) run ./cmd/enas-search -islands 2 -pop 12 -sample 5 -cycles 40 \
 		-grid-every 8 -seed 7 -migration-interval 10 -workers 4 \
-		-checkpoint search_resume.ckpt -checkpoint-every 10 -stop-after 20 \
-		-cache-file search_resume.memo \
-		| tee search_resume_stop.txt
-	grep -q 'stopped at checkpoint' search_resume_stop.txt
+		-checkpoint $(BUILD_DIR)/search_resume.ckpt -checkpoint-every 10 -stop-after 20 \
+		-cache-file $(BUILD_DIR)/search_resume.memo \
+		| tee $(BUILD_DIR)/search_resume_stop.txt
+	grep -q 'stopped at checkpoint' $(BUILD_DIR)/search_resume_stop.txt
 	$(GO) run ./cmd/enas-search -islands 2 -pop 12 -sample 5 -cycles 40 \
 		-grid-every 8 -seed 7 -migration-interval 10 -workers 4 \
-		-checkpoint search_resume.ckpt -checkpoint-every 10 \
-		-cache-file search_resume.memo -resume \
-		| tee search_resume_resumed.txt
-	grep 'fingerprint' search_resume_full.txt > search_resume_fp_full.txt
-	grep 'fingerprint' search_resume_resumed.txt > search_resume_fp_resumed.txt
-	diff search_resume_fp_full.txt search_resume_fp_resumed.txt
+		-checkpoint $(BUILD_DIR)/search_resume.ckpt -checkpoint-every 10 \
+		-cache-file $(BUILD_DIR)/search_resume.memo -resume \
+		| tee $(BUILD_DIR)/search_resume_resumed.txt
+	grep 'fingerprint' $(BUILD_DIR)/search_resume_full.txt > $(BUILD_DIR)/search_resume_fp_full.txt
+	grep 'fingerprint' $(BUILD_DIR)/search_resume_resumed.txt > $(BUILD_DIR)/search_resume_fp_resumed.txt
+	diff $(BUILD_DIR)/search_resume_fp_full.txt $(BUILD_DIR)/search_resume_fp_resumed.txt
 	@echo "search-resume-smoke: resumed run reproduced the uninterrupted best genome"
 
 # smoke-report closes the telemetry loop end to end: record a tiny seeded
 # search trace, analyze it with obs-report, and check the rollup is
 # non-empty; then record a seeded lifetime run and check the energy report
-# carries the ledger accounts. CI runs this and uploads the artifacts.
+# carries the ledger accounts; finally run a fleet big enough to curl its
+# live /debug/fleet inspector mid-run, and check the per-device
+# distributions land in the CSV and the obs-report -fleet section. CI runs
+# this and uploads the artifacts.
 smoke-report:
+	mkdir -p $(BUILD_DIR)
 	$(GO) run ./cmd/enas-search -pop 10 -sample 4 -cycles 20 -seed 1 -cache \
 		-trace-out smoke_run.jsonl -metrics-interval 50ms
 	$(GO) run ./cmd/obs-report -trace smoke_run.jsonl \
@@ -105,7 +123,25 @@ smoke-report:
 		| tee lifetime_energy.txt
 	grep -q 'energy accounts' lifetime_energy.txt
 	grep -q 'energy critical path' lifetime_energy.txt
-	$(GO) run ./cmd/lifetime -hours 2 -devices 64 -seed 1 | tee fleet_smoke.txt
-	grep -q '64 devices' fleet_smoke.txt
-	grep -q 'device-years/sec' fleet_smoke.txt
-	grep -q 'energy ledger' fleet_smoke.txt
+	$(GO) build -o $(BUILD_DIR)/lifetime ./cmd/lifetime
+	$(BUILD_DIR)/lifetime -hours 2 -devices 200000 -seed 1 \
+		-pprof 127.0.0.1:9190 -fleet-csv $(BUILD_DIR)/fleet_hist.csv \
+		-trace-out $(BUILD_DIR)/fleet_smoke.jsonl \
+		> $(BUILD_DIR)/fleet_smoke.txt & \
+	pid=$$!; \
+	for i in $$(seq 1 200); do \
+		curl -fs http://127.0.0.1:9190/debug/fleet \
+			-o $(BUILD_DIR)/fleet_debug.json 2>/dev/null && break; \
+		sleep 0.05; \
+	done; \
+	wait $$pid
+	cat $(BUILD_DIR)/fleet_smoke.txt
+	grep -q '"done"' $(BUILD_DIR)/fleet_debug.json
+	grep -q '200000 devices' $(BUILD_DIR)/fleet_smoke.txt
+	grep -q 'device-years/sec' $(BUILD_DIR)/fleet_smoke.txt
+	grep -q 'per-device p50/p95/p99' $(BUILD_DIR)/fleet_smoke.txt
+	grep -q 'energy ledger' $(BUILD_DIR)/fleet_smoke.txt
+	grep -q 'final_v' $(BUILD_DIR)/fleet_hist.csv
+	$(GO) run ./cmd/obs-report -trace $(BUILD_DIR)/fleet_smoke.jsonl -fleet -quiet \
+		| tee $(BUILD_DIR)/fleet_report.txt
+	grep -q 'per-device distribution' $(BUILD_DIR)/fleet_report.txt

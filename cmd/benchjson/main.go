@@ -6,12 +6,18 @@
 // Usage:
 //
 //	go test -run NONE -bench . -benchtime 1x -benchmem ./... | benchjson -out BENCH_solarml.json
+//	benchjson -diff old.json new.json [-threshold 0.3]
 //
 // It exits non-zero when no benchmark lines were found, so a broken
 // pipeline cannot silently write an empty trajectory point. When the
 // binary carries no embedded module version (the usual case under
 // `go run`), the trajectory point is stamped from `git describe --always
 // --dirty` instead of the "dev" fallback.
+//
+// -diff compares two trajectory files and prints a regression table; it
+// exits 1 when any benchmark's ns/op grew past 1+threshold or its
+// allocs/op increased, which is how CI turns the trajectory into a
+// (non-blocking) perf gate.
 package main
 
 import (
@@ -29,7 +35,26 @@ func main() {
 	out := flag.String("out", "BENCH_solarml.json", "output JSON file")
 	echo := flag.Bool("echo", true, "echo stdin to stdout while parsing (keeps the pipeline readable)")
 	merge := flag.Bool("merge", false, "overlay results onto an existing -out file instead of replacing it (narrowed sweeps keep the rest of the trajectory)")
+	diff := flag.Bool("diff", false, "compare two trajectory files (benchjson -diff old.json new.json) instead of parsing stdin")
+	threshold := flag.Float64("threshold", 0.3, "with -diff, flag ns/op growth beyond this fraction as a regression (allocs/op increases always flag)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json new.json [-threshold 0.3]")
+			os.Exit(2)
+		}
+		regressed, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(2)
+		}
+		if regressed > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%%\n", regressed, *threshold*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var in io.Reader = os.Stdin
 	if *echo {
@@ -39,6 +64,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
+}
+
+// runDiff loads both trajectory files, prints the comparison table, and
+// returns how many benchmarks breached the threshold.
+func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	load := func(path string) (report.BenchFile, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return report.BenchFile{}, err
+		}
+		defer f.Close()
+		return report.ReadBenchFile(f)
+	}
+	old, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	regressed, err := report.WriteBenchDiff(w, report.DiffBench(old, cur), threshold)
+	return len(regressed), err
 }
 
 func run(in io.Reader, out string, merge bool) error {

@@ -60,6 +60,7 @@ import (
 	"solarml/internal/nas"
 	"solarml/internal/obs"
 	obscli "solarml/internal/obs/cli"
+	"solarml/internal/obs/fleetobs"
 )
 
 // options carries every search flag; the distributed engine path and the
@@ -148,10 +149,11 @@ func mainErr(obsFlags *obscli.Flags, o *options, computeWorkers int) (err error)
 		"migrants": o.migrants, "checkpoint": o.checkpoint, "resume": o.resume,
 		"cache_file": o.cacheFile,
 	})
-	return run(o, sess.Rec, sess.Reg, cctx)
+	return run(o, sess, cctx)
 }
 
-func run(o *options, rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) error {
+func run(o *options, sess *obscli.Session, cctx *compute.Context) error {
+	rec, reg := sess.Rec, sess.Reg
 	task := nas.TaskGesture
 	space := nas.GestureSpace()
 	if o.taskName == "kws" {
@@ -160,7 +162,7 @@ func run(o *options, rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context
 	}
 
 	if o.distributed() {
-		return runIslands(o, task, space, rec, reg, cctx)
+		return runIslands(o, task, space, sess, cctx)
 	}
 
 	eval, err := buildEvaluator(o.evalName, task, space, o.seed, o.trainN, o.warm, rec, reg, cctx)
@@ -222,7 +224,8 @@ func run(o *options, rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context
 // policy and one evaluator per island (warm-start weight stores must not be
 // shared across shards) and funnels the distributed flags into
 // evo.IslandConfig.
-func runIslands(o *options, task nas.Task, space *nas.Space, rec *obs.Recorder, reg *obs.Registry, cctx *compute.Context) error {
+func runIslands(o *options, task nas.Task, space *nas.Space, sess *obscli.Session, cctx *compute.Context) error {
+	rec, reg := sess.Rec, sess.Reg
 	constraints := nas.DefaultConstraints(task)
 	var newPol func() evo.Policy
 	switch o.algo {
@@ -297,6 +300,14 @@ func runIslands(o *options, task nas.Task, space *nas.Space, rec *obs.Recorder, 
 		icfg.Checkpoint = &evo.CheckpointSpec{
 			Path: o.checkpoint, Every: o.checkpointEvery, StopAfterCycle: o.stopAfter,
 		}
+	}
+	if sess.Mounted() {
+		// Live inspector: each island reports cycle completions on its own
+		// stripe; /debug/fleet serves progress and ETA over all islands.
+		in := fleetobs.NewInspector("cycles", o.islands*o.cycles, o.islands)
+		sess.Mount("/debug/fleet", in.Handler())
+		icfg.Progress = func(island, cycle int) { in.Advance(island, 1, 0) }
+		defer in.Finish()
 	}
 
 	start := time.Now()

@@ -7,7 +7,7 @@
 //
 //	lifetime [-hours 12] [-profile office|constant] [-lux 500]
 //	         [-gap 600] [-vtheta 2.0] [-v0 2.2] [-seed 1] [-trace]
-//	         [-devices 1] [-workers 0]
+//	         [-devices 1] [-workers 0] [-fleet-csv fleet.csv]
 //	         [-trace-out run.jsonl] [-metrics-out metrics.json]
 //	         [-metrics-interval 1s] [-pprof localhost:6060]
 //
@@ -15,7 +15,12 @@
 // platforms (device i draws its Poisson arrival stream from seed+i) fanned
 // across -workers cores on the event-driven core, with outcome counters
 // and the joule ledger aggregated across the fleet. Per-interaction
-// tracing and spans are single-device features and are skipped.
+// tracing and spans are single-device features and are skipped. Fleet
+// energy books through a worker-striped ledger (same energy.* metric
+// names), per-device outcome distributions land in the fleet.* histograms
+// (and -fleet-csv writes them as CSV), and with -pprof set the run serves a
+// live inspector on /debug/fleet: progress JSON, or an SSE stream with
+// ?watch=1 — see DESIGN.md §14.
 //
 // -trace-out records the run as a JSONL obs trace — manifest, a
 // lifetime.run span, one firmware.session span per booted interaction with
@@ -38,6 +43,7 @@ import (
 	"solarml/internal/obs"
 	obscli "solarml/internal/obs/cli"
 	"solarml/internal/obs/energy"
+	"solarml/internal/obs/fleetobs"
 )
 
 func main() {
@@ -52,17 +58,18 @@ func main() {
 	ladder := flag.Bool("ladder", false, "use a 3-rung multi-exit model ladder (HarvNet-style degradation)")
 	devices := flag.Int("devices", 1, "fleet size; >1 simulates independent seeded devices in parallel")
 	workers := flag.Int("workers", 0, "fleet worker cores (0 = all); results are worker-count independent")
+	fleetCSV := flag.String("fleet-csv", "", "write the fleet's per-device distributions (histograms + quantiles) to this CSV file")
 	obsFlags := obscli.AddFlags(nil)
 	flag.Parse()
 
-	if err := mainErr(obsFlags, *hours, *profile, *lux, *gap, *vtheta, *v0, *seed, *trace, *ladder, *devices, *workers); err != nil {
+	if err := mainErr(obsFlags, *hours, *profile, *lux, *gap, *vtheta, *v0, *seed, *trace, *ladder, *devices, *workers, *fleetCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
 func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vtheta, v0 float64,
-	seed int64, trace, ladder bool, devices, workers int) (err error) {
+	seed int64, trace, ladder bool, devices, workers int, fleetCSV string) (err error) {
 	sess, err := obsFlags.Open()
 	if err != nil {
 		return err
@@ -98,7 +105,7 @@ func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vt
 	}
 	duration := hours * 3600
 	if devices > 1 {
-		return runFleet(sess, cfg, led, devices, workers, duration, hours, gap, seed)
+		return runFleet(sess, cfg, devices, workers, duration, hours, gap, seed, fleetCSV)
 	}
 	sim, err := firmware.New(cfg)
 	if err != nil {
@@ -145,10 +152,17 @@ func mainErr(obsFlags *obscli.Flags, hours float64, profile string, lux, gap, vt
 }
 
 // runFleet simulates a multi-device deployment on the event-driven core
-// and prints the aggregate: outcome counters, fleet energy ledger, and the
-// wall-clock simulation throughput in device-years per second.
-func runFleet(sess *obscli.Session, cfg firmware.Config, led *energy.Ledger,
-	devices, workers int, duration, hours, gap float64, seed int64) error {
+// and prints the aggregate: outcome counters, per-device distribution
+// quantiles, the striped fleet energy ledger, and the wall-clock simulation
+// throughput in device-years per second. With -pprof set, progress streams
+// live on /debug/fleet while the fleet runs.
+func runFleet(sess *obscli.Session, cfg firmware.Config,
+	devices, workers int, duration, hours, gap float64, seed int64, fleetCSV string) error {
+	stripes := firmware.FleetWorkers(workers)
+	// The striped ledger replaces the single-device one for fleets: same
+	// energy.* metric names, but every worker books on private cache lines.
+	// It registers its own registry hook, so no OnSample wiring is needed.
+	led := energy.NewShardedLedger(sess.Reg, stripes)
 	fc := firmware.FleetConfig{
 		Base:      cfg,
 		Devices:   devices,
@@ -156,6 +170,14 @@ func runFleet(sess *obscli.Session, cfg firmware.Config, led *energy.Ledger,
 		MeanGapS:  gap,
 		Seed:      seed,
 		Workers:   workers,
+		Ledger:    led,
+	}
+	if sess.Mounted() {
+		in := fleetobs.NewInspector("devices", devices, stripes)
+		in.SetAccounts(led.AccountTotals)
+		sess.Mount("/debug/fleet", in.Handler())
+		fc.Inspect = in
+		defer in.Finish()
 	}
 	sp := sess.Rec.StartSpan("lifetime.fleet",
 		obs.Int("devices", devices), obs.F64("hours", hours))
@@ -166,10 +188,26 @@ func runFleet(sess *obscli.Session, cfg firmware.Config, led *energy.Ledger,
 		sp.End(obs.Str("error", err.Error()))
 		return err
 	}
+	fc.Inspect.Finish()
 	rate := fs.DeviceSeconds / (365 * 24 * 3600) / elapsed.Seconds()
 	sess.Reg.Gauge("lifetime.fleet.completion_rate").Set(fs.Rate(firmware.Completed))
 	sess.Reg.Gauge("lifetime.fleet.device_years_per_sec").Set(rate)
+	fs.Dists.PublishTo(sess.Reg)
 	sp.End(obs.Int("interactions", fs.Interactions), obs.F64("device_years_per_sec", rate))
+
+	if fleetCSV != "" {
+		f, err := os.Create(fleetCSV)
+		if err != nil {
+			return err
+		}
+		if err := fs.Dists.WriteCSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
 
 	fmt.Println(fs.Summary())
 	fmt.Printf("completion rate: %.1f%%\n", fs.Rate(firmware.Completed)*100)

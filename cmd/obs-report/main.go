@@ -8,15 +8,18 @@
 // Usage:
 //
 //	obs-report -trace run.jsonl [-perfetto out.json] [-folded out.folded]
-//	           [-csv out.csv] [-energy] [-folded-energy out.folded] [-quiet]
+//	           [-csv out.csv] [-energy] [-fleet] [-folded-energy out.folded]
+//	           [-quiet]
 //
 // -perfetto writes Chrome trace-event JSON (load in ui.perfetto.dev or
 // chrome://tracing), -folded writes flamegraph.pl/speedscope folded stacks,
 // -csv the per-span-name rollup. -energy prints the joule-ledger report
-// (account totals, span energy rollup, energy critical path) — it prints
-// even under -quiet, which suppresses only the time summary — and
-// -folded-energy writes energy-weighted folded stacks. Corrupt or truncated
-// traces (killed runs) are read best-effort.
+// (account totals, span energy rollup, energy critical path); -fleet prints
+// the fleet report (per-device distribution quantiles from the fleet.*
+// histograms a lifetime -devices N run publishes). Both print even under
+// -quiet, which suppresses only the time summary; -folded-energy writes
+// energy-weighted folded stacks. Corrupt or truncated traces (killed runs)
+// are read best-effort.
 package main
 
 import (
@@ -33,21 +36,22 @@ func main() {
 	folded := flag.String("folded", "", "write flamegraph folded stacks to this file")
 	csvOut := flag.String("csv", "", "write the per-span-name rollup as CSV to this file")
 	energyOut := flag.Bool("energy", false, "print the joule-ledger energy report (accounts, span rollup, energy critical path)")
+	fleetOut := flag.Bool("fleet", false, "print the fleet report (per-device distribution quantiles from the fleet.* histograms)")
 	foldedEnergy := flag.String("folded-energy", "", "write energy-weighted flamegraph folded stacks to this file")
-	quiet := flag.Bool("quiet", false, "suppress the stdout time summary (-energy still prints)")
+	quiet := flag.Bool("quiet", false, "suppress the stdout time summary (-energy and -fleet still print)")
 	flag.Parse()
 
 	if *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*tracePath, *perfetto, *folded, *csvOut, *foldedEnergy, *energyOut, *quiet); err != nil {
+	if err := run(*tracePath, *perfetto, *folded, *csvOut, *foldedEnergy, *energyOut, *fleetOut, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(tracePath, perfetto, folded, csvOut, foldedEnergy string, energyOut, quiet bool) error {
+func run(tracePath, perfetto, folded, csvOut, foldedEnergy string, energyOut, fleetOut, quiet bool) error {
 	tr, err := report.ReadFile(tracePath)
 	if err != nil {
 		return err
@@ -90,7 +94,15 @@ func run(tracePath, perfetto, folded, csvOut, foldedEnergy string, energyOut, qu
 		if !quiet {
 			fmt.Println()
 		}
-		return tr.WriteEnergyReport(os.Stdout)
+		if err := tr.WriteEnergyReport(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if fleetOut {
+		if !quiet || energyOut {
+			fmt.Println()
+		}
+		return tr.WriteFleetReport(os.Stdout)
 	}
 	return nil
 }

@@ -34,6 +34,12 @@ type IslandConfig struct {
 	// Resume restores the run from Checkpoint.Path instead of filling
 	// fresh populations. The checkpoint's config echo must match.
 	Resume bool
+	// Progress, when set, is called from each island's worker after every
+	// evolution cycle with (island, cycle). It runs concurrently across
+	// islands, so it must be cheap and internally synchronized — the live
+	// run inspector's striped Advance is the intended consumer. It must not
+	// influence the search: outcomes stay bit-identical with or without it.
+	Progress func(island, cycle int)
 }
 
 // IslandOutcome is the result of a multi-shard run.
@@ -187,6 +193,9 @@ func RunIslands(newPol func() Policy, newEval func() nas.Evaluator, cfg IslandCo
 		ForEach(n, n, func(i int) {
 			for engines[i].cycle < target {
 				engines[i].step()
+				if cfg.Progress != nil {
+					cfg.Progress(i, engines[i].cycle)
+				}
 			}
 		})
 		cur = target

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 
 	"solarml/internal/compute"
+	"solarml/internal/obs/energy"
+	"solarml/internal/obs/fleetobs"
 )
 
 // FleetConfig parameterizes a multi-device lifetime simulation: N
@@ -15,6 +17,7 @@ type FleetConfig struct {
 	// interaction spans do not scale to fleets — but Base.Energy, when set,
 	// is shared by every device: the joule ledger is lock-free, so the
 	// fleet's aggregate energy books race-free into one set of accounts.
+	// At fleet scale prefer Ledger below; it overrides Base.Energy.
 	Base Config
 	// Devices is the fleet size.
 	Devices int
@@ -34,6 +37,23 @@ type FleetConfig struct {
 	// integrator with that step instead of the event-driven core — the
 	// accuracy/throughput baseline the fleet benchmark compares against.
 	FixedStepS float64
+	// Ledger, when set, books every device's energy on its worker's stripe
+	// of the sharded ledger (overriding Base.Energy), so fleet energy
+	// attribution costs no shared cache lines. Size it with FleetWorkers.
+	Ledger *energy.ShardedLedger
+	// Inspect, when set, receives per-device completion events for the
+	// /debug/fleet live inspector. Size it with FleetWorkers.
+	Inspect *fleetobs.Inspector
+}
+
+// FleetWorkers returns the worker count RunFleet will actually use for the
+// requested value (≤0 means every core) — the stripe count to size a
+// ShardedLedger or Inspector with so each fleet worker gets a private lane.
+func FleetWorkers(requested int) int {
+	if requested <= 0 || requested > fleetPool.Workers() {
+		return fleetPool.Workers()
+	}
+	return requested
 }
 
 // FleetStats aggregates a fleet run. Per-event detail is dropped — at
@@ -49,6 +69,10 @@ type FleetStats struct {
 	ConsumedJ         float64
 	// FinalVMean is the fleet-average supercap voltage at the horizon.
 	FinalVMean float64
+	// Dists are the per-device outcome distributions — the spread behind
+	// the fleet means. Integer-count capture in device order keeps them
+	// bit-identical across worker counts.
+	Dists FleetDists
 }
 
 // Rate returns the fraction of all interactions with the given outcome.
@@ -70,6 +94,14 @@ func (f *FleetStats) Summary() string {
 	}
 	out += fmt.Sprintf("harvested %.1f J, consumed %.1f J, mean final %.2f V",
 		f.HarvestedJ, f.ConsumedJ, f.FinalVMean)
+	if f.Dists.Interactions.Count() > 0 {
+		out += fmt.Sprintf(
+			"\nper-device p50/p95/p99: interactions %s, brown-outs %s, harvested %s J, final %s V",
+			quantileLine(&f.Dists.Interactions, "%.0f"),
+			quantileLine(&f.Dists.BrownOuts, "%.0f"),
+			quantileLine(&f.Dists.HarvestedJ, "%.2f"),
+			quantileLine(&f.Dists.FinalV, "%.2f"))
+	}
 	return out
 }
 
@@ -117,17 +149,20 @@ func RunFleet(fc FleetConfig) (*FleetStats, error) {
 	if fc.MeanGapS <= 0 {
 		return nil, fmt.Errorf("firmware: fleet needs a positive mean arrival gap, got %v", fc.MeanGapS)
 	}
-	workers := fc.Workers
-	if workers <= 0 || workers > fleetPool.Workers() {
-		workers = fleetPool.Workers()
-	}
+	workers := FleetWorkers(fc.Workers)
 	results := make([]*Stats, fc.Devices)
 	errs := make([]error, fc.Devices)
 	grain := (fc.Devices + workers - 1) / workers
 	fleetPool.For(fc.Devices, grain, func(i0, i1 int) {
+		// Chunks are grain-aligned, so i0/grain is this chunk's worker
+		// index — the stripe every sharded instrument write lands on.
+		w := i0 / grain
 		for i := i0; i < i1; i++ {
 			cfg := fc.Base
 			cfg.Obs = nil
+			if fc.Ledger != nil {
+				cfg.Energy = fc.Ledger.Stripe(w)
+			}
 			dev, err := New(cfg)
 			if err != nil {
 				errs[i] = err
@@ -146,6 +181,7 @@ func RunFleet(fc FleetConfig) (*FleetStats, error) {
 				return
 			}
 			results[i] = st
+			fc.Inspect.Advance(w, 1, fc.DurationS)
 		}
 	})
 	agg := &FleetStats{
@@ -153,6 +189,7 @@ func RunFleet(fc FleetConfig) (*FleetStats, error) {
 		DeviceSeconds: float64(fc.Devices) * fc.DurationS,
 		Counts:        make(map[EventOutcome]int),
 		ExitCounts:    make(map[int]int),
+		Dists:         NewFleetDists(),
 	}
 	for i, err := range errs {
 		if err != nil {
@@ -171,6 +208,7 @@ func RunFleet(fc FleetConfig) (*FleetStats, error) {
 		agg.HarvestedJ += st.HarvestedJ
 		agg.ConsumedJ += st.ConsumedJ
 		agg.FinalVMean += st.FinalV
+		agg.Dists.Observe(st)
 	}
 	agg.FinalVMean /= float64(fc.Devices)
 	return agg, nil

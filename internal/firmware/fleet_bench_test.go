@@ -1,11 +1,18 @@
 package firmware
 
-import "testing"
+import (
+	"testing"
+
+	"solarml/internal/obs/energy"
+	"solarml/internal/obs/fleetobs"
+)
 
 // benchFleet runs one fleet configuration and reports simulated
 // device-years per wall-clock second — the fleet-scale throughput figure
-// of merit. fixedStep selects the baseline integrator; 0 the event core.
-func benchFleet(b *testing.B, devices int, fixedStep float64) {
+// of merit. fixedStep selects the baseline integrator; 0 the event core;
+// instrumented attaches the full fleet observability stack (sharded
+// ledger, inspector, distribution capture runs unconditionally).
+func benchFleet(b *testing.B, devices int, fixedStep float64, instrumented bool) {
 	base := DefaultConfig()
 	base.Lux = OfficeDay(500)
 	const hours = 12.0
@@ -16,6 +23,11 @@ func benchFleet(b *testing.B, devices int, fixedStep float64) {
 		MeanGapS:   600,
 		Seed:       1,
 		FixedStepS: fixedStep,
+	}
+	if instrumented {
+		workers := FleetWorkers(0)
+		fc.Ledger = energy.NewShardedLedger(nil, workers)
+		fc.Inspect = fleetobs.NewInspector("devices", devices, workers)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -30,10 +42,17 @@ func benchFleet(b *testing.B, devices int, fixedStep float64) {
 
 // BenchmarkFleetDeviceYears measures the event-driven fleet: a device-day
 // is a few hundred events, each an O(1) closed-form ODE advance.
-func BenchmarkFleetDeviceYears(b *testing.B) { benchFleet(b, 32, 0) }
+func BenchmarkFleetDeviceYears(b *testing.B) { benchFleet(b, 32, 0, false) }
+
+// BenchmarkFleetDeviceYearsInstrumented is the same fleet with the full
+// observability stack attached — striped joule ledger, live inspector,
+// per-device distributions. The delta against BenchmarkFleetDeviceYears is
+// the total observability overhead; the ISSUE pins it at no throughput
+// loss.
+func BenchmarkFleetDeviceYearsInstrumented(b *testing.B) { benchFleet(b, 32, 0, true) }
 
 // BenchmarkFleetDeviceYearsFixedStep is the accuracy-matched baseline: the
 // fixed-step integrator at 1 s steps (the convergence and knot-regression
 // tests show the historical 60 s chunks are not accuracy-comparable near
 // profile discontinuities). A device-day is 43 200 chunk steps.
-func BenchmarkFleetDeviceYearsFixedStep(b *testing.B) { benchFleet(b, 32, 1) }
+func BenchmarkFleetDeviceYearsFixedStep(b *testing.B) { benchFleet(b, 32, 1, false) }

@@ -1,9 +1,12 @@
 package firmware
 
 import (
+	"strings"
 	"testing"
 
+	"solarml/internal/obs"
 	"solarml/internal/obs/energy"
+	"solarml/internal/obs/fleetobs"
 )
 
 func fleetCfg(devices, workers int) FleetConfig {
@@ -156,5 +159,111 @@ func TestRunFleetFixedStepBaseline(t *testing.T) {
 	}
 	if ev.Counts[Completed] != fs.Counts[Completed] {
 		t.Fatalf("completed counts: event %d vs fixed-step %d", ev.Counts[Completed], fs.Counts[Completed])
+	}
+}
+
+// TestRunFleetInstrumentedBitIdentical pins the ISSUE contract: attaching
+// the sharded ledger, the inspector, and distribution capture must not
+// change a single bit of the fleet outcome, across worker counts.
+func TestRunFleetInstrumentedBitIdentical(t *testing.T) {
+	plain, err := RunFleet(fleetCfg(6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		fc := fleetCfg(6, workers)
+		fc.Ledger = energy.NewShardedLedger(nil, FleetWorkers(workers))
+		fc.Inspect = fleetobs.NewInspector("devices", fc.Devices, FleetWorkers(workers))
+		inst, err := RunFleet(fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc.Inspect.Finish()
+		if inst.Interactions != plain.Interactions ||
+			inst.HarvestedJ != plain.HarvestedJ ||
+			inst.ConsumedJ != plain.ConsumedJ ||
+			inst.FinalVMean != plain.FinalVMean {
+			t.Fatalf("instrumentation changed the fleet result (workers=%d):\nplain: %s\ninst:  %s",
+				workers, plain.Summary(), inst.Summary())
+		}
+		for o, n := range plain.Counts {
+			if inst.Counts[o] != n {
+				t.Fatalf("outcome %s: %d vs %d", o, n, inst.Counts[o])
+			}
+		}
+		// The distributions are integer per-device captures in device
+		// order: identical across worker counts.
+		for i, want := range plain.Dists.Interactions.Snapshot().Counts {
+			if got := inst.Dists.Interactions.Snapshot().Counts[i]; got != want {
+				t.Fatalf("interactions dist bucket %d: %d vs %d", i, got, want)
+			}
+		}
+		if fc.Inspect.Status().Done != int64(fc.Devices) {
+			t.Fatalf("inspector saw %d devices, want %d", fc.Inspect.Status().Done, fc.Devices)
+		}
+	}
+}
+
+// TestRunFleetShardedLedgerBooks checks the striped ledger books the same
+// energy a shared ledger would.
+func TestRunFleetShardedLedgerBooks(t *testing.T) {
+	shared := fleetCfg(4, 2)
+	sharedLed := energy.NewLedger(nil)
+	shared.Base.Energy = sharedLed
+	if _, err := RunFleet(shared); err != nil {
+		t.Fatal(err)
+	}
+
+	striped := fleetCfg(4, 2)
+	striped.Ledger = energy.NewShardedLedger(nil, FleetWorkers(2))
+	if _, err := RunFleet(striped); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := sharedLed.Snapshot(), striped.Ledger.Snapshot()
+	if diff := a.HarvestedJ - b.HarvestedJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("harvested: shared %.12g striped %.12g", a.HarvestedJ, b.HarvestedJ)
+	}
+	for _, acct := range energy.Accounts() {
+		if diff := a.Account(acct) - b.Account(acct); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("account %s: shared %.12g striped %.12g", acct, a.Account(acct), b.Account(acct))
+		}
+	}
+}
+
+// TestFleetDistsCapture sanity-checks the per-device distributions and
+// their Summary/CSV/registry surfaces.
+func TestFleetDistsCapture(t *testing.T) {
+	fs, err := RunFleet(fleetCfg(8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Dists.Interactions.Count(); got != 8 {
+		t.Fatalf("interactions dist saw %d devices, want 8", got)
+	}
+	if fs.Dists.FinalV.Quantile(0.5) <= 0 {
+		t.Fatal("final-V p50 must be positive")
+	}
+	if s := fs.Summary(); !strings.Contains(s, "per-device p50/p95/p99") {
+		t.Fatalf("Summary missing distribution line:\n%s", s)
+	}
+
+	reg := obs.NewRegistry()
+	fs.Dists.PublishTo(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{HistFleetInteractions, HistFleetBrownOuts, HistFleetHarvestedJ, HistFleetFinalV} {
+		if snap.Histograms[name].Count != 8 {
+			t.Fatalf("registry histogram %s count = %d, want 8", name, snap.Histograms[name].Count)
+		}
+	}
+
+	var csv strings.Builder
+	if err := fs.Dists.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dist,stat,le,value", "interactions,p95,,", "final_v,bucket,"} {
+		if !strings.Contains(csv.String(), want) {
+			t.Fatalf("fleet CSV missing %q:\n%s", want, csv.String())
+		}
 	}
 }

@@ -107,6 +107,21 @@ func (f *Flags) Open() (*Session, error) {
 	return s, nil
 }
 
+// Mount registers handler on the session's debug server (the DefaultServeMux
+// the -pprof listener serves) under pattern — how cmds attach run-specific
+// endpoints like the fleet inspector's /debug/fleet. Without -pprof there is
+// no server, so the handler would be unreachable and Mount is a no-op;
+// Mounted reports whether the server exists. Safe on a nil Session.
+func (s *Session) Mount(pattern string, handler http.Handler) {
+	if s == nil || handler == nil || s.flags.PprofAddr == "" {
+		return
+	}
+	http.Handle(pattern, handler)
+}
+
+// Mounted reports whether the session serves a debug listener (-pprof set).
+func (s *Session) Mounted() bool { return s != nil && s.flags.PprofAddr != "" }
+
 // Manifest writes the run manifest (no-op without a recorder).
 func (s *Session) Manifest(tool string, seed int64, config map[string]any) {
 	s.Rec.WriteManifest(obs.Manifest{Tool: tool, Seed: seed, Config: config})

@@ -135,6 +135,11 @@ type Ledger struct {
 	gHarvestW    *obs.Gauge
 	hInteraction *obs.Histogram
 
+	// onInteraction, when set, receives interaction joules instead of the
+	// registry histogram. ShardedLedger stripes use it to route interaction
+	// observations onto the stripe's lock-free histogram lane.
+	onInteraction func(joules float64)
+
 	// pub tracks the µJ totals already published to the counters, so Sync
 	// adds exact deltas: the counter always equals round(total µJ) and
 	// per-sync rounding never accumulates.
@@ -224,6 +229,10 @@ func (l *Ledger) SetHarvestRate(watts float64) {
 // joules-per-interaction histogram (µJ buckets).
 func (l *Ledger) ObserveInteraction(joules float64) {
 	if l == nil {
+		return
+	}
+	if l.onInteraction != nil {
+		l.onInteraction(joules)
 		return
 	}
 	l.hInteraction.Observe(joules * 1e6)

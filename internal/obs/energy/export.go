@@ -7,12 +7,11 @@ import (
 	"strings"
 )
 
-// WriteCSV writes the ledger as a small machine-readable artifact:
-// one row per account plus the harvested/consumed/net totals, with each
+// WriteCSV writes the snapshot as a small machine-readable artifact: one
+// row per account plus the harvested/consumed/net totals, with each
 // consumption row's share of total consumption. Zero accounts are kept so
 // downstream joins see the full taxonomy.
-func (l *Ledger) WriteCSV(w io.Writer) error {
-	s := l.Snapshot()
+func (s Snapshot) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "row,account,joules,share"); err != nil {
 		return err
 	}
@@ -40,11 +39,13 @@ func (l *Ledger) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WriteCSV writes the ledger's current snapshot; see Snapshot.WriteCSV.
+func (l *Ledger) WriteCSV(w io.Writer) error { return l.Snapshot().WriteCSV(w) }
+
 // Summary renders a human-readable per-account breakdown, largest consumer
 // first, with harvested/consumed/net totals — the energy twin of
 // powertrace.Recorder.Summary.
-func (l *Ledger) Summary() string {
-	s := l.Snapshot()
+func (s Snapshot) Summary() string {
 	type row struct {
 		a Account
 		j float64
@@ -71,3 +72,6 @@ func (l *Ledger) Summary() string {
 	fmt.Fprintf(&b, "  net        %+12.1f µJ\n", s.NetJ()*1e6)
 	return b.String()
 }
+
+// Summary renders the ledger's current snapshot; see Snapshot.Summary.
+func (l *Ledger) Summary() string { return l.Snapshot().Summary() }

@@ -1,0 +1,155 @@
+package energy
+
+import (
+	"io"
+	"math"
+	"sync"
+
+	"solarml/internal/obs"
+	"solarml/internal/obs/fleetobs"
+)
+
+// ShardedLedger is the fleet-scale joule ledger: one accumulate-only Ledger
+// stripe per worker, summed on read. The single Ledger is already lock-free,
+// but at fleet scale every worker's Charge lands a CAS on the same account
+// cache line and the interaction histogram serializes on its mutex — the
+// fleet loop spends its time in retries instead of simulation. Stripes give
+// each worker private lines (the fleetobs discipline); a registry hook
+// publishes summed totals as exact µJ counter deltas on every snapshot, so
+// Prometheus scrapes and metrics flushes see the same numbers a single
+// shared ledger would have shown.
+//
+// A nil *ShardedLedger is a valid disabled ledger: Stripe returns a nil
+// *Ledger (itself a valid no-op) and every method returns zero values.
+type ShardedLedger struct {
+	stripes []*Ledger
+	// hist carries the joules-per-interaction histogram on the striped
+	// lane; stripe ledgers route ObserveInteraction here via onInteraction.
+	hist *fleetobs.ShardedHistogram
+
+	accountC   [numAccounts]*obs.Counter
+	harvestedC *obs.Counter
+	consumedC  *obs.Counter
+
+	pub struct {
+		mu          sync.Mutex
+		accountUJ   [numAccounts]int64
+		harvestedUJ int64
+		consumedUJ  int64
+	}
+}
+
+// NewShardedLedger returns a ledger striped across the given worker count
+// (values < 1 become 1). With a non-nil registry it publishes the same
+// counter and histogram names as NewLedger — energy.*_uj and
+// energy.interaction_uj — keeping fleet metrics drop-in compatible with
+// single-device runs. The supercap and harvest-rate gauges are not
+// published: they are per-device levels with no fleet-wide meaning.
+func NewShardedLedger(reg *obs.Registry, stripes int) *ShardedLedger {
+	if stripes < 1 {
+		stripes = 1
+	}
+	sl := &ShardedLedger{
+		stripes: make([]*Ledger, stripes),
+		hist:    fleetobs.NewShardedHistogram(reg, HistInteractionUJ, InteractionBucketsUJ, stripes),
+	}
+	for w := range sl.stripes {
+		l := NewLedger(nil)
+		w := w
+		l.onInteraction = func(joules float64) { sl.hist.Observe(w, joules*1e6) }
+		sl.stripes[w] = l
+	}
+	if reg != nil {
+		for a := Account(0); a < numAccounts; a++ {
+			sl.accountC[a] = reg.Counter(AccountCounter(a))
+		}
+		sl.harvestedC = reg.Counter(CounterHarvestedUJ)
+		sl.consumedC = reg.Counter(CounterConsumedUJ)
+		reg.OnSnapshot(sl.Sync)
+	}
+	return sl
+}
+
+// Stripe returns worker w's private ledger lane (any w is valid, wrapped
+// onto the stripe count). Hand it to the worker's devices as their Config
+// ledger: every Charge/Harvest/ObserveInteraction lands on worker-private
+// cache lines. Nil-safe: a nil ShardedLedger yields a nil (disabled) Ledger.
+func (sl *ShardedLedger) Stripe(w int) *Ledger {
+	if sl == nil {
+		return nil
+	}
+	return sl.stripes[uint(w)%uint(len(sl.stripes))]
+}
+
+// Workers returns the stripe count (0 for a nil ledger).
+func (sl *ShardedLedger) Workers() int {
+	if sl == nil {
+		return 0
+	}
+	return len(sl.stripes)
+}
+
+// Snapshot sums the stripes into one fleet-wide ledger snapshot. The
+// supercap and harvest-rate fields stay zero (per-device levels).
+func (sl *ShardedLedger) Snapshot() Snapshot {
+	s := Snapshot{AccountJ: make([]float64, numAccounts)}
+	if sl == nil {
+		return s
+	}
+	for _, l := range sl.stripes {
+		for i := range l.consumed {
+			j := l.consumed[i].Load()
+			s.AccountJ[i] += j
+			s.ConsumedJ += j
+		}
+		s.HarvestedJ += l.harvested.Load()
+	}
+	return s
+}
+
+// AccountTotals flattens the snapshot to name → joules, with harvested and
+// consumed totals — the shape the fleet inspector serves on /debug/fleet.
+func (sl *ShardedLedger) AccountTotals() map[string]float64 {
+	s := sl.Snapshot()
+	out := make(map[string]float64, numAccounts+2)
+	for _, a := range Accounts() {
+		out[a.String()] = s.Account(a)
+	}
+	out["harvested"] = s.HarvestedJ
+	out["consumed"] = s.ConsumedJ
+	return out
+}
+
+// Summary renders the summed snapshot; see Snapshot.Summary.
+func (sl *ShardedLedger) Summary() string { return sl.Snapshot().Summary() }
+
+// WriteCSV writes the summed snapshot; see Snapshot.WriteCSV.
+func (sl *ShardedLedger) WriteCSV(w io.Writer) error { return sl.Snapshot().WriteCSV(w) }
+
+// Sync publishes the summed stripe totals into the registry counters as
+// exact µJ deltas, mirroring Ledger.Sync. Registered as an OnSnapshot hook,
+// so every registry consumer reads current totals; explicit calls are
+// idempotent. (The interaction histogram syncs through its own hook.)
+func (sl *ShardedLedger) Sync() {
+	if sl == nil || sl.harvestedC == nil {
+		return
+	}
+	s := sl.Snapshot()
+	sl.pub.mu.Lock()
+	for i := range s.AccountJ {
+		tot := int64(math.Round(s.AccountJ[i] * 1e6))
+		if d := tot - sl.pub.accountUJ[i]; d != 0 {
+			sl.accountC[i].Add(d)
+			sl.pub.accountUJ[i] = tot
+		}
+	}
+	if tot := int64(math.Round(s.ConsumedJ * 1e6)); tot != sl.pub.consumedUJ {
+		sl.consumedC.Add(tot - sl.pub.consumedUJ)
+		sl.pub.consumedUJ = tot
+	}
+	if tot := int64(math.Round(s.HarvestedJ * 1e6)); tot != sl.pub.harvestedUJ {
+		sl.harvestedC.Add(tot - sl.pub.harvestedUJ)
+		sl.pub.harvestedUJ = tot
+	}
+	sl.pub.mu.Unlock()
+}

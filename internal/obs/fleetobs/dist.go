@@ -1,0 +1,147 @@
+package fleetobs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"solarml/internal/obs"
+)
+
+// Dist is a fixed-bucket distribution for per-device fleet aggregates:
+// interactions survived, brown-outs, joules harvested, final supercap
+// voltage. It is the single-writer sibling of ShardedHistogram — the fleet
+// aggregation loop observes one value per device into flat arrays, so a
+// ten-million-device fleet costs a few hundred bytes and zero per-device
+// allocations. The zero Dist is unusable; construct with NewDist.
+type Dist struct {
+	bounds []float64
+	counts []uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewDist returns a distribution over the given upper bucket bounds
+// (copied, sorted defensively) plus one overflow bucket.
+func NewDist(bounds []float64) Dist {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return Dist{
+		bounds: b,
+		counts: make([]uint64, len(b)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// Observe records one per-device value. Allocation-free.
+func (d *Dist) Observe(v float64) {
+	if d == nil || d.counts == nil {
+		return
+	}
+	i := sort.SearchFloat64s(d.bounds, v)
+	d.counts[i]++
+	d.count++
+	d.sum += v
+	if v < d.min {
+		d.min = v
+	}
+	if v > d.max {
+		d.max = v
+	}
+}
+
+// Count returns the number of observed devices.
+func (d *Dist) Count() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.count
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (d *Dist) Mean() float64 {
+	if d == nil || d.count == 0 {
+		return 0
+	}
+	return d.sum / float64(d.count)
+}
+
+// Snapshot exports the distribution as an obs histogram snapshot.
+func (d *Dist) Snapshot() obs.HistogramSnapshot {
+	if d == nil || d.counts == nil {
+		return obs.HistogramSnapshot{}
+	}
+	s := obs.HistogramSnapshot{
+		Bounds: append([]float64(nil), d.bounds...),
+		Counts: append([]uint64(nil), d.counts...),
+		Count:  d.count,
+		Sum:    d.sum,
+	}
+	if d.count > 0 {
+		s.Mean = d.sum / float64(d.count)
+		s.Min, s.Max = d.min, d.max
+	}
+	return s
+}
+
+// Quantile estimates the p-quantile by linear interpolation inside the
+// bucket holding the target rank (see obs.HistogramSnapshot.Quantile).
+func (d *Dist) Quantile(p float64) float64 { return d.Snapshot().Quantile(p) }
+
+// PublishTo merges the distribution into the named registry histogram, so
+// it lands in metrics snapshots, /metrics scrapes, and recorded traces.
+// Call once per run (Merge adds; repeated calls double-count).
+func (d *Dist) PublishTo(reg *obs.Registry, name string) {
+	if d == nil || reg == nil || d.count == 0 {
+		return
+	}
+	reg.Histogram(name, d.bounds).Merge(d.Snapshot())
+}
+
+// WriteCSV appends the distribution as machine-readable rows under the
+// given series name: one row per bucket edge plus count/mean/min/max and
+// the p50/p95/p99 quantiles. Callers writing several distributions into one
+// file write the header once via WriteCSVHeader.
+func (d *Dist) WriteCSV(w io.Writer, name string) error {
+	if d == nil || d.counts == nil {
+		return nil
+	}
+	for i, c := range d.counts {
+		le := "+Inf"
+		if i < len(d.bounds) {
+			le = fmt.Sprintf("%g", d.bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s,bucket,%s,%d\n", name, le, c); err != nil {
+			return err
+		}
+	}
+	s := d.Snapshot()
+	for _, row := range []struct {
+		stat string
+		v    float64
+	}{
+		{"count", float64(s.Count)},
+		{"mean", s.Mean},
+		{"min", s.Min},
+		{"max", s.Max},
+		{"p50", s.Quantile(0.50)},
+		{"p95", s.Quantile(0.95)},
+		{"p99", s.Quantile(0.99)},
+	} {
+		if _, err := fmt.Fprintf(w, "%s,%s,,%g\n", name, row.stat, row.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSVHeader writes the column header WriteCSV rows follow.
+func WriteCSVHeader(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "dist,stat,le,value")
+	return err
+}

@@ -1,0 +1,77 @@
+package fleetobs
+
+import "sync"
+
+// Point is one downsampled progress sample in the inspector's time series.
+type Point struct {
+	// TS is seconds since the run started.
+	TS float64 `json:"t_s"`
+	// Done is the completed unit count (devices, cycles) at TS.
+	Done int64 `json:"done"`
+	// UnitSeconds is the simulated unit-seconds completed at TS (0 for
+	// workloads without a simulated-time axis).
+	UnitSeconds float64 `json:"unit_seconds"`
+}
+
+// ring is a bounded, self-downsampling time series: points are appended at
+// a minimum gap, and when the buffer fills the resolution halves (every
+// other point dropped, gap doubled). Memory is O(capacity) regardless of
+// run length — a device-year fleet run keeps the same few hundred points a
+// ten-second one does, just coarser.
+type ring struct {
+	mu     sync.Mutex
+	points []Point
+	gapS   float64
+	lastTS float64
+}
+
+// newRing returns a ring holding at most capacity points, keeping at most
+// one point per minGapS seconds (both floored to sane minimums).
+func newRing(capacity int, minGapS float64) *ring {
+	if capacity < 8 {
+		capacity = 8
+	}
+	if minGapS <= 0 {
+		minGapS = 0.1
+	}
+	return &ring{points: make([]Point, 0, capacity), gapS: minGapS}
+}
+
+// add appends p if it clears the current gap, compacting first when full.
+// Returns the gap in force afterwards, so callers can pre-filter with an
+// atomic instead of taking the mutex per sample.
+func (r *ring) add(p Point) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.points) > 0 && p.TS-r.lastTS < r.gapS {
+		return r.gapS
+	}
+	if len(r.points) == cap(r.points) {
+		// Halve the resolution: keep even indices, double the gap. The
+		// first and most recent points survive every compaction.
+		half := r.points[:0]
+		for i := 0; i < len(r.points); i += 2 {
+			half = append(half, r.points[i])
+		}
+		r.points = half
+		r.gapS *= 2
+		if p.TS-r.lastTS < r.gapS {
+			// The trigger point no longer clears the widened gap; it is
+			// dropped, having already paid for the compaction.
+			if n := len(r.points); n > 0 {
+				r.lastTS = r.points[n-1].TS
+			}
+			return r.gapS
+		}
+	}
+	r.points = append(r.points, p)
+	r.lastTS = p.TS
+	return r.gapS
+}
+
+// snapshot copies the current series.
+func (r *ring) snapshot() []Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Point(nil), r.points...)
+}

@@ -21,6 +21,9 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -79,6 +82,34 @@ func (g *Registry) Histogram(name string, bounds []float64) *Histogram {
 		g.hists[name] = h
 	}
 	return h
+}
+
+// OnSnapshot registers fn to run at the start of every Snapshot call —
+// before any instrument is read. Sharded instruments (fleetobs, the striped
+// energy ledger) register their sum-and-publish step here, so every
+// consumer of the registry — a Prometheus scrape, the periodic sampler, the
+// final -metrics-out flush, expvar — sees up-to-date totals without the
+// producers ever touching a shared cache line on the hot path. Hooks may
+// run concurrently (Snapshot has no exclusive section around them) and must
+// therefore be internally synchronized and idempotent; they must not call
+// Snapshot themselves. Safe on a nil registry.
+func (g *Registry) OnSnapshot(fn func()) {
+	if g == nil || fn == nil {
+		return
+	}
+	g.hookMu.Lock()
+	g.hooks = append(g.hooks, fn)
+	g.hookMu.Unlock()
+}
+
+// runSnapshotHooks executes the registered read-side hooks.
+func (g *Registry) runSnapshotHooks() {
+	g.hookMu.Lock()
+	hooks := g.hooks
+	g.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Counter is a monotonically increasing integer.
@@ -154,6 +185,40 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Merge folds a snapshot into the histogram: per-bucket counts, total
+// count, and sum are added, min/max are widened. The snapshot's bounds must
+// match the histogram's (same values, same order); mismatches are dropped
+// rather than corrupting buckets. This is the bulk-publication path for
+// sharded instruments: a striped histogram accumulates lock-free per worker
+// and merges per-stripe deltas here on read, so the merged histogram equals
+// one that observed every value directly.
+func (h *Histogram) Merge(s HistogramSnapshot) {
+	if h == nil || s.Count == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(s.Bounds) != len(h.bounds) || len(s.Counts) != len(h.counts) {
+		return
+	}
+	for i, b := range s.Bounds {
+		if b != h.bounds[i] {
+			return
+		}
+	}
+	for i, c := range s.Counts {
+		h.counts[i] += c
+	}
+	h.count += s.Count
+	h.sum += s.Sum
+	if s.Min < h.min {
+		h.min = s.Min
+	}
+	if s.Max > h.max {
+		h.max = s.Max
+	}
+}
+
 // HistogramSnapshot is the exported state of one histogram. Counts has one
 // entry per bound plus a final overflow bucket.
 type HistogramSnapshot struct {
@@ -166,6 +231,47 @@ type HistogramSnapshot struct {
 	Max    float64   `json:"max"`
 }
 
+// Quantile estimates the p-quantile (p ∈ [0, 1]) from the bucket counts by
+// linear interpolation inside the bucket holding the target rank. The first
+// bucket interpolates up from Min, the overflow bucket toward Max, and the
+// result is clamped to [Min, Max] — so p50/p95/p99 over a fleet's
+// per-device distributions are exact at bucket edges and sensible inside.
+// Returns NaN for an empty snapshot or a p outside [0, 1].
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 || p < 0 || p > 1 || len(s.Counts) != len(s.Bounds)+1 {
+		return math.NaN()
+	}
+	rank := p * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo := s.Min
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := s.Max
+			if i < len(s.Bounds) && s.Bounds[i] < hi {
+				hi = s.Bounds[i]
+			}
+			if lo > hi {
+				lo = hi
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (rank - cum) / float64(c)
+			}
+			v := lo + frac*(hi-lo)
+			return math.Min(math.Max(v, s.Min), s.Max)
+		}
+		cum = next
+	}
+	return s.Max
+}
+
 // Snapshot is a point-in-time copy of a registry, ready for JSON export.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters,omitempty"`
@@ -173,12 +279,15 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot copies the registry state. A nil registry yields a zero snapshot.
+// Snapshot copies the registry state. A nil registry yields a zero
+// snapshot. Read-side hooks registered via OnSnapshot run first, so sharded
+// instruments publish their summed state before it is copied.
 func (g *Registry) Snapshot() Snapshot {
 	var s Snapshot
 	if g == nil {
 		return s
 	}
+	g.runSnapshotHooks()
 	g.mu.Lock()
 	counters := make(map[string]*Counter, len(g.counters))
 	for k, v := range g.counters {

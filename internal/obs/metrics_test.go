@@ -148,3 +148,105 @@ func TestSnapshotJSON(t *testing.T) {
 		t.Fatalf("round-trip mismatch: %+v", s)
 	}
 }
+
+// TestOnSnapshotHook pins the sum-on-read contract: a hook registered with
+// OnSnapshot runs before the instruments are copied, so state it publishes
+// is visible in the same Snapshot call.
+func TestOnSnapshotHook(t *testing.T) {
+	g := NewRegistry()
+	var pending int64 = 41
+	g.OnSnapshot(func() {
+		g.Counter("hooked").Add(pending)
+		pending = 0
+	})
+	if got := g.Snapshot().Counters["hooked"]; got != 41 {
+		t.Fatalf("hook not applied before read: got %d, want 41", got)
+	}
+	// Idempotent on re-read: the hook published a delta once.
+	if got := g.Snapshot().Counters["hooked"]; got != 41 {
+		t.Fatalf("second snapshot drifted: got %d, want 41", got)
+	}
+	var nilReg *Registry
+	nilReg.OnSnapshot(func() { t.Fatal("hook on nil registry must not run") })
+	nilReg.Snapshot()
+}
+
+// TestHistogramMerge checks bulk merge equals direct observation and that
+// bound-mismatched snapshots are rejected rather than corrupting buckets.
+func TestHistogramMerge(t *testing.T) {
+	bounds := []float64{1, 10, 100}
+	g := NewRegistry()
+	direct := g.Histogram("direct", bounds)
+	merged := g.Histogram("merged", bounds)
+	values := []float64{0.5, 3, 3, 42, 250}
+	for _, v := range values {
+		direct.Observe(v)
+	}
+	other := NewRegistry()
+	src := other.Histogram("src", bounds)
+	for _, v := range values {
+		src.Observe(v)
+	}
+	merged.Merge(other.Snapshot().Histograms["src"])
+	s := g.Snapshot()
+	d, m := s.Histograms["direct"], s.Histograms["merged"]
+	if d.Count != m.Count || d.Sum != m.Sum || d.Min != m.Min || d.Max != m.Max {
+		t.Fatalf("merge drifted from direct observation:\ndirect %+v\nmerged %+v", d, m)
+	}
+	for i := range d.Counts {
+		if d.Counts[i] != m.Counts[i] {
+			t.Fatalf("bucket %d: direct %d, merged %d", i, d.Counts[i], m.Counts[i])
+		}
+	}
+	// Mismatched bounds must be dropped whole.
+	bad := other.Histogram("bad", []float64{2, 20})
+	bad.Observe(5)
+	merged.Merge(other.Snapshot().Histograms["bad"])
+	if got := g.Snapshot().Histograms["merged"]; got.Count != m.Count {
+		t.Fatalf("bound-mismatched merge was applied: %+v", got)
+	}
+	var nilHist *Histogram
+	nilHist.Merge(d) // must not panic
+}
+
+// TestHistogramSnapshotQuantile checks the interpolated quantiles against a
+// hand-computed distribution.
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	g := NewRegistry()
+	h := g.Histogram("q", []float64{10, 20, 30})
+	// 10 values in (0,10], 80 in (10,20], 10 in (20,30].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 80; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(25)
+	}
+	s := g.Snapshot().Histograms["q"]
+	if q := s.Quantile(0.5); q < 10 || q > 20 {
+		t.Fatalf("p50 = %v, want inside (10, 20]", q)
+	}
+	if q := s.Quantile(0.99); q < 20 || q > 30 {
+		t.Fatalf("p99 = %v, want inside (20, 30]", q)
+	}
+	if q := s.Quantile(0); q != s.Min {
+		t.Fatalf("p0 = %v, want min %v", q, s.Min)
+	}
+	if q := s.Quantile(1); q != s.Max {
+		t.Fatalf("p100 = %v, want max %v", q, s.Max)
+	}
+	if !math.IsNaN((HistogramSnapshot{}).Quantile(0.5)) {
+		t.Fatal("empty snapshot quantile must be NaN")
+	}
+	if !math.IsNaN(s.Quantile(1.5)) {
+		t.Fatal("out-of-range p must be NaN")
+	}
+	// Overflow-bucket quantile stays clamped to the observed max.
+	h.Observe(1e6)
+	s = g.Snapshot().Histograms["q"]
+	if q := s.Quantile(0.999); q > s.Max {
+		t.Fatalf("overflow quantile %v exceeds max %v", q, s.Max)
+	}
+}

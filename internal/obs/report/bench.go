@@ -189,3 +189,94 @@ func (f BenchFile) Names() []string {
 	sort.Strings(names)
 	return names
 }
+
+// BenchDelta is one benchmark's old-vs-new comparison in a trajectory diff.
+type BenchDelta struct {
+	Key      string
+	Old, New BenchResult
+	// InOld/InNew report presence; a benchmark only in one file is listed
+	// but never counts as a regression.
+	InOld, InNew bool
+	// Ratio is new/old ns-per-op (0 unless present in both).
+	Ratio float64
+	// AllocsUp reports an allocs/op increase (both sides -benchmem only).
+	AllocsUp bool
+}
+
+// Regressed reports whether the delta breaches the threshold: ns/op grew
+// past 1+threshold, or allocs/op increased at all (allocation counts are
+// deterministic, so any growth is a real change, not noise).
+func (d BenchDelta) Regressed(threshold float64) bool {
+	if !d.InOld || !d.InNew {
+		return false
+	}
+	return d.Ratio > 1+threshold || d.AllocsUp
+}
+
+// DiffBench compares two trajectory files key by key, in sorted order.
+func DiffBench(old, newer BenchFile) []BenchDelta {
+	keys := make(map[string]struct{}, len(old.Benchmarks)+len(newer.Benchmarks))
+	for k := range old.Benchmarks {
+		keys[k] = struct{}{}
+	}
+	for k := range newer.Benchmarks {
+		keys[k] = struct{}{}
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	out := make([]BenchDelta, 0, len(sorted))
+	for _, k := range sorted {
+		d := BenchDelta{Key: k}
+		d.Old, d.InOld = old.Benchmarks[k]
+		d.New, d.InNew = newer.Benchmarks[k]
+		if d.InOld && d.InNew && d.Old.NsPerOp > 0 {
+			d.Ratio = d.New.NsPerOp / d.Old.NsPerOp
+		}
+		if d.InOld && d.InNew && d.Old.MemReported && d.New.MemReported {
+			d.AllocsUp = d.New.AllocsPerOp > d.Old.AllocsPerOp
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBenchDiff renders the comparison as a fixed-width table, flagging
+// rows that breach the threshold, and returns the regressed subset.
+func WriteBenchDiff(w io.Writer, deltas []BenchDelta, threshold float64) ([]BenchDelta, error) {
+	if _, err := fmt.Fprintf(w, "%-52s %14s %14s %8s %10s\n",
+		"benchmark", "old ns/op", "new ns/op", "ratio", "allocs"); err != nil {
+		return nil, err
+	}
+	var regressed []BenchDelta
+	for _, d := range deltas {
+		switch {
+		case !d.InOld:
+			if _, err := fmt.Fprintf(w, "%-52s %14s %14.0f %8s %10s\n",
+				d.Key, "-", d.New.NsPerOp, "new", ""); err != nil {
+				return nil, err
+			}
+			continue
+		case !d.InNew:
+			if _, err := fmt.Fprintf(w, "%-52s %14.0f %14s %8s %10s\n",
+				d.Key, d.Old.NsPerOp, "-", "gone", ""); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		allocs := fmt.Sprintf("%d→%d", d.Old.AllocsPerOp, d.New.AllocsPerOp)
+		flag := ""
+		if d.Regressed(threshold) {
+			flag = "  << REGRESSION"
+			regressed = append(regressed, d)
+		}
+		if _, err := fmt.Fprintf(w, "%-52s %14.0f %14.0f %7.2fx %10s%s\n",
+			d.Key, d.Old.NsPerOp, d.New.NsPerOp, d.Ratio, allocs, flag); err != nil {
+			return nil, err
+		}
+	}
+	return regressed, nil
+}

@@ -152,3 +152,59 @@ func TestBenchFileMerge(t *testing.T) {
 		t.Errorf("version = %q, want abc1234 adopted", old.Version)
 	}
 }
+
+// TestDiffBench pins the trajectory diff: ratio math, regression flagging
+// (ns/op past threshold OR any allocs/op increase), and added/removed rows
+// never regressing.
+func TestDiffBench(t *testing.T) {
+	old := report.NewBenchFile(nil)
+	old.Benchmarks["BenchmarkSteady"] = report.BenchResult{Name: "BenchmarkSteady", NsPerOp: 100, AllocsPerOp: 2, MemReported: true}
+	old.Benchmarks["BenchmarkSlower"] = report.BenchResult{Name: "BenchmarkSlower", NsPerOp: 100}
+	old.Benchmarks["BenchmarkAllocs"] = report.BenchResult{Name: "BenchmarkAllocs", NsPerOp: 100, AllocsPerOp: 0, MemReported: true}
+	old.Benchmarks["BenchmarkGone"] = report.BenchResult{Name: "BenchmarkGone", NsPerOp: 7}
+
+	cur := report.NewBenchFile(nil)
+	cur.Benchmarks["BenchmarkSteady"] = report.BenchResult{Name: "BenchmarkSteady", NsPerOp: 105, AllocsPerOp: 2, MemReported: true}
+	cur.Benchmarks["BenchmarkSlower"] = report.BenchResult{Name: "BenchmarkSlower", NsPerOp: 180}
+	cur.Benchmarks["BenchmarkAllocs"] = report.BenchResult{Name: "BenchmarkAllocs", NsPerOp: 90, AllocsPerOp: 3, MemReported: true}
+	cur.Benchmarks["BenchmarkNew"] = report.BenchResult{Name: "BenchmarkNew", NsPerOp: 42}
+
+	deltas := report.DiffBench(old, cur)
+	if len(deltas) != 5 {
+		t.Fatalf("got %d deltas, want 5", len(deltas))
+	}
+	byKey := map[string]report.BenchDelta{}
+	for _, d := range deltas {
+		byKey[d.Key] = d
+	}
+	if d := byKey["BenchmarkSteady"]; d.Regressed(0.3) || d.Ratio < 1.04 || d.Ratio > 1.06 {
+		t.Fatalf("steady misjudged: %+v", d)
+	}
+	if d := byKey["BenchmarkSlower"]; !d.Regressed(0.3) {
+		t.Fatalf("1.8x slowdown not flagged: %+v", d)
+	}
+	if d := byKey["BenchmarkAllocs"]; !d.AllocsUp || !d.Regressed(0.3) {
+		t.Fatalf("allocs increase not flagged: %+v", d)
+	}
+	if d := byKey["BenchmarkGone"]; d.InNew || d.Regressed(0) {
+		t.Fatalf("removed benchmark misjudged: %+v", d)
+	}
+	if d := byKey["BenchmarkNew"]; d.InOld || d.Regressed(0) {
+		t.Fatalf("added benchmark misjudged: %+v", d)
+	}
+
+	var buf strings.Builder
+	regressed, err := report.WriteBenchDiff(&buf, deltas, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regressed) != 2 {
+		t.Fatalf("got %d regressions, want 2:\n%s", len(regressed), buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "1.80x", "new", "gone", "0→3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"solarml/internal/obs"
+)
+
+// FleetHist is one per-device fleet distribution recovered from the trace's
+// final metrics snapshot (the fleet.* histograms RunFleet publishes).
+type FleetHist struct {
+	Name string
+	Snap obs.HistogramSnapshot
+}
+
+// decodeHistogram rebuilds a histogram snapshot from its JSON-decoded
+// attribute map (the shape obs.HistogramSnapshot marshals to).
+func decodeHistogram(m map[string]any) (obs.HistogramSnapshot, bool) {
+	var s obs.HistogramSnapshot
+	if bs, ok := m["bounds"].([]any); ok {
+		s.Bounds = make([]float64, 0, len(bs))
+		for _, b := range bs {
+			f, ok := b.(float64)
+			if !ok {
+				return s, false
+			}
+			s.Bounds = append(s.Bounds, f)
+		}
+	}
+	if cs, ok := m["counts"].([]any); ok {
+		s.Counts = make([]uint64, 0, len(cs))
+		for _, c := range cs {
+			f, ok := c.(float64)
+			if !ok {
+				return s, false
+			}
+			s.Counts = append(s.Counts, uint64(f))
+		}
+	}
+	count, _ := m["count"].(float64)
+	s.Count = uint64(count)
+	s.Sum, _ = m["sum"].(float64)
+	s.Mean, _ = m["mean"].(float64)
+	s.Min, _ = m["min"].(float64)
+	s.Max, _ = m["max"].(float64)
+	return s, len(s.Counts) == len(s.Bounds)+1
+}
+
+// FleetDistributions returns the trace's fleet.* per-device histograms in
+// name order (empty for single-device or search traces).
+func (t *Trace) FleetDistributions() []FleetHist {
+	_, hists := t.lastMetrics()
+	var out []FleetHist
+	for name, raw := range hists {
+		if !strings.HasPrefix(name, "fleet.") {
+			continue
+		}
+		m, ok := raw.(map[string]any)
+		if !ok {
+			continue
+		}
+		if s, ok := decodeHistogram(m); ok && s.Count > 0 {
+			out = append(out, FleetHist{Name: name, Snap: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// fleetGauges pulls the fleet throughput gauges from the final snapshot.
+func (t *Trace) fleetGauges() (completionRate, deviceYearsPerSec float64, ok bool) {
+	if len(t.Metrics) == 0 {
+		return 0, 0, false
+	}
+	gauges, _ := t.Metrics[len(t.Metrics)-1].Attrs["gauges"].(map[string]any)
+	if gauges == nil {
+		return 0, 0, false
+	}
+	cr, okCR := gauges["lifetime.fleet.completion_rate"].(float64)
+	dy, okDY := gauges["lifetime.fleet.device_years_per_sec"].(float64)
+	return cr, dy, okCR || okDY
+}
+
+// WriteFleetReport renders the fleet section: run-level gauges and one
+// quantile row per per-device distribution. Traces without fleet.*
+// histograms (single-device runs, searches) get a one-line notice.
+func (t *Trace) WriteFleetReport(w io.Writer) error {
+	dists := t.FleetDistributions()
+	if _, err := fmt.Fprintln(w, "fleet report:"); err != nil {
+		return err
+	}
+	if len(dists) == 0 {
+		_, err := fmt.Fprintln(w, "  (no fleet.* histograms in the final metrics snapshot — not a fleet trace?)")
+		return err
+	}
+	if cr, dy, ok := t.fleetGauges(); ok {
+		if _, err := fmt.Fprintf(w, "  completion rate %.1f%%, %.2f device-years/sec\n", cr*100, dy); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  %-28s %8s %10s %10s %10s %10s\n",
+		"per-device distribution", "devices", "mean", "p50", "p95", "p99"); err != nil {
+		return err
+	}
+	for _, d := range dists {
+		if _, err := fmt.Fprintf(w, "  %-28s %8d %10.3g %10.3g %10.3g %10.3g\n",
+			strings.TrimPrefix(d.Name, "fleet."), d.Snap.Count, d.Snap.Mean,
+			d.Snap.Quantile(0.50), d.Snap.Quantile(0.95), d.Snap.Quantile(0.99)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
