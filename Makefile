@@ -8,7 +8,7 @@ GO ?= go
 # fleet snapshots) so the repo root stays clean; it is git-ignored wholesale.
 BUILD_DIR ?= build
 
-.PHONY: verify vet race check bench bench-obs bench-energy bench-fleet bench-json bench-smoke bench-diff smoke-report search-resume-smoke
+.PHONY: verify vet race check bench bench-obs bench-energy bench-fleet bench-int8 bench-json bench-smoke bench-diff smoke-report search-resume-smoke
 
 verify:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/fleetobs/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/nas/... ./internal/compute/... ./internal/nn/... ./internal/sim/... ./internal/firmware/...
+	$(GO) test -race ./internal/obs/... ./internal/obs/energy/... ./internal/obs/fleetobs/... ./internal/obs/report/... ./internal/evo/... ./internal/enas/... ./internal/munas/... ./internal/harvnet/... ./internal/nas/... ./internal/compute/... ./internal/nn/... ./internal/serve/... ./internal/sim/... ./internal/firmware/...
 
 check: verify vet race
 
@@ -47,21 +47,30 @@ bench-energy:
 bench-fleet:
 	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkFleetDeviceYears'
 
+# bench-int8 records the quantized serving-path trajectory: the int8
+# forward pass against its float baseline (0 allocs/op and ≥2× the float
+# ns/op at batch 1 are the gates) plus end-to-end serve latency across
+# batch sizes. Multi-iteration benchtime: the 2× gate is a ratio of two
+# microsecond-scale numbers, far too noisy at one iteration.
+bench-int8:
+	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_TIME=200x BENCH_PATTERN='BenchmarkInt8Forward|BenchmarkFloatForward|BenchmarkServeLatency'
+
 # bench-json runs the benchmarks and parses the output into the
 # BENCH_solarml.json perf trajectory (benchmark → ns/op, B/op, allocs/op).
 # Narrow the sweep with BENCH_PATTERN, e.g.
 #   make bench-json BENCH_PATTERN='BenchmarkMatMulBackend'
 BENCH_PATTERN ?= .
 BENCH_FLAGS ?=
+BENCH_TIME ?= 1x
 bench-json:
-	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem ./... | $(GO) run ./cmd/benchjson $(BENCH_FLAGS) -out BENCH_solarml.json
+	$(GO) test -run NONE -bench '$(BENCH_PATTERN)' -benchtime $(BENCH_TIME) -benchmem ./... | $(GO) run ./cmd/benchjson $(BENCH_FLAGS) -out BENCH_solarml.json
 
 # bench-smoke is the CI perf gate: one iteration of the training-step and
 # kernel benchmarks with -benchmem, merged into the BENCH_solarml.json
 # trajectory artifact (entries outside the smoke subset are retained).
 # allocs/op on the arena step is the number to watch — it must stay at 0.
 bench-smoke:
-	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge|BenchmarkFleetDeviceYears|BenchmarkIslandSearch'
+	$(MAKE) bench-json BENCH_FLAGS='-merge' BENCH_PATTERN='BenchmarkTrainStepArena|BenchmarkTrainStepCNNBackend|BenchmarkMatMulBackend|BenchmarkNoopSpan|BenchmarkSearchTelemetry|BenchmarkLedgerCharge|BenchmarkNoopLedgerCharge|BenchmarkFleetDeviceYears|BenchmarkIslandSearch|BenchmarkInt8Forward|BenchmarkFloatForward|BenchmarkServeLatency'
 
 # bench-diff turns the BENCH_solarml.json trajectory into a perf gate:
 # compare the working tree's trajectory point against the last committed
@@ -106,7 +115,9 @@ search-resume-smoke:
 # carries the ledger accounts; finally run a fleet big enough to curl its
 # live /debug/fleet inspector mid-run, and check the per-device
 # distributions land in the CSV and the obs-report -fleet section. CI runs
-# this and uploads the artifacts.
+# this and uploads the artifacts. The final leg exercises the serving path:
+# deploy exports an int8 model, serve hosts it, and one HTTP classify must
+# land in the live serve.* metrics.
 smoke-report:
 	mkdir -p $(BUILD_DIR)
 	$(GO) run ./cmd/enas-search -pop 10 -sample 4 -cycles 20 -seed 1 -cache \
@@ -145,3 +156,26 @@ smoke-report:
 	$(GO) run ./cmd/obs-report -trace $(BUILD_DIR)/fleet_smoke.jsonl -fleet -quiet \
 		| tee $(BUILD_DIR)/fleet_report.txt
 	grep -q 'per-device distribution' $(BUILD_DIR)/fleet_report.txt
+	$(GO) build -o $(BUILD_DIR)/deploy ./cmd/deploy
+	$(GO) build -o $(BUILD_DIR)/serve ./cmd/serve
+	$(BUILD_DIR)/deploy -n 60 -epochs 2 \
+		-out $(BUILD_DIR)/smoke_model.bin -qout $(BUILD_DIR)/smoke_model.q8 \
+		| tee $(BUILD_DIR)/deploy_smoke.txt
+	grep -q 'smaller than the float export' $(BUILD_DIR)/deploy_smoke.txt
+	$(BUILD_DIR)/serve -model $(BUILD_DIR)/smoke_model.q8 -addr 127.0.0.1:9191 \
+		-pprof 127.0.0.1:9192 > $(BUILD_DIR)/serve_smoke.txt 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 200); do \
+		curl -fs http://127.0.0.1:9191/healthz >/dev/null 2>&1 && break; \
+		sleep 0.05; \
+	done; \
+	awk 'BEGIN{printf "{\"instances\":[["; for(i=0;i<720;i++){printf "%s0.1",(i?",":"")}; print "]]}"}' \
+		> $(BUILD_DIR)/serve_body.json; \
+	curl -fs http://127.0.0.1:9191/classify -d @$(BUILD_DIR)/serve_body.json \
+		> $(BUILD_DIR)/serve_reply.json; \
+	curl -fs http://127.0.0.1:9192/metrics > $(BUILD_DIR)/serve_metrics.txt; \
+	kill $$pid
+	grep -q '"class"' $(BUILD_DIR)/serve_reply.json
+	grep -q '^serve_requests 1' $(BUILD_DIR)/serve_metrics.txt
+	grep -q '^serve_batches' $(BUILD_DIR)/serve_metrics.txt
+	@echo "smoke-report: serve leg classified one request over HTTP with live serve.* metrics"

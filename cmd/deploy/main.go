@@ -7,8 +7,11 @@
 //
 // Usage:
 //
-//	deploy [-search] [-out model.bin] [-n 300] [-epochs 10]
+//	deploy [-search] [-out model.bin] [-qout model.q8] [-n 300] [-epochs 10]
 //	       [-wbits 8] [-abits 8] [-seed 1]
+//
+// -out is the float model in the versioned SOLARMDL container; -qout is the
+// int8 inference model cmd/serve loads.
 package main
 
 import (
@@ -29,7 +32,8 @@ import (
 
 func main() {
 	search := flag.Bool("search", false, "run a small real-training eNAS search for the candidate")
-	out := flag.String("out", "model.bin", "model file path")
+	out := flag.String("out", "model.bin", "float model file path")
+	qout := flag.String("qout", "model.q8", "int8 model file path for cmd/serve (empty = skip)")
 	n := flag.Int("n", 300, "dataset size")
 	epochs := flag.Int("epochs", 10, "final training epochs")
 	wbits := flag.Int("wbits", 8, "PTQ weight bits")
@@ -37,13 +41,13 @@ func main() {
 	header := flag.String("header", "", "also export the quantized model as a C header to this path")
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
-	if err := run(*search, *out, *header, *n, *epochs, *wbits, *abits, *seed); err != nil {
+	if err := run(*search, *out, *qout, *header, *n, *epochs, *wbits, *abits, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "error:", err)
 		os.Exit(1)
 	}
 }
 
-func run(search bool, out, header string, n, epochs, wbits, abits int, seed int64) error {
+func run(search bool, out, qout, header string, n, epochs, wbits, abits int, seed int64) error {
 	full := dataset.BuildGestureSet(n, 500, seed)
 	train, test := full.Split(4)
 
@@ -102,7 +106,7 @@ func run(search bool, out, header string, n, epochs, wbits, abits int, seed int6
 	if err != nil {
 		return err
 	}
-	if err := nn.SaveModel(f, cand.Arch, net); err != nil {
+	if err := nn.SaveModelContainer(f, cand.Arch, net); err != nil {
 		f.Close()
 		return err
 	}
@@ -113,7 +117,7 @@ func run(search bool, out, header string, n, epochs, wbits, abits int, seed int6
 	if err != nil {
 		return err
 	}
-	_, reloaded, err := nn.LoadModel(rf)
+	_, reloaded, err := nn.LoadModelContainer(rf)
 	rf.Close()
 	if err != nil {
 		return err
@@ -127,7 +131,35 @@ func run(search bool, out, header string, n, epochs, wbits, abits int, seed int6
 	}
 	fmt.Printf("saved %s (%d bytes), reload verified bit-exact\n", out, info.Size())
 
-	// 4. Post-training quantization.
+	// 4. Lower to the int8 serving model (before ApplyPTQ, which rewrites
+	// the float weights in place).
+	if qout != "" {
+		m, err := nn.ConvertInt8(cand.Arch, reloaded, trX, nn.PTQConfig{WeightBits: wbits, ActBits: abits})
+		if err != nil {
+			return err
+		}
+		int8Acc := m.Accuracy(nil, teX, teY)
+		qf, err := os.Create(qout)
+		if err != nil {
+			return err
+		}
+		if err := nn.SaveInt8Model(qf, m); err != nil {
+			qf.Close()
+			return err
+		}
+		if err := qf.Close(); err != nil {
+			return err
+		}
+		qinfo, err := os.Stat(qout)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("int8 model: accuracy %.3f (Δ %.3f), %s %d bytes — %.1f× smaller than the float export\n",
+			int8Acc, int8Acc-floatAcc, qout, qinfo.Size(),
+			float64(info.Size())/float64(qinfo.Size()))
+	}
+
+	// 5. Post-training quantization.
 	ptq, err := nn.ApplyPTQ(reloaded, trX, nn.PTQConfig{WeightBits: wbits, ActBits: abits})
 	if err != nil {
 		return err
@@ -150,7 +182,7 @@ func run(search bool, out, header string, n, epochs, wbits, abits int, seed int6
 		fmt.Printf("exported C header to %s\n", header)
 	}
 
-	// 5. Deployment energy report.
+	// 6. Deployment energy report.
 	profile := mcu.NRF52840()
 	coeff := energymodel.DefaultCoefficients()
 	es := energymodel.GestureSensingTrue(profile, cand.Gesture)

@@ -1,0 +1,35 @@
+//go:build !race
+
+package nn
+
+import (
+	"testing"
+
+	"solarml/internal/compute"
+)
+
+// TestInt8ForwardZeroAllocs pins the inference-arena contract: the
+// steady-state quantized forward pass performs zero heap allocations, at
+// batch 1 and at batch N, serial and pooled. (Excluded under -race, whose
+// instrumentation changes allocation behaviour.)
+func TestInt8ForwardZeroAllocs(t *testing.T) {
+	m, _, x, _ := convertGesture(t)
+	sample := m.InVol()
+	ctxs := map[string]*compute.Context{
+		"serial": nil,
+		"pooled": compute.NewContextFor(4, nil),
+	}
+	for name, ctx := range ctxs {
+		for _, batch := range []int{1, 16} {
+			ex := m.NewExecutor(ctx, batch)
+			in := x.Data[:batch*sample]
+			ex.Forward(in, batch) // warm the cached closures
+			allocs := testing.AllocsPerRun(10, func() {
+				ex.Forward(in, batch)
+			})
+			if allocs != 0 {
+				t.Errorf("%s batch %d: %.0f allocs/op, want 0", name, batch, allocs)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"solarml/internal/tensor"
+)
+
+// benchGestureInt8 lowers the deploy-shaped gesture CNN once for the
+// quantized-forward benchmarks.
+func benchGestureInt8(b *testing.B) (*Int8Model, *Network, []float64) {
+	b.Helper()
+	m, net, x, _ := convertGesture(b)
+	return m, net, x.Data
+}
+
+// BenchmarkFloatForward is the baseline the int8 path is gated against
+// (≥2× at batch 1): the float inference pass as cmd/deploy and Accuracy
+// run it.
+func BenchmarkFloatForward(b *testing.B) {
+	m, net, data := benchGestureInt8(b)
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			shape := append([]int{batch}, m.InShape()...)
+			x := tensor.FromSlice(data[:batch*m.InVol()], shape...)
+			b.ReportAllocs()
+			runtime.GC() // drain fixture garbage so GC noise is the path's own
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.Forward(x, false)
+			}
+		})
+	}
+}
+
+// BenchmarkInt8Forward times the steady-state quantized forward pass; the
+// allocs/op column must read 0.
+func BenchmarkInt8Forward(b *testing.B) {
+	m, _, data := benchGestureInt8(b)
+	for _, batch := range []int{1, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			ex := m.NewExecutor(nil, batch)
+			in := data[:batch*m.InVol()]
+			ex.Forward(in, batch) // warm the cached closures
+			b.ReportAllocs()
+			// A zero-alloc loop never triggers GC; collect the float bench's
+			// garbage up front so a background mark phase (write barriers,
+			// stolen cores) can't bleed into the quantized measurement.
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ex.Forward(in, batch)
+			}
+		})
+	}
+}

@@ -98,15 +98,7 @@ func quantizeActivations(t *tensor.Tensor, scale float64, bits int) {
 }
 
 // maxAbs returns the largest magnitude in the tensor.
-func maxAbs(t *tensor.Tensor) float64 {
-	m := 0.0
-	for _, v := range t.Data {
-		if a := math.Abs(v); a > m {
-			m = a
-		}
-	}
-	return m
-}
+func maxAbs(t *tensor.Tensor) float64 { return t.MaxAbs() }
 
 // ApplyPTQ quantizes the network's weights in place (snapshot first if the
 // float model must survive) and calibrates activation scales on the given

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkServeLatency measures end-to-end Classify latency through the
+// queue, batcher, and executor — the number a capacity plan starts from.
+// The zero-wait deadline isolates the serving overhead from deliberate
+// coalescing delay; the batch=N cases submit N instances per call, which
+// the batcher runs as one executor dispatch.
+func BenchmarkServeLatency(b *testing.B) {
+	m, calib := testModel(b)
+	inVol := m.InVol()
+	for _, batch := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			s, err := New(Config{Model: m, MaxBatch: batch, Workers: 1, BatchDeadline: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			xs := make([][]float64, batch)
+			for i := range xs {
+				xs[i] = calib.Data[i*inVol : (i+1)*inVol]
+			}
+			if _, err := s.ClassifyBatch(xs); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.ClassifyBatch(xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

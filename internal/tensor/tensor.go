@@ -210,6 +210,18 @@ func (t *Tensor) Max() float64 {
 	return m
 }
 
+// MaxAbs returns the largest element magnitude — the statistic symmetric
+// quantization calibrates from (scale = MaxAbs / (2^(bits−1)−1)).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.Data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
 // Argmax returns the flat index of the maximum element.
 func (t *Tensor) Argmax() int {
 	best, bi := math.Inf(-1), 0
